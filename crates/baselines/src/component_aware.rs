@@ -1,0 +1,282 @@
+//! The component-aware scaling baseline.
+
+use std::collections::{BTreeMap, HashMap};
+
+use deeprest_metrics::{MetricKey, TimeSeries};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::Interner;
+
+use crate::{day_profile, BaselineEstimator, LearnData, QueryData};
+
+/// Uses distributed traces to learn, per component, how many invocations it
+/// receives, and scales *all* of the component's resources by the ratio of
+/// expected query invocations to historical invocations at the same time of
+/// day.
+///
+/// Flow-aware (it knows /readTimeline never triggers the
+/// ComposePostService) but resource-blind within a component: a read-heavy
+/// query that keeps a store busy inflates the store's write IOps estimate
+/// too — the Fig. 11c overestimation the paper dissects.
+#[derive(Debug, Default)]
+pub struct ComponentAwareScaling {
+    windows_per_day: usize,
+    /// Historical per-component invocation day-profile.
+    invocation_profiles: BTreeMap<String, Vec<f64>>,
+    /// Mean invocations of each component per request of each API.
+    per_api_rates: BTreeMap<String, HashMap<String, f64>>,
+    utilization_profiles: BTreeMap<MetricKey, Vec<f64>>,
+}
+
+impl ComponentAwareScaling {
+    /// Creates an unfitted instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts component invocations (spans) per window.
+    fn count_invocations(
+        traces: &WindowedTraces,
+        interner: &Interner,
+    ) -> BTreeMap<String, Vec<f64>> {
+        let mut counts: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for (t, window) in traces.windows.iter().enumerate() {
+            for trace in window {
+                trace.root.visit(&mut |span| {
+                    counts
+                        .entry(interner.resolve(span.component).to_owned())
+                        .or_insert_with(|| vec![0.0; traces.len()])[t] += 1.0;
+                });
+            }
+        }
+        counts
+    }
+}
+
+impl BaselineEstimator for ComponentAwareScaling {
+    fn name(&self) -> &'static str {
+        "component-aware-scaling"
+    }
+
+    fn fit(&mut self, data: &LearnData<'_>) {
+        self.windows_per_day = data.traffic.windows_per_day();
+
+        let invocations = Self::count_invocations(data.traces, data.interner);
+        self.invocation_profiles = invocations
+            .iter()
+            .map(|(c, v)| (c.clone(), day_profile(v, self.windows_per_day)))
+            .collect();
+
+        // Invocations of each component attributable to each API, for
+        // predicting query invocations from query traffic alone.
+        let mut per_api_totals: BTreeMap<String, HashMap<String, f64>> = BTreeMap::new();
+        let mut api_requests: HashMap<String, f64> = HashMap::new();
+        for window in &data.traces.windows {
+            for trace in window {
+                let api = data.interner.resolve(trace.api).to_owned();
+                *api_requests.entry(api.clone()).or_insert(0.0) += 1.0;
+                trace.root.visit(&mut |span| {
+                    *per_api_totals
+                        .entry(data.interner.resolve(span.component).to_owned())
+                        .or_default()
+                        .entry(api.clone())
+                        .or_insert(0.0) += 1.0;
+                });
+            }
+        }
+        self.per_api_rates = per_api_totals
+            .into_iter()
+            .map(|(comp, by_api)| {
+                let rates = by_api
+                    .into_iter()
+                    .map(|(api, total)| {
+                        let requests = api_requests.get(&api).copied().unwrap_or(1.0);
+                        (api, total / requests.max(1.0))
+                    })
+                    .collect();
+                (comp, rates)
+            })
+            .collect();
+
+        self.utilization_profiles = data
+            .metrics
+            .iter()
+            .map(|(key, series)| {
+                (key.clone(), day_profile(series.values(), self.windows_per_day))
+            })
+            .collect();
+    }
+
+    fn estimate(&self, query: &QueryData<'_>) -> BTreeMap<MetricKey, TimeSeries> {
+        assert!(
+            !self.utilization_profiles.is_empty(),
+            "ComponentAwareScaling: estimate called before fit"
+        );
+        let windows = query.traffic.window_count();
+
+        // Expected per-component invocations in the query period: counted
+        // from real traces when available, otherwise predicted from the
+        // query traffic through the learned per-API invocation rates.
+        let query_invocations: BTreeMap<String, Vec<f64>> = match (query.traces, query.interner)
+        {
+            (Some(traces), Some(interner)) => Self::count_invocations(traces, interner),
+            _ => {
+                let apis: Vec<&String> = query.traffic.apis().iter().collect();
+                self.per_api_rates
+                    .iter()
+                    .map(|(comp, rates)| {
+                        let series: Vec<f64> = (0..windows)
+                            .map(|t| {
+                                apis.iter()
+                                    .enumerate()
+                                    .map(|(a, api)| {
+                                        query.traffic.window(t)[a]
+                                            * rates.get(*api).copied().unwrap_or(0.0)
+                                    })
+                                    .sum()
+                            })
+                            .collect();
+                        (comp.clone(), series)
+                    })
+                    .collect()
+            }
+        };
+
+        self.utilization_profiles
+            .iter()
+            .map(|(key, profile)| {
+                let hist = self.invocation_profiles.get(&key.component);
+                let inv = query_invocations.get(&key.component);
+                let series: TimeSeries = (0..windows)
+                    .map(|t| {
+                        let base = profile[t % self.windows_per_day];
+                        match (hist, inv) {
+                            (Some(h), Some(q)) => {
+                                let day_mean =
+                                    h.iter().sum::<f64>() / h.len().max(1) as f64;
+                                let denom = h[t % self.windows_per_day].max(0.05 * day_mean).max(1e-9);
+                                base * (q[t] / denom)
+                            }
+                            // Component never invoked in learning or query:
+                            // fall back to the historical profile.
+                            _ => base,
+                        }
+                    })
+                    .collect();
+                (key.clone(), series)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_metrics::{MetricsRegistry, ResourceKind};
+    use deeprest_trace::{SpanNode, Trace};
+    use deeprest_workload::ApiTraffic;
+
+    /// Two APIs: /write triggers Store, /read does not.
+    fn setup() -> (ApiTraffic, MetricsRegistry, WindowedTraces, Interner) {
+        let mut i = Interner::new();
+        let front = i.intern("Front");
+        let store = i.intern("Store");
+        let op = i.intern("op");
+        let api_w = i.intern("/write");
+        let api_r = i.intern("/read");
+
+        let write_trace = Trace::new(
+            api_w,
+            SpanNode::with_children(front, op, vec![SpanNode::leaf(store, op)]),
+        );
+        let read_trace = Trace::new(api_r, SpanNode::leaf(front, op));
+
+        // 4 windows: 5 writes + 5 reads per window.
+        let mut traces = WindowedTraces::with_windows(1.0, 4);
+        for w in &mut traces.windows {
+            for _ in 0..5 {
+                w.push(write_trace.clone());
+                w.push(read_trace.clone());
+            }
+        }
+        let traffic = ApiTraffic::new(
+            vec!["/write".into(), "/read".into()],
+            4,
+            vec![vec![5.0, 5.0]; 4],
+        );
+        let mut metrics = MetricsRegistry::new();
+        metrics.insert(
+            MetricKey::new("Front", ResourceKind::Cpu),
+            TimeSeries::from_values(vec![10.0; 4]),
+        );
+        metrics.insert(
+            MetricKey::new("Store", ResourceKind::Cpu),
+            TimeSeries::from_values(vec![6.0; 4]),
+        );
+        (traffic, metrics, traces, i)
+    }
+
+    fn fitted() -> (ComponentAwareScaling, ApiTraffic) {
+        let (traffic, metrics, traces, interner) = setup();
+        let mut b = ComponentAwareScaling::new();
+        b.fit(&LearnData {
+            traffic: &traffic,
+            traces: &traces,
+            metrics: &metrics,
+            interner: &interner,
+        });
+        (b, traffic)
+    }
+
+    #[test]
+    fn read_only_query_does_not_scale_the_store() {
+        let (b, _) = fitted();
+        // Query: 10 reads, 0 writes per window — Front sees the same 10
+        // invocations, Store sees none.
+        let query = ApiTraffic::new(
+            vec!["/write".into(), "/read".into()],
+            4,
+            vec![vec![0.0, 10.0]; 4],
+        );
+        let est = b.estimate(&QueryData {
+            traffic: &query,
+            traces: None,
+            interner: None,
+        });
+        let front = &est[&MetricKey::new("Front", ResourceKind::Cpu)];
+        let store = &est[&MetricKey::new("Store", ResourceKind::Cpu)];
+        assert!((front.mean() - 10.0).abs() < 1e-9, "front {}", front.mean());
+        assert!(store.mean() < 1e-9, "store {}", store.mean());
+    }
+
+    #[test]
+    fn write_heavy_query_scales_the_store() {
+        let (b, _) = fitted();
+        let query = ApiTraffic::new(
+            vec!["/write".into(), "/read".into()],
+            4,
+            vec![vec![10.0, 0.0]; 4],
+        );
+        let est = b.estimate(&QueryData {
+            traffic: &query,
+            traces: None,
+            interner: None,
+        });
+        let store = &est[&MetricKey::new("Store", ResourceKind::Cpu)];
+        // 10 write-invocations vs historical 5 → 2x.
+        assert!((store.mean() - 12.0).abs() < 1e-9, "store {}", store.mean());
+    }
+
+    #[test]
+    fn real_query_traces_override_traffic_prediction() {
+        let (b, traffic) = fitted();
+        let (_, _, traces, interner) = setup();
+        // Same traces as learning → ratio 1 → profiles unchanged.
+        let est = b.estimate(&QueryData {
+            traffic: &traffic,
+            traces: Some(&traces),
+            interner: Some(&interner),
+        });
+        let front = &est[&MetricKey::new("Front", ResourceKind::Cpu)];
+        assert!((front.mean() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! The shared estimator interface the experiment harness drives.
+
+use std::collections::BTreeMap;
+
+use deeprest_metrics::{MetricKey, MetricsRegistry, TimeSeries};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::Interner;
+use deeprest_workload::ApiTraffic;
+
+/// Everything collected during the application-learning phase.
+#[derive(Clone, Copy)]
+pub struct LearnData<'a> {
+    /// The API traffic the application served while learning.
+    pub traffic: &'a ApiTraffic,
+    /// The distributed traces captured in the same period.
+    pub traces: &'a WindowedTraces,
+    /// The resource metrics scraped in the same period.
+    pub metrics: &'a MetricsRegistry,
+    /// Name table for the traces.
+    pub interner: &'a Interner,
+}
+
+/// A resource-estimation query.
+#[derive(Clone, Copy)]
+pub struct QueryData<'a> {
+    /// The API traffic to estimate resources for.
+    pub traffic: &'a ApiTraffic,
+    /// Real traces, when the query period has already been served (sanity
+    /// checks); hypothetical queries leave this empty.
+    pub traces: Option<&'a WindowedTraces>,
+    /// Name table for the query traces.
+    pub interner: Option<&'a Interner>,
+}
+
+/// A baseline resource estimator.
+pub trait BaselineEstimator {
+    /// Display name used in reports (matches the paper's legend).
+    fn name(&self) -> &'static str;
+
+    /// Learns from the application-learning period.
+    fn fit(&mut self, data: &LearnData<'_>);
+
+    /// Estimates per-resource utilization for the query period.
+    ///
+    /// Returned series have one value per query window, keyed like the
+    /// learning metrics.
+    fn estimate(&self, query: &QueryData<'_>) -> BTreeMap<MetricKey, TimeSeries>;
+}
+
+/// Averages a windowed series into a one-day profile of `windows_per_day`
+/// values: `profile[w]` is the mean over all observed days at time-of-day
+/// `w`. The scaling baselines use this both for utilization and traffic.
+///
+/// # Panics
+///
+/// Panics if `windows_per_day` is zero.
+pub fn day_profile(values: &[f64], windows_per_day: usize) -> Vec<f64> {
+    assert!(windows_per_day > 0, "day_profile: windows_per_day must be > 0");
+    let mut sums = vec![0.0f64; windows_per_day];
+    let mut counts = vec![0usize; windows_per_day];
+    for (t, &v) in values.iter().enumerate() {
+        sums[t % windows_per_day] += v;
+        counts[t % windows_per_day] += 1;
+    }
+    sums.iter()
+        .zip(counts.iter())
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_profile_averages_across_days() {
+        // Two days of 3 windows: [1,2,3] and [3,4,5] → profile [2,3,4].
+        let v = [1.0, 2.0, 3.0, 3.0, 4.0, 5.0];
+        assert_eq!(day_profile(&v, 3), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn day_profile_handles_partial_days() {
+        let v = [1.0, 2.0, 3.0, 5.0];
+        assert_eq!(day_profile(&v, 3), vec![3.0, 2.0, 3.0]);
+    }
+}

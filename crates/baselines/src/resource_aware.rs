@@ -1,0 +1,304 @@
+//! The resource-aware deep-learning baseline ("resrc-aware DL").
+
+use std::collections::BTreeMap;
+
+use deeprest_metrics::{MetricKey, MinMaxScaler, TimeSeries};
+use deeprest_nn::loss::mse_loss;
+use deeprest_nn::{Adam, GruCell, Linear};
+use deeprest_tensor::{Graph, ParamStore, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{BaselineEstimator, LearnData, QueryData};
+
+/// A recurrent network per `(component, resource)` trained on *historical
+/// utilization only*: the input at window `t` is the utilization one day
+/// earlier (plus a time-of-day encoding) and the target is the utilization
+/// at `t`. This mirrors prior forecasting work ([53, 64, 66, 69] in the
+/// paper): "no matter how sophisticated they are in capturing the usage in
+/// the past, they are unable to consider the API traffic the application
+/// owner expects to serve."
+///
+/// At query time it rolls forward from the last learning day, feeding its
+/// own predictions back autoregressively — so it keeps forecasting the
+/// historical pattern regardless of what the query traffic looks like,
+/// exactly the failure Figs. 10-11 and 18 dissect.
+#[derive(Debug)]
+pub struct ResourceAwareDl {
+    /// GRU hidden units per model.
+    pub hidden_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed for initialization.
+    pub seed: u64,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug)]
+struct Fitted {
+    windows_per_day: usize,
+    store: ParamStore,
+    models: BTreeMap<MetricKey, PerResource>,
+}
+
+#[derive(Debug)]
+struct PerResource {
+    gru: GruCell,
+    head: Linear,
+    scaler: MinMaxScaler,
+    /// Normalized utilization of the last learning day (the seed input for
+    /// query-time rollout).
+    last_day: Vec<f32>,
+}
+
+impl Default for ResourceAwareDl {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 12,
+            epochs: 40,
+            lr: 0.01,
+            seed: 11,
+            state: None,
+        }
+    }
+}
+
+impl ResourceAwareDl {
+    /// Creates an unfitted instance with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Input at time-of-day `w`: previous-day utilization + clock encoding.
+    fn input(prev_day_util: f32, w: usize, windows_per_day: usize) -> Tensor {
+        let phase = 2.0 * std::f32::consts::PI * w as f32 / windows_per_day as f32;
+        Tensor::vector(vec![prev_day_util, phase.sin(), phase.cos()])
+    }
+}
+
+impl BaselineEstimator for ResourceAwareDl {
+    fn name(&self) -> &'static str {
+        "resrc-aware-dl"
+    }
+
+    fn fit(&mut self, data: &LearnData<'_>) {
+        let windows_per_day = data.traffic.windows_per_day();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut store = ParamStore::new();
+        let mut models = BTreeMap::new();
+
+        // Register all models first, then train them jointly (they do not
+        // interact, but a single optimizer pass keeps the loop simple).
+        for (key, series) in data.metrics.iter() {
+            let scaler = MinMaxScaler::fit(series.values());
+            let norm: Vec<f32> = series
+                .values()
+                .iter()
+                .map(|&v| scaler.transform(v) as f32)
+                .collect();
+            let name = format!("{key}");
+            let gru = GruCell::new(&mut store, &name, 3, self.hidden_dim, &mut rng);
+            let head = Linear::new(&mut store, &format!("{name}.head"), self.hidden_dim, 1, &mut rng);
+            let last_day = norm[norm.len().saturating_sub(windows_per_day)..].to_vec();
+            models.insert(
+                key.clone(),
+                PerResource {
+                    gru,
+                    head,
+                    scaler,
+                    last_day,
+                },
+            );
+        }
+
+        // Training pairs: day d as input, day d+1 as target.
+        let total = data
+            .metrics
+            .window_count()
+            .expect("metrics present");
+        let days = total / windows_per_day;
+        let mut opt = Adam::new(self.lr);
+        let norm_series: BTreeMap<MetricKey, Vec<f32>> = data
+            .metrics
+            .iter()
+            .map(|(key, series)| {
+                let scaler = models[key].scaler;
+                (
+                    key.clone(),
+                    series
+                        .values()
+                        .iter()
+                        .map(|&v| scaler.transform(v) as f32)
+                        .collect(),
+                )
+            })
+            .collect();
+
+        for _epoch in 0..self.epochs {
+            for d in 0..days.saturating_sub(1) {
+                store.zero_grads();
+                let mut g = Graph::with_capacity(4096);
+                let mut losses = Vec::new();
+                for (key, model) in &models {
+                    let norm = &norm_series[key];
+                    let gru = model.gru.bind(&mut g, &store);
+                    let head = model.head.bind(&mut g, &store);
+                    let mut h = g.constant(Tensor::zeros(self.hidden_dim, 1));
+                    for w in 0..windows_per_day {
+                        let x = Self::input(norm[d * windows_per_day + w], w, windows_per_day);
+                        let xv = g.constant(x);
+                        h = gru.step(&mut g, xv, h);
+                        let y = head.forward(&mut g, h);
+                        let target = norm[(d + 1) * windows_per_day + w];
+                        losses.push(mse_loss(&mut g, y, Tensor::scalar(target)));
+                    }
+                }
+                let n = losses.len();
+                let total_loss = g.add_n(&losses);
+                let loss = g.scale(total_loss, 1.0 / n as f32);
+                g.backward(loss, &mut store);
+                store.clip_grad_norm(5.0);
+                opt.step(&mut store);
+            }
+        }
+
+        self.state = Some(Fitted {
+            windows_per_day,
+            store,
+            models,
+        });
+    }
+
+    fn estimate(&self, query: &QueryData<'_>) -> BTreeMap<MetricKey, TimeSeries> {
+        let fitted = self
+            .state
+            .as_ref()
+            .expect("ResourceAwareDl: estimate called before fit");
+        let windows = query.traffic.window_count();
+        let wpd = fitted.windows_per_day;
+
+        fitted
+            .models
+            .iter()
+            .map(|(key, model)| {
+                let mut out = Vec::with_capacity(windows);
+                let mut prev_day = model.last_day.clone();
+                let mut produced = 0;
+                while produced < windows {
+                    let mut g = Graph::with_capacity(2048);
+                    let gru = model.gru.bind(&mut g, &fitted.store);
+                    let head = model.head.bind(&mut g, &fitted.store);
+                    let mut h = g.constant(Tensor::zeros(self.hidden_dim, 1));
+                    let mut day_out = Vec::with_capacity(wpd);
+                    for w in 0..wpd {
+                        if produced + w >= windows + wpd {
+                            break;
+                        }
+                        let xv = g.constant(Self::input(prev_day[w % prev_day.len()], w, wpd));
+                        h = gru.step(&mut g, xv, h);
+                        let y = head.forward(&mut g, h);
+                        day_out.push(g.value(y).data()[0]);
+                    }
+                    for &v in day_out.iter().take(windows - produced) {
+                        out.push(model.scaler.inverse(f64::from(v)).max(0.0));
+                    }
+                    produced = out.len();
+                    prev_day = day_out;
+                }
+                (key.clone(), TimeSeries::from_values(out))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_metrics::{MetricsRegistry, ResourceKind};
+    use deeprest_trace::window::WindowedTraces;
+    use deeprest_trace::Interner;
+    use deeprest_workload::ApiTraffic;
+
+    /// A perfectly periodic utilization: the baseline should forecast it.
+    fn setup(days: usize, wpd: usize) -> (ApiTraffic, MetricsRegistry) {
+        let pattern: Vec<f64> = (0..wpd)
+            .map(|w| 10.0 + 8.0 * (2.0 * std::f64::consts::PI * w as f64 / wpd as f64).sin())
+            .collect();
+        let mut cpu = Vec::new();
+        for _ in 0..days {
+            cpu.extend(pattern.iter());
+        }
+        let traffic = ApiTraffic::new(vec!["/a".into()], wpd, vec![vec![1.0]; days * wpd]);
+        let mut metrics = MetricsRegistry::new();
+        metrics.insert(
+            MetricKey::new("C", ResourceKind::Cpu),
+            TimeSeries::from_values(cpu),
+        );
+        (traffic, metrics)
+    }
+
+    #[test]
+    fn forecasts_recurring_pattern() {
+        let (traffic, metrics) = setup(6, 16);
+        let traces = WindowedTraces::with_windows(1.0, 96);
+        let interner = Interner::new();
+        let mut b = ResourceAwareDl::new();
+        b.fit(&LearnData {
+            traffic: &traffic,
+            traces: &traces,
+            metrics: &metrics,
+            interner: &interner,
+        });
+        // Query: one more day of the same pattern.
+        let q = traffic.slice(0..16);
+        let est = b.estimate(&QueryData {
+            traffic: &q,
+            traces: None,
+            interner: None,
+        });
+        let pred = &est[&MetricKey::new("C", ResourceKind::Cpu)];
+        let actual = metrics
+            .get_parts("C", ResourceKind::Cpu)
+            .unwrap()
+            .slice(0..16);
+        let m = deeprest_metrics::eval::mape(&actual, pred);
+        assert!(m < 20.0, "periodic forecast MAPE {m:.1}%");
+    }
+
+    #[test]
+    fn ignores_query_traffic_by_design() {
+        let (traffic, metrics) = setup(6, 16);
+        let traces = WindowedTraces::with_windows(1.0, 96);
+        let interner = Interner::new();
+        let mut b = ResourceAwareDl::new();
+        b.fit(&LearnData {
+            traffic: &traffic,
+            traces: &traces,
+            metrics: &metrics,
+            interner: &interner,
+        });
+        let q1 = traffic.slice(0..16);
+        let q3 = q1.scale(3.0);
+        let e1 = b.estimate(&QueryData { traffic: &q1, traces: None, interner: None });
+        let e3 = b.estimate(&QueryData { traffic: &q3, traces: None, interner: None });
+        // Same forecast regardless of traffic volume — its defining flaw.
+        assert_eq!(
+            e1[&MetricKey::new("C", ResourceKind::Cpu)].values(),
+            e3[&MetricKey::new("C", ResourceKind::Cpu)].values()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn estimate_before_fit_panics() {
+        let (traffic, _) = setup(2, 4);
+        let b = ResourceAwareDl::new();
+        let _ = b.estimate(&QueryData {
+            traffic: &traffic,
+            traces: None,
+            interner: None,
+        });
+    }
+}

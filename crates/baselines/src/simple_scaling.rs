@@ -1,0 +1,164 @@
+//! The simple-scaling baseline.
+
+use std::collections::BTreeMap;
+
+use deeprest_metrics::{MetricKey, TimeSeries};
+
+use crate::{day_profile, BaselineEstimator, LearnData, QueryData};
+
+/// Scales every resource of every component by the same per-window factor:
+/// the total query request volume relative to the historical volume at the
+/// same time of day.
+///
+/// This is traffic-volume-aware (so it tracks bursts and shape changes) but
+/// completely flow-blind: a /readTimeline-dominated query scales write IOps
+/// just as hard as CPU, the failure mode Fig. 11 dissects.
+#[derive(Debug, Default)]
+pub struct SimpleScaling {
+    windows_per_day: usize,
+    traffic_profile: Vec<f64>,
+    utilization_profiles: BTreeMap<MetricKey, Vec<f64>>,
+}
+
+impl SimpleScaling {
+    /// Creates an unfitted instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BaselineEstimator for SimpleScaling {
+    fn name(&self) -> &'static str {
+        "simple-scaling"
+    }
+
+    fn fit(&mut self, data: &LearnData<'_>) {
+        self.windows_per_day = data.traffic.windows_per_day();
+        self.traffic_profile =
+            day_profile(data.traffic.total_series().values(), self.windows_per_day);
+        self.utilization_profiles = data
+            .metrics
+            .iter()
+            .map(|(key, series)| {
+                (key.clone(), day_profile(series.values(), self.windows_per_day))
+            })
+            .collect();
+    }
+
+    fn estimate(&self, query: &QueryData<'_>) -> BTreeMap<MetricKey, TimeSeries> {
+        assert!(
+            !self.traffic_profile.is_empty(),
+            "SimpleScaling: estimate called before fit"
+        );
+        // Floor the historical denominator to avoid night-window blow-ups.
+        let floor = 0.05
+            * (self.traffic_profile.iter().sum::<f64>() / self.traffic_profile.len() as f64)
+                .max(1e-9);
+        let ratios: Vec<f64> = (0..query.traffic.window_count())
+            .map(|t| {
+                let hist = self.traffic_profile[t % self.windows_per_day].max(floor);
+                query.traffic.total_at(t) / hist
+            })
+            .collect();
+
+        self.utilization_profiles
+            .iter()
+            .map(|(key, profile)| {
+                let series: TimeSeries = ratios
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &r)| profile[t % self.windows_per_day] * r)
+                    .collect();
+                (key.clone(), series)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_metrics::{MetricsRegistry, ResourceKind};
+    use deeprest_trace::window::WindowedTraces;
+    use deeprest_trace::Interner;
+    use deeprest_workload::ApiTraffic;
+
+    fn setup() -> (ApiTraffic, MetricsRegistry, WindowedTraces, Interner) {
+        // 1 day of 4 windows, 10 requests each; CPU tracks traffic 1:1.
+        let traffic = ApiTraffic::new(
+            vec!["/a".into()],
+            4,
+            vec![vec![10.0], vec![20.0], vec![10.0], vec![5.0]],
+        );
+        let mut metrics = MetricsRegistry::new();
+        metrics.insert(
+            MetricKey::new("C", ResourceKind::Cpu),
+            TimeSeries::from_values(vec![10.0, 20.0, 10.0, 5.0]),
+        );
+        metrics.insert(
+            MetricKey::new("C", ResourceKind::WriteIops),
+            TimeSeries::from_values(vec![1.0, 2.0, 1.0, 0.5]),
+        );
+        (traffic, metrics, WindowedTraces::with_windows(1.0, 4), Interner::new())
+    }
+
+    #[test]
+    fn doubling_traffic_doubles_everything() {
+        let (traffic, metrics, traces, interner) = setup();
+        let mut b = SimpleScaling::new();
+        b.fit(&LearnData {
+            traffic: &traffic,
+            traces: &traces,
+            metrics: &metrics,
+            interner: &interner,
+        });
+        let query = traffic.scale(2.0);
+        let est = b.estimate(&QueryData {
+            traffic: &query,
+            traces: None,
+            interner: None,
+        });
+        let cpu = &est[&MetricKey::new("C", ResourceKind::Cpu)];
+        assert_eq!(cpu.values(), &[20.0, 40.0, 20.0, 10.0]);
+        // The flow-blind failure: IOps also scale by 2 regardless of which
+        // API grew.
+        let iops = &est[&MetricKey::new("C", ResourceKind::WriteIops)];
+        assert_eq!(iops.values(), &[2.0, 4.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn shape_change_tracks_query_traffic() {
+        let (traffic, metrics, traces, interner) = setup();
+        let mut b = SimpleScaling::new();
+        b.fit(&LearnData {
+            traffic: &traffic,
+            traces: &traces,
+            metrics: &metrics,
+            interner: &interner,
+        });
+        // Flat query: 10 requests every window.
+        let query = ApiTraffic::new(vec!["/a".into()], 4, vec![vec![10.0]; 4]);
+        let est = b.estimate(&QueryData {
+            traffic: &query,
+            traces: None,
+            interner: None,
+        });
+        let cpu = &est[&MetricKey::new("C", ResourceKind::Cpu)];
+        // Profile × ratio = flat 10 everywhere.
+        for &v in cpu.values() {
+            assert!((v - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn estimate_before_fit_panics() {
+        let (traffic, ..) = setup();
+        let b = SimpleScaling::new();
+        let _ = b.estimate(&QueryData {
+            traffic: &traffic,
+            traces: None,
+            interner: None,
+        });
+    }
+}

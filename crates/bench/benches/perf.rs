@@ -1,0 +1,168 @@
+//! Criterion micro/macro benchmarks backing the paper's §6 scalability
+//! discussion: feature extraction, trace synthesis, expert training and
+//! inference cost, and the autodiff primitives underneath.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deeprest_core::{DeepRest, DeepRestConfig, FeatureSpace, TraceSynthesizer};
+use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
+use deeprest_nn::GruCell;
+use deeprest_tensor::{linalg, Graph, ParamStore, Tensor};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::{Interner, SpanNode, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a synthetic one-component dataset with `dim` invocation paths.
+fn synthetic(dim: usize, windows: usize) -> (Interner, WindowedTraces, MetricsRegistry) {
+    let mut interner = Interner::new();
+    let comp = interner.intern("Svc");
+    let api = interner.intern("/api");
+    let ops: Vec<_> = (0..dim).map(|i| interner.intern(&format!("op{i}"))).collect();
+    let mut traces = WindowedTraces::with_windows(1.0, windows);
+    let mut cpu = TimeSeries::zeros(0);
+    for t in 0..windows {
+        let mut load = 0.0;
+        for (i, &op) in ops.iter().enumerate() {
+            let count = (t + i) % 4;
+            for _ in 0..count {
+                traces.windows[t].push(Trace::new(api, SpanNode::leaf(comp, op)));
+            }
+            load += count as f64;
+        }
+        cpu.push(2.0 + 0.3 * load);
+    }
+    let mut metrics = MetricsRegistry::new();
+    metrics.insert(MetricKey::new("Svc", ResourceKind::Cpu), cpu);
+    (interner, traces, metrics)
+}
+
+fn quick_config() -> DeepRestConfig {
+    DeepRestConfig::default().with_hidden(32).with_epochs(2)
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction");
+    group.sample_size(20);
+    for dim in [16usize, 64, 256] {
+        let (_, traces, _) = synthetic(dim, 32);
+        let space = FeatureSpace::construct(&traces);
+        group.bench_with_input(BenchmarkId::new("window", dim), &dim, |b, _| {
+            b.iter(|| space.extract(traces.window(7)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_synthesis(c: &mut Criterion) {
+    let (interner, traces, _) = synthetic(32, 32);
+    let synth = TraceSynthesizer::learn(&traces);
+    let api = interner.get("/api").expect("interned");
+    let mut group = c.benchmark_group("trace_synthesis");
+    group.sample_size(20);
+    for n in [100u64, 1_000] {
+        group.bench_with_input(BenchmarkId::new("requests", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| synth.synthesize_api(api, n, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_expert_training_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expert_training");
+    group.sample_size(10);
+    let (interner, traces, metrics) = synthetic(64, 96);
+    group.bench_function("fit_2_epochs_dim64", |b| {
+        b.iter(|| DeepRest::fit(&traces, &metrics, &interner, quick_config()));
+    });
+    group.finish();
+}
+
+fn bench_expert_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expert_inference");
+    group.sample_size(20);
+    for dim in [64usize, 256] {
+        let (interner, traces, metrics) = synthetic(dim, 96);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &interner, quick_config());
+        group.bench_with_input(BenchmarkId::new("one_day", dim), &dim, |b, _| {
+            b.iter(|| model.estimate_from_traces(&traces, &interner));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gru_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_primitives");
+    group.sample_size(30);
+    for hidden in [32usize, 128] {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = GruCell::new(&mut store, "g", 64, hidden, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("gru_unroll_48", hidden),
+            &hidden,
+            |b, &hidden| {
+                b.iter(|| {
+                    let mut g = Graph::with_capacity(2048);
+                    let bound = cell.bind(&mut g, &store);
+                    let mut h = g.constant(Tensor::zeros(hidden, 1));
+                    for t in 0..48 {
+                        let x = g.constant(Tensor::full(64, 1, t as f32 / 48.0));
+                        h = bound.step(&mut g, x, h);
+                    }
+                    g.value(h).sum()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autodiff");
+    group.sample_size(20);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let cell = GruCell::new(&mut store, "g", 64, 64, &mut rng);
+    group.bench_function("gru48_forward_backward", |b| {
+        b.iter(|| {
+            let mut store = store.clone();
+            let mut g = Graph::with_capacity(4096);
+            let bound = cell.bind(&mut g, &store);
+            let mut h = g.constant(Tensor::zeros(64, 1));
+            for t in 0..48 {
+                let x = g.constant(Tensor::full(64, 1, t as f32 / 48.0));
+                h = bound.step(&mut g, x, h);
+            }
+            let sq = g.square(h);
+            let loss = g.sum_all(sq);
+            g.backward(loss, &mut store);
+            store.grad_norm()
+        });
+    });
+    group.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    group.sample_size(20);
+    let samples: Vec<Vec<f32>> = (0..76)
+        .map(|i| (0..12_000).map(|j| ((i * j) % 17) as f32 / 17.0).collect())
+        .collect();
+    group.bench_function("pca_76_experts_12k_params", |b| {
+        b.iter(|| linalg::pca(&samples, 2));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_extraction,
+    bench_trace_synthesis,
+    bench_expert_training_epoch,
+    bench_expert_inference,
+    bench_gru_step,
+    bench_backward,
+    bench_pca
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Minimal command-line argument parsing shared by all experiment binaries.
+
+/// Parsed experiment options.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Master seed; all other seeds derive from it.
+    pub seed: u64,
+    /// Concurrent users during application learning.
+    pub users: f64,
+    /// Learning days.
+    pub days: usize,
+    /// Scrape windows per day.
+    pub windows_per_day: usize,
+    /// GRU hidden units.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Train the full expert swarm (all resources) instead of the Fig. 8
+    /// focus set.
+    pub full: bool,
+    /// Use the paper's SGD optimizer instead of Adam.
+    pub paper_sgd: bool,
+    /// Output directory for JSON result dumps.
+    pub out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            seed: 17,
+            users: 120.0,
+            days: 7,
+            windows_per_day: 96,
+            hidden: 32,
+            epochs: 30,
+            full: false,
+            paper_sgd: false,
+            out: "target/experiments".to_owned(),
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args`, exiting with usage on malformed input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags or unparsable values.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--seed" => out.seed = value("--seed").parse().expect("--seed u64"),
+                "--users" => out.users = value("--users").parse().expect("--users f64"),
+                "--days" => out.days = value("--days").parse().expect("--days usize"),
+                "--windows-per-day" => {
+                    out.windows_per_day = value("--windows-per-day")
+                        .parse()
+                        .expect("--windows-per-day usize");
+                }
+                "--hidden" => out.hidden = value("--hidden").parse().expect("--hidden usize"),
+                "--epochs" => out.epochs = value("--epochs").parse().expect("--epochs usize"),
+                "--full" => out.full = true,
+                "--paper-sgd" => out.paper_sgd = true,
+                "--out" => out.out = value("--out"),
+                other => panic!("unknown flag {other}; see crate docs for usage"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let a = Args::parse_from(strs(&[]));
+        assert_eq!(a.seed, 17);
+        assert_eq!(a.windows_per_day, 96);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse_from(strs(&[
+            "--seed", "5", "--users", "300", "--full", "--hidden", "64", "--out", "/tmp/x",
+        ]));
+        assert_eq!(a.seed, 5);
+        assert_eq!(a.users, 300.0);
+        assert!(a.full);
+        assert_eq!(a.hidden, 64);
+        assert_eq!(a.out, "/tmp/x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        let _ = Args::parse_from(strs(&["--bogus"]));
+    }
+}

@@ -1,0 +1,6 @@
+//! Standalone runner; see `deeprest_bench::experiments::fig11_read_dominated`.
+
+fn main() {
+    let args = deeprest_bench::Args::parse();
+    deeprest_bench::experiments::fig11_read_dominated::run(&args);
+}

@@ -1,0 +1,6 @@
+//! Standalone runner; see `deeprest_bench::experiments::fig13_query_traffic`.
+
+fn main() {
+    let args = deeprest_bench::Args::parse();
+    deeprest_bench::experiments::fig13_query_traffic::run(&args);
+}

@@ -1,0 +1,6 @@
+//! Standalone runner; see `deeprest_bench::experiments::fig16_unseen_shape`.
+
+fn main() {
+    let args = deeprest_bench::Args::parse();
+    deeprest_bench::experiments::fig16_unseen_shape::run(&args);
+}

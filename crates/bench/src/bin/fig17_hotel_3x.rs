@@ -1,0 +1,6 @@
+//! Standalone runner; see `deeprest_bench::experiments::fig17_hotel_3x`.
+
+fn main() {
+    let args = deeprest_bench::Args::parse();
+    deeprest_bench::experiments::fig17_hotel_3x::run(&args);
+}

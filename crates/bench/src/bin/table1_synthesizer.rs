@@ -1,0 +1,6 @@
+//! Standalone runner; see `deeprest_bench::experiments::table1_synthesizer`.
+
+fn main() {
+    let args = deeprest_bench::Args::parse();
+    deeprest_bench::experiments::table1_synthesizer::run(&args);
+}

@@ -1,0 +1,88 @@
+//! Shared machinery for the sanity-check experiments (Figs. 19-20): a
+//! multi-day check period mixing benign-but-unusual days with an attack,
+//! plus a naive pattern-based detector for the false-alarm comparison.
+
+use deeprest_metrics::TimeSeries;
+use deeprest_workload::{ApiTraffic, TrafficShape};
+
+use crate::ExpCtx;
+
+/// Per-day workload character in the check period.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum DayKind {
+    /// Normal two-peak day.
+    Normal,
+    /// Constantly high traffic (e.g. a viral event) — benign but violates
+    /// the historical two-peak pattern.
+    FlatHigh,
+    /// One peak only — also benign, also pattern-violating.
+    SinglePeak,
+}
+
+/// Builds a check-period traffic by concatenating one-day workloads.
+pub(crate) fn build_check_traffic(ctx: &ExpCtx, days: &[DayKind], salt: u64) -> ApiTraffic {
+    let mut out: Option<ApiTraffic> = None;
+    for (d, kind) in days.iter().enumerate() {
+        let spec = ctx
+            .query_workload()
+            .with_seed(ctx.args.seed ^ salt ^ (d as u64 * 131));
+        let spec = match kind {
+            DayKind::Normal => spec,
+            DayKind::FlatHigh => spec
+                .with_shape(TrafficShape::Flat)
+                .with_users(ctx.args.users * 1.6),
+            DayKind::SinglePeak => spec.with_shape(TrafficShape::SinglePeak),
+        };
+        let day = spec.generate();
+        match &mut out {
+            None => out = Some(day),
+            Some(t) => t.extend(&day),
+        }
+    }
+    out.expect("at least one day")
+}
+
+/// A naive detector standing in for "manual inspection or resrc-aware DL"
+/// (§5.4): scores each day by how far its utilization deviates from the
+/// historically learned day profile and flags days whose deviation exceeds
+/// `factor` times the median day's. It cannot tell benign traffic changes
+/// from attacks — any pattern violation is suspicious.
+pub(crate) fn pattern_detector_flags(
+    actual: &TimeSeries,
+    learned_profile: &[f64],
+    windows_per_day: usize,
+    factor: f64,
+) -> Vec<usize> {
+    let days = actual.len() / windows_per_day;
+    let profile = TimeSeries::from_values(learned_profile.to_vec());
+    let scores: Vec<f64> = (0..days)
+        .map(|d| {
+            let day = actual.slice(d * windows_per_day..(d + 1) * windows_per_day);
+            deeprest_metrics::eval::mape(&day, &profile)
+        })
+        .collect();
+    let mut sorted = scores.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2];
+    scores
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s > factor * median.max(1e-9))
+        .map(|(d, _)| d)
+        .collect()
+}
+
+/// Days touched by the report's debounced anomalous events.
+pub(crate) fn flagged_days(
+    report: &deeprest_core::sanity::SanityReport,
+    windows_per_day: usize,
+) -> Vec<usize> {
+    let mut days: Vec<usize> = report
+        .events
+        .iter()
+        .flat_map(|e| (e.start_window / windows_per_day)..=((e.end_window - 1) / windows_per_day))
+        .collect();
+    days.sort_unstable();
+    days.dedup();
+    days
+}

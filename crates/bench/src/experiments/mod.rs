@@ -1,0 +1,101 @@
+//! One module per reproduced table/figure; each exposes `run(&Args)`.
+//!
+//! The `run_all` binary executes every experiment in paper order; the
+//! per-figure binaries are thin wrappers for running one in isolation.
+
+pub mod ablations;
+pub mod fig09_learning_traffic;
+pub mod fig10_compose_dominated;
+pub mod fig11_read_dominated;
+pub mod fig12_heatmap;
+pub mod fig13_query_traffic;
+pub mod fig14_unseen_scale;
+pub mod fig15_unseen_composition;
+pub mod fig16_unseen_shape;
+pub mod fig17_hotel_3x;
+pub mod fig18_shape_examples;
+pub mod fig19_ransomware;
+pub mod fig20_cryptojacking;
+pub mod fig21_expert_pca;
+pub mod fig22_masks;
+pub mod scalability;
+pub mod table1_synthesizer;
+pub mod transfer;
+
+mod checkdays;
+mod qualitative;
+mod sweeps;
+
+use deeprest_sim::AppSpec;
+
+/// Builds a query API mix: the named endpoints get the given absolute
+/// shares; every other endpoint splits the remaining mass proportionally to
+/// its default weight.
+///
+/// # Panics
+///
+/// Panics if the overrides exceed mass 1.0 or name unknown endpoints.
+pub fn mix_with(app: &AppSpec, overrides: &[(&str, f64)]) -> Vec<(String, f64)> {
+    let override_mass: f64 = overrides.iter().map(|(_, w)| w).sum();
+    assert!(
+        override_mass <= 1.0 + 1e-9,
+        "mix_with: overrides exceed total mass"
+    );
+    for (api, _) in overrides {
+        assert!(app.api(api).is_some(), "mix_with: unknown endpoint {api}");
+    }
+    let rest: Vec<(String, f64)> = app
+        .default_mix()
+        .into_iter()
+        .filter(|(api, _)| !overrides.iter().any(|(o, _)| o == api))
+        .collect();
+    let rest_mass: f64 = rest.iter().map(|(_, w)| w).sum();
+    let remaining = (1.0 - override_mass).max(0.0);
+
+    let mut mix: Vec<(String, f64)> = overrides
+        .iter()
+        .map(|(api, w)| ((*api).to_owned(), *w))
+        .collect();
+    for (api, w) in rest {
+        mix.push((api, w / rest_mass.max(1e-12) * remaining));
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_sim::apps;
+
+    #[test]
+    fn mix_with_preserves_total_mass() {
+        let app = apps::social_network();
+        let mix = mix_with(&app, &[("/composePost", 0.55)]);
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(mix[0], ("/composePost".to_owned(), 0.55));
+        assert_eq!(mix.len(), app.apis.len());
+    }
+
+    #[test]
+    fn mix_with_multiple_overrides() {
+        let app = apps::social_network();
+        let mix = mix_with(
+            &app,
+            &[("/composePost", 0.10), ("/readUserTimeline", 0.85), ("/uploadMedia", 0.05)],
+        );
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Everything else gets zero mass.
+        for (api, w) in &mix[3..] {
+            assert!(*w < 1e-9, "{api} got mass {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown endpoint")]
+    fn mix_with_rejects_unknown_api() {
+        let app = apps::social_network();
+        let _ = mix_with(&app, &[("/ghost", 0.5)]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared driver for the quantitative allocation sweeps (Figs. 14-16):
+//! several query settings, repeated with minor variations, worst-case CPU
+//! MAPE per estimator per component.
+
+use std::collections::BTreeMap;
+
+use deeprest_metrics::{MetricKey, ResourceKind};
+use deeprest_workload::ApiTraffic;
+
+use crate::{report, Args, ExpCtx};
+
+/// The four components of Figs. 14-16.
+pub(crate) const SWEEP_COMPONENTS: [&str; 4] = [
+    "FrontendNGINX",
+    "ComposePostService",
+    "UserTimelineService",
+    "PostStorageMongoDB",
+];
+
+/// Number of repetitions per setting (the paper repeats each query nine
+/// times with minor variations; three keeps CPU-only runs minutes-scale and
+/// already exercises the worst-case aggregation).
+pub(crate) const REPEATS: usize = 3;
+
+/// One sweep setting: a label and one query traffic per repeat.
+pub(crate) struct Setting {
+    pub label: String,
+    pub queries: Vec<ApiTraffic>,
+}
+
+/// Runs a sweep (possibly against a context trained on a non-default shape)
+/// and prints worst-case CPU MAPE tables.
+pub(crate) fn run_cpu_sweep(args: &Args, ctx: &ExpCtx, id: &str, title: &str, settings: &[Setting]) {
+    report::banner(id, title);
+    let mut json = Vec::new();
+
+    for setting in settings {
+        println!("\n  setting: {}", setting.label);
+        // worst[estimator][component] = max MAPE across repeats.
+        let mut worst: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+        for (rep, traffic) in setting.queries.iter().enumerate() {
+            let truth = ctx.ground_truth(traffic);
+            let initials = ctx.initials_from(&truth);
+            let estimates = ctx.estimators.estimate_traffic(
+                traffic,
+                &initials,
+                args.seed ^ (rep as u64 + 0x1400),
+            );
+            for comp in SWEEP_COMPONENTS {
+                let key = MetricKey::new(comp, ResourceKind::Cpu);
+                for (name, mape) in ctx.mape_table(&estimates, &truth, &key) {
+                    let slot = worst
+                        .entry(name)
+                        .or_default()
+                        .entry(comp.to_owned())
+                        .or_insert(0.0);
+                    *slot = slot.max(mape);
+                }
+            }
+        }
+        for comp in SWEEP_COMPONENTS {
+            let rows: Vec<(String, f64)> = worst
+                .iter()
+                .map(|(name, by_comp)| (name.clone(), by_comp[comp]))
+                .collect();
+            report::mape_rows(&format!("{comp} CPU, worst of {REPEATS} repeats"), &rows);
+        }
+        json.push(serde_json::json!({
+            "setting": setting.label,
+            "worst_case_cpu_mape": worst,
+        }));
+    }
+    report::dump_json(&args.out, id, title, &json);
+}

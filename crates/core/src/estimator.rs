@@ -1,0 +1,999 @@
+//! The API-aware deep resource estimator (§4.2-4.3).
+//!
+//! One DNN expert per `(component, resource)` pair. Each expert applies a
+//! learnable sigmoid mask over the invocation-path features (Eq. 1), runs a
+//! GRU over time (Eq. 2), attends over the *other* experts' hidden states
+//! with trainable scalar weights (Eq. 3), and emits `(expected, lower,
+//! upper)` through a fully connected head (Eq. 4). All experts train
+//! jointly with the quantile-regression objective of Eq. 6.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use deeprest_metrics::{MetricKey, MetricsRegistry, MinMaxScaler, TimeSeries};
+use deeprest_nn::loss::quantiles_for;
+use deeprest_nn::{Adam, GruCell, Linear, Sgd};
+use deeprest_tensor::{Graph, ParamId, ParamStore, Tensor, Var};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::Interner;
+use deeprest_workload::ApiTraffic;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DeepRestConfig, FeatureSpace, OptimizerKind, TraceSynthesizer};
+
+/// The identity of one expert: the `(component, resource)` it estimates.
+pub type ExpertKey = MetricKey;
+
+/// One DNN expert (parameter handles only; values live in the shared
+/// [`ParamStore`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Expert {
+    key: ExpertKey,
+    /// API-aware mask logits `m^{c,r}` (Eq. 1), shape `(feature_dim, 1)`.
+    mask: ParamId,
+    /// Recurrent core (Eq. 2).
+    gru: GruCell,
+    /// Cross-component attention weights `α^{c,r}` over all experts
+    /// (Eq. 3), shape `(expert_count, 1)`; the self entry is masked out.
+    alpha: ParamId,
+    /// Output head `V^{c,r}` mapping `(a_t || h_t)` to the three quantile
+    /// outputs (Eq. 4).
+    head: Linear,
+    /// Optional linear skip path from the masked features to the outputs
+    /// (see [`DeepRestConfig::linear_skip`]).
+    skip: Option<Linear>,
+    /// Snapshot of the application-independent GRU parameters at
+    /// initialization, enabling the Fig. 21 analysis on the *learned
+    /// update* `θ - θ₀` (raw parameters are dominated by the random
+    /// initialization on short CPU-scale training runs).
+    gru_init: Vec<f32>,
+    /// Target normalization fitted on learning data.
+    scaler: MinMaxScaler,
+    /// Cumulative resources (disk usage) are modeled as per-window deltas.
+    is_delta: bool,
+}
+
+/// Estimation for one resource: expected value plus the δ-confidence
+/// interval, per window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictedSeries {
+    /// Median (expected) utilization.
+    pub expected: TimeSeries,
+    /// Lower confidence limit.
+    pub lower: TimeSeries,
+    /// Upper confidence limit.
+    pub upper: TimeSeries,
+    /// When `true` the series are per-window *increments* of a cumulative
+    /// resource (disk usage); see [`PredictedSeries::integrated`].
+    pub is_delta: bool,
+}
+
+impl PredictedSeries {
+    /// For delta series: integrates increments from `initial`, producing the
+    /// cumulative series the raw metric reports. Identity for level series.
+    pub fn integrated(&self, initial: f64) -> PredictedSeries {
+        if !self.is_delta {
+            return self.clone();
+        }
+        let integrate = |s: &TimeSeries| {
+            let mut acc = initial;
+            s.values()
+                .iter()
+                .map(|&d| {
+                    acc += d.max(0.0);
+                    acc
+                })
+                .collect::<TimeSeries>()
+        };
+        PredictedSeries {
+            expected: integrate(&self.expected),
+            lower: integrate(&self.lower),
+            upper: integrate(&self.upper),
+            is_delta: false,
+        }
+    }
+}
+
+/// Predictions for all experts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Estimates {
+    map: BTreeMap<ExpertKey, PredictedSeries>,
+}
+
+impl Estimates {
+    /// Prediction for one resource.
+    pub fn get(&self, key: &ExpertKey) -> Option<&PredictedSeries> {
+        self.map.get(key)
+    }
+
+    /// Prediction by component name and resource.
+    pub fn get_parts(
+        &self,
+        component: &str,
+        resource: deeprest_metrics::ResourceKind,
+    ) -> Option<&PredictedSeries> {
+        self.map.get(&MetricKey::new(component, resource))
+    }
+
+    /// Iterates in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ExpertKey, &PredictedSeries)> {
+        self.map.iter()
+    }
+
+    /// Number of estimated resources.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// What `fit` reports about a training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch (should be non-increasing overall).
+    pub epoch_losses: Vec<f32>,
+    /// Number of experts trained.
+    pub expert_count: usize,
+    /// Feature-space dimensionality.
+    pub feature_dim: usize,
+    /// Number of learning windows.
+    pub windows: usize,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+}
+
+/// The trained DeepRest model: feature space, trace synthesizer and the
+/// expert swarm with its shared parameter store.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeepRest {
+    config: DeepRestConfig,
+    features: FeatureSpace,
+    synthesizer: TraceSynthesizer,
+    interner: Interner,
+    experts: Vec<Expert>,
+    store: ParamStore,
+}
+
+impl DeepRest {
+    /// Application learning: builds the feature space and trace synthesizer
+    /// from `traces`, creates one expert per metric series (or per
+    /// `config.scope` entry), and trains all experts jointly against
+    /// `metrics`.
+    ///
+    /// `interner` is the name table the traces were produced with; the model
+    /// keeps a copy so later queries can resolve API endpoint names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` and `metrics` disagree on window count, or the
+    /// scope references unknown metrics.
+    pub fn fit(
+        traces: &WindowedTraces,
+        metrics: &MetricsRegistry,
+        interner: &Interner,
+        config: DeepRestConfig,
+    ) -> (Self, TrainReport) {
+        Self::fit_inner(traces, metrics, interner, config, None)
+    }
+
+    /// Transfer learning (§6): like [`DeepRest::fit`], but initializes each
+    /// expert's *application-independent* GRU parameters (`U_*`, `b_*`) from
+    /// a `source` model trained on another application (or an earlier
+    /// version of this one), averaging the source experts that estimate the
+    /// same [`deeprest_metrics::ResourceKind`]. The paper observes that
+    /// experts for similar resources learn to remember/forget similarly
+    /// (Fig. 21) and proposes exactly this warm start to accelerate
+    /// convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` was trained with a different `hidden_dim`.
+    pub fn fit_transferred(
+        traces: &WindowedTraces,
+        metrics: &MetricsRegistry,
+        interner: &Interner,
+        config: DeepRestConfig,
+        source: &DeepRest,
+    ) -> (Self, TrainReport) {
+        assert_eq!(
+            source.config.hidden_dim, config.hidden_dim,
+            "fit_transferred: hidden_dim mismatch with the source model"
+        );
+        Self::fit_inner(traces, metrics, interner, config, Some(source))
+    }
+
+    fn fit_inner(
+        traces: &WindowedTraces,
+        metrics: &MetricsRegistry,
+        interner: &Interner,
+        config: DeepRestConfig,
+        source: Option<&DeepRest>,
+    ) -> (Self, TrainReport) {
+        let t_start = Instant::now();
+        let windows = traces.len();
+        assert_eq!(
+            Some(windows),
+            metrics.window_count(),
+            "fit: traces and metrics must cover the same windows"
+        );
+
+        let features = FeatureSpace::construct(traces);
+        let synthesizer = TraceSynthesizer::learn(traces);
+        let xs = features.extract_all_normalized(traces);
+
+        // Select expert keys.
+        let keys: Vec<ExpertKey> = match &config.scope {
+            Some(scope) => scope.clone(),
+            None => metrics.keys().cloned().collect(),
+        };
+        let expert_count = keys.len();
+        assert!(expert_count > 0, "fit: no experts to train");
+
+        // Build normalized targets (delta-encode cumulative resources).
+        let mut targets: Vec<Vec<f32>> = Vec::with_capacity(expert_count);
+        let mut scalers = Vec::with_capacity(expert_count);
+        let mut deltas = Vec::with_capacity(expert_count);
+        for key in &keys {
+            let series = metrics
+                .get(key)
+                .unwrap_or_else(|| panic!("fit: no metric series for {key}"));
+            let is_delta = key.resource.cumulative();
+            let raw: Vec<f64> = if is_delta {
+                delta_encode(series.values())
+            } else {
+                series.values().to_vec()
+            };
+            let scaler = MinMaxScaler::fit(&raw);
+            targets.push(raw.iter().map(|&v| scaler.transform(v) as f32).collect());
+            scalers.push(scaler);
+            deltas.push(is_delta);
+        }
+
+        // Register parameters.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let dim = features.dim();
+        let mut experts: Vec<Expert> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let name = format!("{key}");
+                let mask = store.add(
+                    format!("{name}.mask"),
+                    deeprest_nn::init::mask_logits(dim, &mut rng),
+                );
+                let gru = GruCell::new(&mut store, &name, dim, config.hidden_dim, &mut rng);
+                let alpha = store.add(
+                    format!("{name}.alpha"),
+                    Tensor::rand_uniform(expert_count, 1, 0.0, 0.02, &mut rng),
+                );
+                let head = Linear::new(
+                    &mut store,
+                    &format!("{name}.head"),
+                    2 * config.hidden_dim,
+                    3,
+                    &mut rng,
+                );
+                let skip = config
+                    .linear_skip
+                    .then(|| Linear::new(&mut store, &format!("{name}.skip"), dim, 3, &mut rng));
+                let gru_init = gru
+                    .application_independent_params()
+                    .iter()
+                    .flat_map(|&p| store.value(p).data().iter().copied())
+                    .collect();
+                Expert {
+                    key: key.clone(),
+                    mask,
+                    gru,
+                    alpha,
+                    head,
+                    skip,
+                    gru_init,
+                    scaler: scalers[i],
+                    is_delta: deltas[i],
+                }
+            })
+            .collect();
+
+        // Warm start: copy averaged application-independent GRU parameters
+        // from the source model's same-resource experts.
+        if let Some(source) = source {
+            for expert in &mut experts {
+                let donors: Vec<Vec<f32>> = source
+                    .experts
+                    .iter()
+                    .filter(|se| se.key.resource == expert.key.resource)
+                    .filter_map(|se| source.gru_independent_params(&se.key))
+                    .collect();
+                if donors.is_empty() {
+                    continue;
+                }
+                let len = donors[0].len();
+                let mut avg = vec![0.0f32; len];
+                for d in &donors {
+                    for (a, v) in avg.iter_mut().zip(d.iter()) {
+                        *a += v;
+                    }
+                }
+                for a in &mut avg {
+                    *a /= donors.len() as f32;
+                }
+                let mut offset = 0;
+                for id in expert.gru.application_independent_params() {
+                    let t = store.value_mut(id);
+                    let n = t.len();
+                    t.data_mut().copy_from_slice(&avg[offset..offset + n]);
+                    offset += n;
+                }
+                // Re-snapshot so the Fig. 21 analysis measures the update
+                // relative to the transferred starting point.
+                expert.gru_init = avg;
+            }
+        }
+
+        let mut model = Self {
+            config,
+            features,
+            synthesizer,
+            interner: interner.clone(),
+            experts,
+            store,
+        };
+        let epoch_losses = model.train(&xs, &targets);
+
+        let report = TrainReport {
+            epoch_losses,
+            expert_count,
+            feature_dim: dim,
+            windows,
+            train_seconds: t_start.elapsed().as_secs_f64(),
+        };
+        (model, report)
+    }
+
+    /// Joint training over all experts (quantile loss, Eq. 6).
+    fn train(&mut self, xs: &[Vec<f32>], targets: &[Vec<f32>]) -> Vec<f32> {
+        let t = xs.len();
+        let len = self.config.subseq_len.max(2);
+        let starts: Vec<usize> = (0..t).step_by(len).collect();
+        let quantiles = quantiles_for(self.config.delta);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
+
+        let mut sgd;
+        let mut adam;
+        enum Opt<'a> {
+            S(&'a mut Sgd),
+            A(&'a mut Adam),
+        }
+        let mut opt = match self.config.optimizer {
+            OptimizerKind::Sgd { lr, momentum } => {
+                sgd = Sgd::new(lr, momentum);
+                Opt::S(&mut sgd)
+            }
+            OptimizerKind::Adam { lr } => {
+                adam = Adam::new(lr);
+                Opt::A(&mut adam)
+            }
+        };
+
+        let xs_tensors: Vec<Tensor> = xs.iter().map(|x| Tensor::vector(x.clone())).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+
+        for _epoch in 0..self.config.epochs {
+            let mut order = starts.clone();
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_terms = 0usize;
+
+            for batch in order.chunks(self.config.batch_size.max(1)) {
+                self.store.zero_grads();
+                let mut batch_terms = 0usize;
+                let mut batch_loss_times_terms = 0.0f32;
+                let mut graphs_losses: Vec<(Graph, Var)> = Vec::new();
+
+                for &start in batch {
+                    let end = (start + len).min(t);
+                    let mut g = Graph::with_capacity((end - start) * self.experts.len() * 24);
+                    let fwd = self.forward(&mut g, &xs_tensors[start..end]);
+                    let mut terms: Vec<Var> = Vec::new();
+                    for (step, row) in fwd.outputs.iter().enumerate() {
+                        for (e, &y_var) in row.iter().enumerate() {
+                            let y = targets[e][start + step];
+                            let target = Tensor::vector(vec![y, y, y]);
+                            terms.push(g.pinball(y_var, target, &quantiles));
+                        }
+                    }
+                    let n_terms = terms.len();
+                    let total = g.add_n(&terms);
+                    let mut loss = g.scale(total, 1.0 / n_terms as f32);
+                    if self.config.mask_l1 > 0.0 && self.config.api_mask {
+                        // L1 pressure on σ(m): suppress irrelevant paths.
+                        let dim = self.features.dim().max(1);
+                        let sums: Vec<Var> = fwd
+                            .mask_sig
+                            .iter()
+                            .map(|&m| g.sum_all(m))
+                            .collect();
+                        let mask_total = g.add_n(&sums);
+                        let penalty = g.scale(
+                            mask_total,
+                            self.config.mask_l1 / (dim * self.experts.len()) as f32,
+                        );
+                        loss = g.add(loss, penalty);
+                    }
+                    batch_loss_times_terms += g.value(loss).data()[0] * n_terms as f32;
+                    batch_terms += n_terms;
+                    graphs_losses.push((g, loss));
+                }
+
+                // Backward every subsequence in the batch, then one step.
+                let scale = 1.0 / graphs_losses.len() as f32;
+                for (mut g, loss) in graphs_losses {
+                    let scaled = g.scale(loss, scale);
+                    g.backward(scaled, &mut self.store);
+                }
+                self.store.clip_grad_norm(self.config.grad_clip);
+                match &mut opt {
+                    Opt::S(o) => o.step(&mut self.store),
+                    Opt::A(o) => o.step(&mut self.store),
+                }
+
+                epoch_loss += batch_loss_times_terms;
+                epoch_terms += batch_terms;
+            }
+            epoch_losses.push(epoch_loss / epoch_terms.max(1) as f32);
+        }
+        epoch_losses
+    }
+
+    /// Unrolls all experts in lockstep over `xs`. `outputs[t][e]` is the
+    /// three-quantile output var of expert `e` at step `t`; `mask_sig[e]` is
+    /// the expert's sigmoid mask node (reused by the training regularizer).
+    fn forward(&self, g: &mut Graph, xs: &[Tensor]) -> Forward {
+        let e_count = self.experts.len();
+        let hidden = self.config.hidden_dim;
+
+        // Bind parameters once per graph.
+        let mask_sig: Vec<Var> = self
+            .experts
+            .iter()
+            .map(|ex| {
+                if self.config.api_mask {
+                    let m = g.param(&self.store, ex.mask);
+                    g.sigmoid(m)
+                } else {
+                    // Ablation: an all-ones mask (features pass unchanged).
+                    g.constant(Tensor::ones(self.features.dim(), 1))
+                }
+            })
+            .collect();
+        let gru_bound: Vec<_> = self
+            .experts
+            .iter()
+            .map(|ex| ex.gru.bind(g, &self.store))
+            .collect();
+        let alpha_masked: Vec<Var> = self
+            .experts
+            .iter()
+            .enumerate()
+            .map(|(i, ex)| {
+                let a = g.param(&self.store, ex.alpha);
+                // Zero out the self entry: Eq. 3 sums over (c',r') ≠ (c,r).
+                let mut self_mask = Tensor::ones(e_count, 1);
+                self_mask.set(i, 0, 0.0);
+                g.mul_const(a, self_mask)
+            })
+            .collect();
+        let head_bound: Vec<_> = self
+            .experts
+            .iter()
+            .map(|ex| ex.head.bind(g, &self.store))
+            .collect();
+        let skip_bound: Vec<Option<_>> = self
+            .experts
+            .iter()
+            .map(|ex| ex.skip.as_ref().map(|s| s.bind(g, &self.store)))
+            .collect();
+
+        let mut h: Vec<Var> = (0..e_count)
+            .map(|_| g.constant(Tensor::zeros(hidden, 1)))
+            .collect();
+        let mut outputs = Vec::with_capacity(xs.len());
+
+        let mut masked_x: Vec<Var> = Vec::with_capacity(e_count);
+        for x in xs {
+            let xv = g.constant(x.clone());
+            masked_x.clear();
+            for e in 0..e_count {
+                let masked = g.mul(mask_sig[e], xv);
+                h[e] = gru_bound[e].step(g, masked, h[e]);
+                masked_x.push(masked);
+            }
+            // Cross-component attention: a_e = H_t · (α_e ⊙ self_mask).
+            let hmat = g.concat_cols(&h);
+            let row: Vec<Var> = (0..e_count)
+                .map(|e| {
+                    let att = if self.config.attention {
+                        g.matmul(hmat, alpha_masked[e])
+                    } else {
+                        // Ablation: no cross-expert information flow.
+                        g.constant(Tensor::zeros(hidden, 1))
+                    };
+                    let cat = g.concat_rows(&[att, h[e]]);
+                    let y = head_bound[e].forward(g, cat);
+                    match &skip_bound[e] {
+                        Some(skip) => {
+                            let lin = skip.forward(g, masked_x[e]);
+                            g.add(y, lin)
+                        }
+                        None => y,
+                    }
+                })
+                .collect();
+            outputs.push(row);
+        }
+        Forward { outputs, mask_sig }
+    }
+
+    /// Mode 2 (§3, Fig. 4): estimates expected utilization for *real* traces
+    /// collected from the production environment (the sanity-check input).
+    ///
+    /// `interner` is the name table the query traces were produced with;
+    /// symbols are translated into the model's own symbol space first, so
+    /// traces from any producer (or any simulator run) are accepted. Names
+    /// never observed during application learning translate to unmatched
+    /// sentinels and simply contribute no features.
+    pub fn estimate_from_traces(
+        &self,
+        traces: &WindowedTraces,
+        interner: &Interner,
+    ) -> Estimates {
+        let translated = self.translate_traces(traces, interner);
+        let xs = self.features.extract_all_normalized(&translated);
+        self.predict(&xs)
+    }
+
+    /// Mode 1 (§3, Fig. 4): estimates the resources needed to serve
+    /// *hypothetical* API traffic. The traffic is first converted to
+    /// synthetic traces by the trace synthesizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traffic references an endpoint never observed during
+    /// application learning.
+    pub fn estimate_traffic(&self, traffic: &ApiTraffic, seed: u64) -> Estimates {
+        let synthetic = self.synthesizer.synthesize(traffic, &self.interner, seed);
+        // Synthetic traces are already in the model's symbol space.
+        let xs = self.features.extract_all_normalized(&synthetic);
+        self.predict(&xs)
+    }
+
+    /// Rewrites query traces into the model's symbol space.
+    fn translate_traces(&self, traces: &WindowedTraces, from: &Interner) -> WindowedTraces {
+        fn map_span(
+            span: &deeprest_trace::SpanNode,
+            to: &Interner,
+            from: &Interner,
+        ) -> deeprest_trace::SpanNode {
+            deeprest_trace::SpanNode {
+                component: to.translate(from, span.component),
+                operation: to.translate(from, span.operation),
+                children: span
+                    .children
+                    .iter()
+                    .map(|c| map_span(c, to, from))
+                    .collect(),
+            }
+        }
+        let mut out = WindowedTraces::with_windows(traces.window_secs, traces.len());
+        for (t, window) in traces.windows.iter().enumerate() {
+            out.windows[t] = window
+                .iter()
+                .map(|tr| deeprest_trace::Trace::new(
+                    self.interner.translate(from, tr.api),
+                    map_span(&tr.root, &self.interner, from),
+                ))
+                .collect();
+        }
+        out
+    }
+
+    /// Runs the forward pass (no gradients) over normalized features,
+    /// chunked into training-length subsequences with fresh hidden state —
+    /// the same regime the model was trained under.
+    fn predict(&self, xs: &[Vec<f32>]) -> Estimates {
+        let t = xs.len();
+        let len = self.config.subseq_len.max(2);
+        let xs_tensors: Vec<Tensor> = xs.iter().map(|x| Tensor::vector(x.clone())).collect();
+
+        let mut raw: Vec<Vec<[f32; 3]>> = vec![Vec::with_capacity(t); self.experts.len()];
+        let mut start = 0;
+        while start < t {
+            let end = (start + len).min(t);
+            let mut g = Graph::with_capacity((end - start) * self.experts.len() * 24);
+            let fwd = self.forward(&mut g, &xs_tensors[start..end]);
+            for row in &fwd.outputs {
+                for (e, &y_var) in row.iter().enumerate() {
+                    let v = g.value(y_var).data();
+                    raw[e].push([v[0], v[1], v[2]]);
+                }
+            }
+            start = end;
+        }
+
+        let mut map = BTreeMap::new();
+        for (e, expert) in self.experts.iter().enumerate() {
+            let mut expected = Vec::with_capacity(t);
+            let mut lower = Vec::with_capacity(t);
+            let mut upper = Vec::with_capacity(t);
+            for v in &raw[e] {
+                let exp = expert.scaler.inverse(f64::from(v[0])).max(0.0);
+                let lo = expert.scaler.inverse(f64::from(v[1])).max(0.0);
+                let up = expert.scaler.inverse(f64::from(v[2])).max(0.0);
+                // Guard against quantile crossing.
+                let lo2 = lo.min(exp).min(up);
+                let up2 = up.max(exp).max(lo);
+                expected.push(exp.clamp(lo2, up2));
+                lower.push(lo2);
+                upper.push(up2);
+            }
+            map.insert(
+                expert.key.clone(),
+                PredictedSeries {
+                    expected: TimeSeries::from_values(expected),
+                    lower: TimeSeries::from_values(lower),
+                    upper: TimeSeries::from_values(upper),
+                    is_delta: expert.is_delta,
+                },
+            );
+        }
+        Estimates { map }
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &DeepRestConfig {
+        &self.config
+    }
+
+    /// The feature space (Alg. 1 map).
+    pub fn feature_space(&self) -> &FeatureSpace {
+        &self.features
+    }
+
+    /// The trace synthesizer.
+    pub fn synthesizer(&self) -> &TraceSynthesizer {
+        &self.synthesizer
+    }
+
+    /// The name table used by the model's traces.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Keys of all experts, in training order.
+    pub fn expert_keys(&self) -> Vec<ExpertKey> {
+        self.experts.iter().map(|e| e.key.clone()).collect()
+    }
+
+    /// The learned API-aware mask of one expert, after the sigmoid
+    /// (values in `(0, 1)`; Eq. 1 / Fig. 22).
+    pub fn mask_weights(&self, key: &ExpertKey) -> Option<Vec<f32>> {
+        self.expert(key).map(|e| {
+            self.store
+                .value(e.mask)
+                .data()
+                .iter()
+                .map(|&m| 1.0 / (1.0 + (-m).exp()))
+                .collect()
+        })
+    }
+
+    /// The application-independent GRU parameters (`U_*`, `b_*`) of one
+    /// expert, flattened.
+    pub fn gru_independent_params(&self, key: &ExpertKey) -> Option<Vec<f32>> {
+        self.expert(key).map(|e| {
+            e.gru
+                .application_independent_params()
+                .iter()
+                .flat_map(|&p| self.store.value(p).data().iter().copied())
+                .collect()
+        })
+    }
+
+    /// The *learned update* of the application-independent GRU parameters
+    /// (`θ - θ₀`) — the vectors the Fig. 21 PCA projects. Subtracting the
+    /// random initialization isolates what training taught each expert;
+    /// experts that learned to remember/forget similarly end up close.
+    pub fn gru_learned_update(&self, key: &ExpertKey) -> Option<Vec<f32>> {
+        let expert = self.expert(key)?;
+        let current = self.gru_independent_params(key)?;
+        Some(
+            current
+                .iter()
+                .zip(expert.gru_init.iter())
+                .map(|(c, i)| c - i)
+                .collect(),
+        )
+    }
+
+    /// The learned attention weights of one expert over the others
+    /// (Eq. 3), as `(source expert, |α|)` pairs; the self entry is omitted.
+    pub fn attention_weights(&self, key: &ExpertKey) -> Option<Vec<(ExpertKey, f32)>> {
+        let idx = self.experts.iter().position(|e| &e.key == key)?;
+        let alpha = self.store.value(self.experts[idx].alpha);
+        Some(
+            self.experts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != idx)
+                .map(|(i, e)| (e.key.clone(), alpha.data()[i]))
+                .collect(),
+        )
+    }
+
+    /// Total trainable scalar parameters across all experts.
+    pub fn parameter_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+
+    /// Approximate in-memory model size in bytes (f32 parameters), the §6
+    /// "each DeepRest expert has a size of 801.5 kB" accounting.
+    pub fn model_size_bytes(&self) -> usize {
+        self.parameter_count() * std::mem::size_of::<f32>()
+    }
+
+    /// Serializes the model to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a model from [`DeepRest::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut model: DeepRest = serde_json::from_str(json)?;
+        model.features.rebuild_lookup();
+        Ok(model)
+    }
+
+    fn expert(&self, key: &ExpertKey) -> Option<&Expert> {
+        self.experts.iter().find(|e| &e.key == key)
+    }
+}
+
+/// The result of one unrolled forward pass.
+struct Forward {
+    /// `outputs[t][e]`: three-quantile output of expert `e` at step `t`.
+    outputs: Vec<Vec<Var>>,
+    /// Per-expert sigmoid mask nodes.
+    mask_sig: Vec<Var>,
+}
+
+fn delta_encode(values: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut prev = values.first().copied().unwrap_or(0.0);
+    for &v in values {
+        out.push((v - prev).max(0.0));
+        prev = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_metrics::ResourceKind;
+    use deeprest_trace::{SpanNode, Trace};
+
+    /// A miniature "application": one API whose per-window request count
+    /// directly drives one component's CPU. The expert must learn the linear
+    /// map count → cpu.
+    fn tiny_dataset(windows: usize) -> (Interner, WindowedTraces, MetricsRegistry) {
+        let mut i = Interner::new();
+        let f = i.intern("Frontend");
+        let read = i.intern("read");
+        let api = i.intern("/read");
+        let mut traces = WindowedTraces::with_windows(1.0, windows);
+        let mut cpu = TimeSeries::zeros(0);
+        let mut mem = TimeSeries::zeros(0);
+        for t in 0..windows {
+            // Deterministic "two peak" count pattern.
+            let count = 3 + ((t % 16) as i32 - 8).unsigned_abs() as usize;
+            for _ in 0..count {
+                traces.windows[t].push(Trace::new(api, SpanNode::leaf(f, read)));
+            }
+            cpu.push(2.0 + 1.5 * count as f64);
+            mem.push(64.0 + 0.5 * count as f64);
+        }
+        let mut metrics = MetricsRegistry::new();
+        metrics.insert(MetricKey::new("Frontend", ResourceKind::Cpu), cpu);
+        metrics.insert(MetricKey::new("Frontend", ResourceKind::Memory), mem);
+        (i, traces, metrics)
+    }
+
+    fn quick_config() -> DeepRestConfig {
+        DeepRestConfig {
+            hidden_dim: 12,
+            epochs: 60,
+            subseq_len: 16,
+            batch_size: 4,
+            ..DeepRestConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_learns_linear_count_to_cpu_map() {
+        let (i, traces, metrics) = tiny_dataset(128);
+        let (model, report) = DeepRest::fit(&traces, &metrics, &i, quick_config());
+        assert_eq!(report.expert_count, 2);
+        assert_eq!(report.feature_dim, 1);
+        // Loss decreases over training.
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first * 0.6, "loss {first} -> {last}");
+
+        // In-sample estimation is accurate.
+        let est = model.estimate_from_traces(&traces, &i);
+        let pred = est.get_parts("Frontend", ResourceKind::Cpu).unwrap();
+        let actual = metrics.get_parts("Frontend", ResourceKind::Cpu).unwrap();
+        let mape = deeprest_metrics::eval::mape(actual, &pred.expected);
+        assert!(mape < 15.0, "in-sample MAPE {mape:.1}%");
+    }
+
+    #[test]
+    fn interval_is_ordered_and_mostly_covers() {
+        let (i, traces, metrics) = tiny_dataset(128);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, quick_config());
+        let est = model.estimate_from_traces(&traces, &i);
+        let p = est.get_parts("Frontend", ResourceKind::Cpu).unwrap();
+        for t in 0..p.expected.len() {
+            assert!(p.lower.get(t) <= p.expected.get(t) + 1e-6);
+            assert!(p.expected.get(t) <= p.upper.get(t) + 1e-6);
+        }
+        let actual = metrics.get_parts("Frontend", ResourceKind::Cpu).unwrap();
+        let cov = deeprest_metrics::eval::interval_coverage(actual, &p.lower, &p.upper);
+        assert!(cov > 0.5, "coverage {cov}");
+    }
+
+    #[test]
+    fn generalizes_to_double_traffic() {
+        let (i, traces, metrics) = tiny_dataset(128);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, quick_config());
+
+        // Build a query with twice the request counts.
+        let mut query = WindowedTraces::with_windows(1.0, 32);
+        let mut expected_cpu = Vec::new();
+        for t in 0..32 {
+            let mut w = traces.window(t).to_vec();
+            w.extend(traces.window(t).to_vec());
+            let count = w.len();
+            query.windows[t] = w;
+            expected_cpu.push(2.0 + 1.5 * count as f64);
+        }
+        let est = model.estimate_from_traces(&query, &i);
+        let pred = est.get_parts("Frontend", ResourceKind::Cpu).unwrap();
+        let actual = TimeSeries::from_values(expected_cpu);
+        let mape = deeprest_metrics::eval::mape(&actual, &pred.expected);
+        assert!(mape < 30.0, "2x extrapolation MAPE {mape:.1}%");
+    }
+
+    #[test]
+    fn estimate_traffic_uses_synthesizer() {
+        let (i, traces, metrics) = tiny_dataset(64);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, quick_config().with_epochs(5));
+        let traffic = ApiTraffic::new(vec!["/read".into()], 8, vec![vec![5.0]; 16]);
+        let est = model.estimate_traffic(&traffic, 3);
+        let pred = est.get_parts("Frontend", ResourceKind::Cpu).unwrap();
+        assert_eq!(pred.expected.len(), 16);
+        assert!(pred.expected.mean() > 0.0);
+    }
+
+    #[test]
+    fn scope_restricts_experts() {
+        let (i, traces, metrics) = tiny_dataset(64);
+        let cfg = quick_config()
+            .with_epochs(2)
+            .with_scope(vec![MetricKey::new("Frontend", ResourceKind::Cpu)]);
+        let (model, report) = DeepRest::fit(&traces, &metrics, &i, cfg);
+        assert_eq!(report.expert_count, 1);
+        let est = model.estimate_from_traces(&traces, &i);
+        assert_eq!(est.len(), 1);
+        assert!(est.get_parts("Frontend", ResourceKind::Memory).is_none());
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (i, traces, metrics) = tiny_dataset(64);
+        let cfg = quick_config().with_epochs(3);
+        let (m1, r1) = DeepRest::fit(&traces, &metrics, &i, cfg.clone());
+        let (m2, r2) = DeepRest::fit(&traces, &metrics, &i, cfg);
+        assert_eq!(r1.epoch_losses, r2.epoch_losses);
+        let e1 = m1.estimate_from_traces(&traces, &i);
+        let e2 = m2.estimate_from_traces(&traces, &i);
+        let k = MetricKey::new("Frontend", ResourceKind::Cpu);
+        assert_eq!(
+            e1.get(&k).unwrap().expected.values(),
+            e2.get(&k).unwrap().expected.values()
+        );
+    }
+
+    #[test]
+    fn model_survives_json_round_trip() {
+        let (i, traces, metrics) = tiny_dataset(64);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, quick_config().with_epochs(3));
+        let json = model.to_json().unwrap();
+        let back = DeepRest::from_json(&json).unwrap();
+        let e1 = model.estimate_from_traces(&traces, &i);
+        let e2 = back.estimate_from_traces(&traces, &i);
+        let k = MetricKey::new("Frontend", ResourceKind::Cpu);
+        assert_eq!(
+            e1.get(&k).unwrap().expected.values(),
+            e2.get(&k).unwrap().expected.values()
+        );
+        assert!(back.parameter_count() > 0);
+    }
+
+    #[test]
+    fn mask_and_attention_accessors_work() {
+        let (i, traces, metrics) = tiny_dataset(64);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, quick_config().with_epochs(2));
+        let k = MetricKey::new("Frontend", ResourceKind::Cpu);
+        let mask = model.mask_weights(&k).unwrap();
+        assert_eq!(mask.len(), model.feature_space().dim());
+        assert!(mask.iter().all(|&w| (0.0..=1.0).contains(&w)));
+
+        let att = model.attention_weights(&k).unwrap();
+        assert_eq!(att.len(), 1); // The other expert.
+        assert_eq!(att[0].0, MetricKey::new("Frontend", ResourceKind::Memory));
+
+        let gru = model.gru_independent_params(&k).unwrap();
+        assert_eq!(gru.len(), 3 * 12 * 12 + 3 * 12);
+
+        assert!(model.mask_weights(&MetricKey::new("Ghost", ResourceKind::Cpu)).is_none());
+    }
+
+    #[test]
+    fn delta_encoding_for_cumulative_resources() {
+        let (i, traces, mut metrics) = tiny_dataset(64);
+        // Add a stateful-style cumulative disk series driven by counts.
+        let mut disk = TimeSeries::zeros(0);
+        let mut acc = 100.0;
+        for t in 0..64 {
+            acc += traces.window(t).len() as f64 * 0.1;
+            disk.push(acc);
+        }
+        metrics.insert(MetricKey::new("Frontend", ResourceKind::DiskUsage), disk.clone());
+        let cfg = quick_config()
+            .with_epochs(40)
+            .with_scope(vec![MetricKey::new("Frontend", ResourceKind::DiskUsage)]);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, cfg);
+        let est = model.estimate_from_traces(&traces, &i);
+        let p = est.get_parts("Frontend", ResourceKind::DiskUsage).unwrap();
+        assert!(p.is_delta);
+        let integrated = p.integrated(100.0);
+        assert!(!integrated.is_delta);
+        // Integrated estimate tracks the actual cumulative curve.
+        let mape = deeprest_metrics::eval::mape(&disk, &integrated.expected);
+        assert!(mape < 10.0, "disk MAPE {mape:.1}%");
+        // Monotone by construction.
+        assert!(integrated
+            .expected
+            .values()
+            .windows(2)
+            .all(|w| w[1] >= w[0]));
+    }
+}

@@ -1,0 +1,293 @@
+//! The distributed-tracing feature extractor (§4.1, Algorithms 1 and 2).
+//!
+//! Every invocation path from a trace root to any span is a feature; the
+//! feature value at window `t` is how many times that path occurred in the
+//! window's traces. The DNN experts then discover which paths matter for
+//! each resource — e.g. `Root → MediaNGINX:uploadMedia → MediaMongoDB:store`
+//! drives MediaMongoDB disk usage while `… → MediaMongoDB:find` does not.
+
+use std::collections::{BTreeMap, HashMap};
+
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::{Interner, SpanNode, Sym, Trace};
+use serde::{Deserialize, Serialize};
+
+/// The path-to-feature map `M` of Algorithm 1, plus per-path API attribution
+/// used by the interpretation module.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeatureSpace {
+    /// Feature index → path (each element is a packed `(component,
+    /// operation)` id; index 0 is the trace root).
+    paths: Vec<Vec<u64>>,
+    /// Feature index → how often each API produced this path during
+    /// learning.
+    api_counts: Vec<BTreeMap<Sym, u64>>,
+    /// Per-feature normalization divisor (max count seen during learning).
+    scale: Vec<f32>,
+    #[serde(skip)]
+    lookup: HashMap<Vec<u64>, usize>,
+}
+
+impl FeatureSpace {
+    /// Algorithm 1: constructs the feature space from the application-
+    /// learning traces, one feature per distinct root-prefix invocation
+    /// path. Also fits the per-feature normalization scale used by
+    /// [`FeatureSpace::extract_normalized`].
+    pub fn construct(traces: &WindowedTraces) -> Self {
+        let mut space = Self {
+            paths: Vec::new(),
+            api_counts: Vec::new(),
+            scale: Vec::new(),
+            lookup: HashMap::new(),
+        };
+        for trace in traces.iter_all() {
+            let mut prefix = Vec::new();
+            space.traverse_construct(&trace.root, &mut prefix, trace.api);
+        }
+        // Fit normalization: max per-window count per feature.
+        let mut scale = vec![0.0f32; space.dim()];
+        for window in 0..traces.len() {
+            let x = space.extract(traces.window(window));
+            for (s, v) in scale.iter_mut().zip(x.iter()) {
+                *s = s.max(*v);
+            }
+        }
+        space.scale = scale.into_iter().map(|s| s.max(1.0)).collect();
+        space
+    }
+
+    fn traverse_construct(&mut self, node: &SpanNode, prefix: &mut Vec<u64>, api: Sym) {
+        prefix.push(node.packed_id());
+        let idx = match self.lookup.get(prefix.as_slice()) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.paths.len();
+                self.lookup.insert(prefix.clone(), idx);
+                self.paths.push(prefix.clone());
+                self.api_counts.push(BTreeMap::new());
+                idx
+            }
+        };
+        *self.api_counts[idx].entry(api).or_insert(0) += 1;
+        for child in &node.children {
+            self.traverse_construct(child, prefix, api);
+        }
+        prefix.pop();
+    }
+
+    /// Feature-space dimensionality (the number of entries in `M`).
+    pub fn dim(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Algorithm 2: turns one window of traces into the raw count vector
+    /// `x_t`. Paths never seen during learning are ignored — the feature
+    /// space is fixed after application learning.
+    pub fn extract(&self, window: &[Trace]) -> Vec<f32> {
+        let mut x = vec![0.0f32; self.dim()];
+        for trace in window {
+            let mut prefix = Vec::new();
+            self.traverse_extract(&trace.root, &mut prefix, &mut x);
+        }
+        x
+    }
+
+    fn traverse_extract(&self, node: &SpanNode, prefix: &mut Vec<u64>, x: &mut [f32]) {
+        prefix.push(node.packed_id());
+        if let Some(&idx) = self.lookup.get(prefix.as_slice()) {
+            x[idx] += 1.0;
+        }
+        for child in &node.children {
+            self.traverse_extract(child, prefix, x);
+        }
+        prefix.pop();
+    }
+
+    /// Extracts and normalizes one window: counts divided by the per-feature
+    /// learning-time maximum (queries with more users than ever produce
+    /// values above 1, which the experts extrapolate over).
+    pub fn extract_normalized(&self, window: &[Trace]) -> Vec<f32> {
+        let mut x = self.extract(window);
+        for (v, s) in x.iter_mut().zip(self.scale.iter()) {
+            *v /= s;
+        }
+        x
+    }
+
+    /// Extracts the whole windowed series as raw count vectors.
+    pub fn extract_all(&self, traces: &WindowedTraces) -> Vec<Vec<f32>> {
+        (0..traces.len()).map(|w| self.extract(traces.window(w))).collect()
+    }
+
+    /// Extracts the whole windowed series as normalized vectors.
+    pub fn extract_all_normalized(&self, traces: &WindowedTraces) -> Vec<Vec<f32>> {
+        (0..traces.len())
+            .map(|w| self.extract_normalized(traces.window(w)))
+            .collect()
+    }
+
+    /// The invocation path behind feature `idx` (packed ids root-first).
+    pub fn path(&self, idx: usize) -> &[u64] {
+        &self.paths[idx]
+    }
+
+    /// The APIs that produced feature `idx` during learning, with counts.
+    pub fn apis_for(&self, idx: usize) -> &BTreeMap<Sym, u64> {
+        &self.api_counts[idx]
+    }
+
+    /// Whether the component appears anywhere in path `idx`.
+    pub fn path_touches_component(&self, idx: usize, component: Sym) -> bool {
+        self.paths[idx]
+            .iter()
+            .any(|&packed| Sym::unpack(packed).0 == component)
+    }
+
+    /// Human-readable rendering of feature `idx` for reports.
+    pub fn describe(&self, idx: usize, interner: &Interner) -> String {
+        let mut parts = vec!["Root".to_owned()];
+        for &packed in &self.paths[idx] {
+            let (c, o) = Sym::unpack(packed);
+            parts.push(format!("{}:{}", interner.resolve(c), interner.resolve(o)));
+        }
+        parts.join(" -> ")
+    }
+
+    /// Rebuilds the internal lookup map (needed after deserialization, where
+    /// the map is skipped because JSON cannot key maps by `Vec<u64>`).
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_trace::SpanNode;
+
+    /// Two APIs sharing the MediaMongoDB component with different paths,
+    /// mirroring the paper's §4.1 disk-usage example.
+    fn media_traces() -> (Interner, WindowedTraces) {
+        let mut i = Interner::new();
+        let nginx = i.intern("MediaNGINX");
+        let mongo = i.intern("MediaMongoDB");
+        let upload = i.intern("uploadMedia");
+        let get = i.intern("getMedia");
+        let store = i.intern("store");
+        let find = i.intern("find");
+        let api_up = i.intern("/uploadMedia");
+        let api_get = i.intern("/getMedia");
+
+        let upload_trace = Trace::new(
+            api_up,
+            SpanNode::with_children(nginx, upload, vec![SpanNode::leaf(mongo, store)]),
+        );
+        let get_trace = Trace::new(
+            api_get,
+            SpanNode::with_children(nginx, get, vec![SpanNode::leaf(mongo, find)]),
+        );
+
+        let mut w = WindowedTraces::with_windows(5.0, 3);
+        w.windows[0] = vec![upload_trace.clone(), get_trace.clone()];
+        w.windows[1] = vec![upload_trace.clone(), upload_trace.clone(), get_trace.clone()];
+        w.windows[2] = vec![get_trace];
+        (i, w)
+    }
+
+    #[test]
+    fn construct_enumerates_root_prefix_paths() {
+        let (_, traces) = media_traces();
+        let space = FeatureSpace::construct(&traces);
+        // Paths: [upload], [upload, store], [get], [get, find] = 4 features.
+        assert_eq!(space.dim(), 4);
+    }
+
+    #[test]
+    fn extract_counts_path_occurrences() {
+        let (_, traces) = media_traces();
+        let space = FeatureSpace::construct(&traces);
+        let x0 = space.extract(traces.window(0));
+        let x1 = space.extract(traces.window(1));
+        let x2 = space.extract(traces.window(2));
+        assert_eq!(x0.iter().sum::<f32>(), 4.0); // 2 traces x 2 spans.
+        assert_eq!(x1.iter().sum::<f32>(), 6.0);
+        assert_eq!(x2.iter().sum::<f32>(), 2.0);
+        // The store path occurs twice in window 1.
+        assert!(x1.contains(&2.0));
+    }
+
+    #[test]
+    fn unseen_paths_are_ignored_at_query_time() {
+        let (mut i, traces) = media_traces();
+        let space = FeatureSpace::construct(&traces);
+        // A brand-new path through an unseen component.
+        let ghost = i.intern("GhostService");
+        let op = i.intern("spook");
+        let unseen = Trace::new(
+            i.intern("/ghost"),
+            SpanNode::leaf(ghost, op),
+        );
+        let x = space.extract(&[unseen]);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn api_attribution_links_paths_to_their_apis() {
+        let (i, traces) = media_traces();
+        let space = FeatureSpace::construct(&traces);
+        let api_up = i.get("/uploadMedia").unwrap();
+        let api_get = i.get("/getMedia").unwrap();
+        // Find the store path (depth 2, attributed to /uploadMedia only).
+        let mongo = i.get("MediaMongoDB").unwrap();
+        let store_paths: Vec<usize> = (0..space.dim())
+            .filter(|&idx| space.path(idx).len() == 2 && space.path_touches_component(idx, mongo))
+            .collect();
+        assert_eq!(store_paths.len(), 2);
+        for idx in store_paths {
+            let apis = space.apis_for(idx);
+            assert_eq!(apis.len(), 1);
+            assert!(apis.contains_key(&api_up) || apis.contains_key(&api_get));
+        }
+    }
+
+    #[test]
+    fn normalization_divides_by_learning_max() {
+        let (_, traces) = media_traces();
+        let space = FeatureSpace::construct(&traces);
+        let x1 = space.extract_normalized(traces.window(1));
+        // Max normalized value in the max window is 1.0.
+        assert!((x1.iter().cloned().fold(0.0f32, f32::max) - 1.0).abs() < 1e-6);
+        // A window with double the learning max extrapolates above 1.
+        let mut big = traces.window(1).to_vec();
+        big.extend(traces.window(1).to_vec());
+        let xb = space.extract_normalized(&big);
+        assert!(xb.iter().cloned().fold(0.0f32, f32::max) > 1.5);
+    }
+
+    #[test]
+    fn describe_renders_path() {
+        let (i, traces) = media_traces();
+        let space = FeatureSpace::construct(&traces);
+        let all: Vec<String> = (0..space.dim()).map(|idx| space.describe(idx, &i)).collect();
+        assert!(all
+            .iter()
+            .any(|d| d == "Root -> MediaNGINX:uploadMedia -> MediaMongoDB:store"));
+    }
+
+    #[test]
+    fn lookup_survives_serde_round_trip() {
+        let (_, traces) = media_traces();
+        let space = FeatureSpace::construct(&traces);
+        let json = serde_json::to_string(&space).unwrap();
+        let mut back: FeatureSpace = serde_json::from_str(&json).unwrap();
+        back.rebuild_lookup();
+        let x_orig = space.extract(traces.window(1));
+        let x_back = back.extract(traces.window(1));
+        assert_eq!(x_orig, x_back);
+    }
+}

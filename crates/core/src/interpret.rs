@@ -1,0 +1,218 @@
+//! Model interpretation (§6, Figs. 21-22).
+//!
+//! The learned API-aware masks reveal which APIs drive each resource — a
+//! byproduct the paper contrasts with static program analysis, which would
+//! require access to every component's source code. PCA over the GRU's
+//! application-independent parameters reveals families of similar experts
+//! (MongoDB stores cluster in Fig. 21), motivating transfer learning.
+
+use deeprest_tensor::linalg;
+use serde::{Deserialize, Serialize};
+
+use crate::{DeepRest, ExpertKey};
+
+/// Mask-derived influence of each API endpoint on one resource (Fig. 22).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApiAttribution {
+    /// The resource whose mask was interpreted.
+    pub key: ExpertKey,
+    /// `(endpoint, weight)` pairs, normalized so the strongest API is 1.0;
+    /// sorted by descending weight.
+    pub weights: Vec<(String, f64)>,
+}
+
+impl ApiAttribution {
+    /// The most influential endpoint.
+    pub fn top(&self) -> Option<&str> {
+        self.weights.first().map(|(api, _)| api.as_str())
+    }
+
+    /// Endpoints with normalized weight at least `threshold`.
+    pub fn influential(&self, threshold: f64) -> Vec<&str> {
+        self.weights
+            .iter()
+            .filter(|(_, w)| *w >= threshold)
+            .map(|(api, _)| api.as_str())
+            .collect()
+    }
+}
+
+/// Computes the Fig. 22 API attribution for one expert: each invocation-path
+/// feature's learned mask weight is credited to the APIs that produced the
+/// path during learning, proportionally to their observed counts.
+///
+/// Returns `None` for an unknown expert.
+pub fn api_attribution(model: &DeepRest, key: &ExpertKey) -> Option<ApiAttribution> {
+    let mask = model.mask_weights(key)?;
+    let space = model.feature_space();
+    let interner = model.interner();
+
+    let mut per_api: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for (idx, &w) in mask.iter().enumerate() {
+        let apis = space.apis_for(idx);
+        let total: u64 = apis.values().sum();
+        if total == 0 {
+            continue;
+        }
+        for (&api, &count) in apis {
+            let share = count as f64 / total as f64;
+            *per_api.entry(interner.resolve(api).to_owned()).or_insert(0.0) +=
+                f64::from(w) * share;
+        }
+    }
+
+    let max = per_api.values().copied().fold(f64::MIN, f64::max);
+    if !max.is_finite() || max <= 0.0 {
+        return Some(ApiAttribution {
+            key: key.clone(),
+            weights: Vec::new(),
+        });
+    }
+    let mut weights: Vec<(String, f64)> = per_api
+        .into_iter()
+        .map(|(api, w)| (api, w / max))
+        .collect();
+    weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Some(ApiAttribution {
+        key: key.clone(),
+        weights,
+    })
+}
+
+/// The masked influence of each invocation path on one resource, rendered
+/// for humans, sorted by descending weight.
+pub fn top_paths(model: &DeepRest, key: &ExpertKey, n: usize) -> Option<Vec<(String, f32)>> {
+    let mask = model.mask_weights(key)?;
+    let mut idx: Vec<usize> = (0..mask.len()).collect();
+    idx.sort_by(|&a, &b| mask[b].partial_cmp(&mask[a]).unwrap_or(std::cmp::Ordering::Equal));
+    Some(
+        idx.into_iter()
+            .take(n)
+            .map(|i| {
+                (
+                    model.feature_space().describe(i, model.interner()),
+                    mask[i],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// One expert's coordinates in the PCA projection (Fig. 21).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExpertProjection {
+    /// Expert identity.
+    pub key: ExpertKey,
+    /// Coordinates in the principal subspace.
+    pub coords: Vec<f32>,
+}
+
+/// The Fig. 21 analysis: PCA over every expert's application-independent
+/// GRU parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExpertPca {
+    /// Per-expert projections.
+    pub projections: Vec<ExpertProjection>,
+    /// Variance explained per retained component.
+    pub explained_variance_ratio: Vec<f32>,
+}
+
+impl ExpertPca {
+    /// Mean pairwise distance between the projections of experts selected by
+    /// `filter`, a clustering measure used by the Fig. 21 reproduction.
+    pub fn mean_pairwise_distance(&self, filter: impl Fn(&ExpertKey) -> bool) -> f64 {
+        let pts: Vec<&[f32]> = self
+            .projections
+            .iter()
+            .filter(|p| filter(&p.key))
+            .map(|p| p.coords.as_slice())
+            .collect();
+        if pts.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let d: f64 = pts[i]
+                    .iter()
+                    .zip(pts[j].iter())
+                    .map(|(a, b)| f64::from(a - b) * f64::from(a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                total += d;
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+}
+
+/// Projects every expert's learned GRU update (`θ - θ₀` of the
+/// application-independent parameters) onto the top `k` principal
+/// components. Projecting the update rather than the raw parameters
+/// removes the per-expert random-initialization offset, which would
+/// otherwise dominate on short training runs.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the number of experts.
+pub fn expert_pca(model: &DeepRest, k: usize) -> ExpertPca {
+    let keys = model.expert_keys();
+    let samples: Vec<Vec<f32>> = keys
+        .iter()
+        .map(|key| {
+            model
+                .gru_learned_update(key)
+                .expect("expert keys are valid")
+        })
+        .collect();
+    let result = linalg::pca(&samples, k);
+    ExpertPca {
+        projections: keys
+            .into_iter()
+            .zip(result.projected)
+            .map(|(key, coords)| ExpertProjection { key, coords })
+            .collect(),
+        explained_variance_ratio: result.explained_variance_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_helpers() {
+        let att = ApiAttribution {
+            key: ExpertKey::new("X", deeprest_metrics::ResourceKind::Cpu),
+            weights: vec![
+                ("/composePost".into(), 1.0),
+                ("/readTimeline".into(), 0.8),
+                ("/uploadMedia".into(), 0.1),
+            ],
+        };
+        assert_eq!(att.top(), Some("/composePost"));
+        assert_eq!(att.influential(0.5), vec!["/composePost", "/readTimeline"]);
+    }
+
+    #[test]
+    fn pairwise_distance_of_identical_points_is_zero() {
+        let pca = ExpertPca {
+            projections: vec![
+                ExpertProjection {
+                    key: ExpertKey::new("A", deeprest_metrics::ResourceKind::Cpu),
+                    coords: vec![1.0, 2.0],
+                },
+                ExpertProjection {
+                    key: ExpertKey::new("B", deeprest_metrics::ResourceKind::Cpu),
+                    coords: vec![1.0, 2.0],
+                },
+            ],
+            explained_variance_ratio: vec![1.0],
+        };
+        assert_eq!(pca.mean_pairwise_distance(|_| true), 0.0);
+        // Single-point filter degenerates to zero.
+        assert_eq!(pca.mean_pairwise_distance(|k| k.component == "A"), 0.0);
+    }
+}

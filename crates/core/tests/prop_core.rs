@@ -1,0 +1,147 @@
+//! Property-based tests for the DeepRest core pipeline pieces that do not
+//! require training: feature extraction (Alg. 1-2) and the trace
+//! synthesizer.
+
+use deeprest_core::{FeatureSpace, TraceSynthesizer};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::{Interner, SpanNode, Trace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a small alphabet interner and a family of trace shapes over it.
+fn shapes(i: &mut Interner) -> Vec<Trace> {
+    let f = i.intern("Frontend");
+    let s1 = i.intern("SvcA");
+    let s2 = i.intern("SvcB");
+    let m = i.intern("Mongo");
+    let op = i.intern("op");
+    let api_a = i.intern("/a");
+    let api_b = i.intern("/b");
+    vec![
+        Trace::new(api_a, SpanNode::leaf(f, op)),
+        Trace::new(
+            api_a,
+            SpanNode::with_children(f, op, vec![SpanNode::leaf(s1, op)]),
+        ),
+        Trace::new(
+            api_b,
+            SpanNode::with_children(
+                f,
+                op,
+                vec![
+                    SpanNode::leaf(s2, op),
+                    SpanNode::with_children(s1, op, vec![SpanNode::leaf(m, op)]),
+                ],
+            ),
+        ),
+        Trace::new(
+            api_b,
+            SpanNode::with_children(f, op, vec![SpanNode::leaf(m, op)]),
+        ),
+    ]
+}
+
+fn windows_from(choices: &[usize], per_window: usize) -> (Interner, WindowedTraces) {
+    let mut i = Interner::new();
+    let family = shapes(&mut i);
+    let count = choices.len() / per_window.max(1) + 1;
+    let mut w = WindowedTraces::with_windows(1.0, count);
+    for (k, &c) in choices.iter().enumerate() {
+        w.windows[k / per_window.max(1)].push(family[c % family.len()].clone());
+    }
+    (i, w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn extraction_is_additive_over_trace_multisets(
+        choices in proptest::collection::vec(0usize..4, 1..40),
+    ) {
+        let (_, traces) = windows_from(&choices, 8);
+        let space = FeatureSpace::construct(&traces);
+        // Extracting the union equals the sum of extracting each window.
+        let all: Vec<Trace> = traces.iter_all().cloned().collect();
+        let whole = space.extract(&all);
+        let mut summed = vec![0.0f32; space.dim()];
+        for t in 0..traces.len() {
+            for (acc, v) in summed.iter_mut().zip(space.extract(traces.window(t))) {
+                *acc += v;
+            }
+        }
+        prop_assert_eq!(whole, summed);
+    }
+
+    #[test]
+    fn total_feature_mass_equals_total_span_count(
+        choices in proptest::collection::vec(0usize..4, 1..40),
+    ) {
+        // Every span contributes exactly one root-prefix path occurrence.
+        let (_, traces) = windows_from(&choices, 8);
+        let space = FeatureSpace::construct(&traces);
+        let spans: usize = traces.iter_all().map(Trace::span_count).sum();
+        let mass: f32 = (0..traces.len())
+            .map(|t| space.extract(traces.window(t)).iter().sum::<f32>())
+            .sum();
+        prop_assert_eq!(mass as usize, spans);
+    }
+
+    #[test]
+    fn feature_dim_counts_distinct_prefix_paths(
+        choices in proptest::collection::vec(0usize..4, 4..40),
+    ) {
+        let (_, traces) = windows_from(&choices, 8);
+        let space = FeatureSpace::construct(&traces);
+        // The family of 4 shapes has at most 7 distinct root prefixes.
+        prop_assert!(space.dim() <= 7);
+        prop_assert!(space.dim() >= 1);
+    }
+
+    #[test]
+    fn synthesizer_preserves_per_api_shape_support(
+        choices in proptest::collection::vec(0usize..4, 8..60),
+        seed in any::<u64>(),
+    ) {
+        let (i, traces) = windows_from(&choices, 8);
+        let synth = TraceSynthesizer::learn(&traces);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for api in synth.known_apis() {
+            let learned: std::collections::HashSet<Vec<u64>> = traces
+                .iter_all()
+                .filter(|t| t.api == api)
+                .map(Trace::canonical_key)
+                .collect();
+            let sampled = synth.synthesize_api(api, 64, &mut rng);
+            for t in sampled {
+                prop_assert_eq!(t.api, api);
+                prop_assert!(
+                    learned.contains(&t.canonical_key()),
+                    "synthesized a shape never observed for {}",
+                    i.resolve(api)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_volume_matches_query_expectations(
+        volumes in proptest::collection::vec(0.0f64..30.0, 1..12),
+        seed in any::<u64>(),
+    ) {
+        let (i, traces) = windows_from(&[0, 1, 2, 3, 0, 1, 2, 3], 8);
+        let synth = TraceSynthesizer::learn(&traces);
+        let traffic = deeprest_workload::ApiTraffic::new(
+            vec!["/a".into()],
+            volumes.len(),
+            volumes.iter().map(|&v| vec![v]).collect(),
+        );
+        let out = synth.synthesize(&traffic, &i, seed);
+        for (t, &expected) in volumes.iter().enumerate() {
+            let n = out.window(t).len() as f64;
+            // Stochastic rounding keeps counts within 1 of the expectation.
+            prop_assert!((n - expected).abs() <= 1.0, "window {}: {} vs {}", t, n, expected);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end: DeepRest learns the simulated social network and estimates
+//! unseen query traffic (the core claim C1 of the paper).
+
+use deeprest_core::{sanity, DeepRest, DeepRestConfig};
+use deeprest_metrics::eval::mape;
+use deeprest_metrics::{MetricKey, ResourceKind};
+use deeprest_sim::anomaly::CryptojackingAttack;
+use deeprest_sim::apps;
+use deeprest_sim::engine::{simulate, simulate_with, SimConfig};
+use deeprest_workload::WorkloadSpec;
+
+fn focus_scope() -> Vec<MetricKey> {
+    let app = apps::social_network();
+    apps::FOCUS_COMPONENTS
+        .iter()
+        .flat_map(|c| {
+            let stateful = app.component(c).unwrap().stateful;
+            ResourceKind::for_component(stateful)
+                .iter()
+                .map(|&r| MetricKey::new(*c, r))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn learns_social_network_and_generalizes() {
+    let app = apps::social_network();
+    let learn_traffic = WorkloadSpec::new(120.0, app.default_mix())
+        .with_days(7)
+        .with_windows_per_day(96)
+        .generate();
+    let cfg = SimConfig::default();
+    let learn = simulate(&app, &learn_traffic, &cfg);
+
+    let config = DeepRestConfig::default()
+        .with_epochs(20)
+        .with_scope(focus_scope());
+    let start = std::time::Instant::now();
+    let (model, report) = DeepRest::fit(&learn.traces, &learn.metrics, &learn.interner, config);
+    eprintln!(
+        "fit: {} experts, dim {}, {:.1}s, loss {:.4} -> {:.4}",
+        report.expert_count,
+        report.feature_dim,
+        start.elapsed().as_secs_f64(),
+        report.epoch_losses[0],
+        report.epoch_losses.last().unwrap()
+    );
+    assert!(report.epoch_losses.last().unwrap() < &(report.epoch_losses[0] * 0.8));
+
+    // Unseen 2x-users query traffic, different seed, one day.
+    let query_traffic = WorkloadSpec::new(240.0, app.default_mix())
+        .with_days(1)
+        .with_windows_per_day(96)
+        .with_seed(555)
+        .generate();
+    let actual = simulate(&app, &query_traffic, &cfg.clone().with_seed(777));
+
+    // Mode 2: estimate from the real query traces.
+    let est = model.estimate_from_traces(&actual.traces, &actual.interner);
+    for (comp, resource, budget) in [
+        ("FrontendNGINX", ResourceKind::Cpu, 25.0),
+        ("ComposePostService", ResourceKind::Cpu, 30.0),
+        ("UserTimelineService", ResourceKind::Cpu, 30.0),
+        ("PostStorageMongoDB", ResourceKind::WriteIops, 40.0),
+    ] {
+        let pred = est.get_parts(comp, resource).unwrap();
+        let act = actual.metrics.get_parts(comp, resource).unwrap();
+        let m = mape(act, &pred.expected);
+        eprintln!("{comp}/{resource}: MAPE {m:.1}%");
+        assert!(m < budget, "{comp}/{resource} MAPE {m:.1}% > {budget}%");
+    }
+
+    // Mode 1: estimate straight from traffic via the synthesizer.
+    let est_syn = model.estimate_traffic(&query_traffic, 9);
+    let pred = est_syn.get_parts("FrontendNGINX", ResourceKind::Cpu).unwrap();
+    let act = actual.metrics.get_parts("FrontendNGINX", ResourceKind::Cpu).unwrap();
+    let m = mape(act, &pred.expected);
+    eprintln!("synthesized FrontendNGINX/cpu: MAPE {m:.1}%");
+    assert!(m < 30.0, "synthesized MAPE {m:.1}%");
+
+    // Sanity check: cryptojacking on the post store must be flagged; the
+    // benign day must not drown in false alarms.
+    let attack = CryptojackingAttack::new("PostStorageMongoDB", 48, 25.0);
+    let attacked = simulate_with(&app, &query_traffic, &cfg.clone().with_seed(777), &[&attack]);
+    let report = sanity::check(
+        &model,
+        &attacked.traces,
+        &attacked.interner,
+        &attacked.metrics,
+        &sanity::SanityConfig::default(),
+    );
+    let scores = &report
+        .per_resource[&MetricKey::new("PostStorageMongoDB", ResourceKind::Cpu)];
+    let pre: f64 = scores.slice(0..48).mean();
+    let post: f64 = scores.slice(48..96).mean();
+    eprintln!("cryptojacking score pre {pre:.4} post {post:.4}");
+    assert!(post > 10.0 * (pre + 1e-6), "attack not separable: {pre} vs {post}");
+    assert!(!report.events.is_empty(), "no anomalous event extracted");
+    let ev = &report.events[report.events.len() - 1];
+    assert!(ev.start_window >= 40, "event starts too early: {}", ev.start_window);
+    assert!(ev.findings.iter().any(|f| f.component == "PostStorageMongoDB"
+        && f.resource == ResourceKind::Cpu
+        && f.deviation_pct > 0.0));
+}

@@ -1,0 +1,314 @@
+//! Evaluation metrics used throughout the paper's §5.
+
+use crate::TimeSeries;
+
+/// Mean absolute percentage error (in percent) between `actual` and
+/// `estimated`, the paper's headline estimation-quality metric (Fig. 12).
+///
+/// Windows where the actual value is (near) zero are evaluated against a
+/// small floor instead of dividing by zero, matching the usual MAPE
+/// convention for utilization data where idle windows would otherwise
+/// dominate the score.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn mape(actual: &TimeSeries, estimated: &TimeSeries) -> f64 {
+    assert_eq!(actual.len(), estimated.len(), "mape: length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    // Floor at 1% of the series' dynamic range so near-idle windows do not
+    // blow the percentage up.
+    let floor = (actual.max().abs().max(1e-9)) * 0.01;
+    let mut total = 0.0;
+    for (a, e) in actual.values().iter().zip(estimated.values().iter()) {
+        let denom = a.abs().max(floor);
+        total += (a - e).abs() / denom;
+    }
+    100.0 * total / actual.len() as f64
+}
+
+/// Symmetric MAPE (bounded to `[0, 200]`), robust to near-zero actuals.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn smape(actual: &TimeSeries, estimated: &TimeSeries) -> f64 {
+    assert_eq!(actual.len(), estimated.len(), "smape: length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (a, e) in actual.values().iter().zip(estimated.values().iter()) {
+        let denom = (a.abs() + e.abs()).max(1e-12);
+        total += 2.0 * (a - e).abs() / denom;
+    }
+    100.0 * total / actual.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn rmse(actual: &TimeSeries, estimated: &TimeSeries) -> f64 {
+    assert_eq!(actual.len(), estimated.len(), "rmse: length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = actual
+        .values()
+        .iter()
+        .zip(estimated.values().iter())
+        .map(|(a, e)| (a - e) * (a - e))
+        .sum();
+    (sum / actual.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn mae(actual: &TimeSeries, estimated: &TimeSeries) -> f64 {
+    assert_eq!(actual.len(), estimated.len(), "mae: length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = actual
+        .values()
+        .iter()
+        .zip(estimated.values().iter())
+        .map(|(a, e)| (a - e).abs())
+        .sum();
+    sum / actual.len() as f64
+}
+
+/// Fraction of windows whose actual value lies inside `[lower, upper]`.
+///
+/// A well-calibrated δ-confidence interval should cover ≈ δ of benign
+/// windows (§5.4 uses δ = 0.90).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn interval_coverage(actual: &TimeSeries, lower: &TimeSeries, upper: &TimeSeries) -> f64 {
+    assert_eq!(actual.len(), lower.len(), "interval_coverage: length mismatch");
+    assert_eq!(actual.len(), upper.len(), "interval_coverage: length mismatch");
+    if actual.is_empty() {
+        return 1.0;
+    }
+    let inside = actual
+        .values()
+        .iter()
+        .zip(lower.values().iter().zip(upper.values().iter()))
+        .filter(|(a, (l, u))| **a >= **l && **a <= **u)
+        .count();
+    inside as f64 / actual.len() as f64
+}
+
+/// Per-window deviation of the actual measurement from the expected interval
+/// (the paper quantifies this "by L2 distance" and renders it as a 1-D
+/// heatmap, Fig. 19b). Inside the interval the score is zero; outside it is
+/// the squared distance to the nearest interval edge, normalized by the
+/// interval's own scale so scores are comparable across resources.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn interval_deviation(
+    actual: &TimeSeries,
+    lower: &TimeSeries,
+    upper: &TimeSeries,
+) -> TimeSeries {
+    assert_eq!(actual.len(), lower.len(), "interval_deviation: length mismatch");
+    assert_eq!(actual.len(), upper.len(), "interval_deviation: length mismatch");
+    let scale = (upper.max() - lower.min()).abs().max(1e-9);
+    actual
+        .values()
+        .iter()
+        .zip(lower.values().iter().zip(upper.values().iter()))
+        .map(|(a, (l, u))| {
+            let d = if a < l {
+                (l - a) / scale
+            } else if a > u {
+                (a - u) / scale
+            } else {
+                0.0
+            };
+            d * d
+        })
+        .collect()
+}
+
+/// A contiguous run of windows whose anomaly score exceeds a threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnomalousRange {
+    /// First window of the run (inclusive).
+    pub start: usize,
+    /// One past the last window of the run.
+    pub end: usize,
+}
+
+impl AnomalousRange {
+    /// Number of windows in the run.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` for a degenerate empty range.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Extracts contiguous runs where `scores` exceeds `threshold`; runs shorter
+/// than `min_len` windows are dropped (debouncing isolated noisy windows).
+pub fn anomalous_ranges(scores: &TimeSeries, threshold: f64, min_len: usize) -> Vec<AnomalousRange> {
+    let mut out = Vec::new();
+    let mut start = None::<usize>;
+    for (t, &s) in scores.values().iter().enumerate() {
+        if s > threshold {
+            start.get_or_insert(t);
+        } else if let Some(st) = start.take() {
+            if t - st >= min_len {
+                out.push(AnomalousRange { start: st, end: t });
+            }
+        }
+    }
+    if let Some(st) = start {
+        if scores.len() - st >= min_len {
+            out.push(AnomalousRange {
+                start: st,
+                end: scores.len(),
+            });
+        }
+    }
+    out
+}
+
+/// Percentage accuracy used for Table 1's trace-synthesis quality: compares
+/// two per-window count vectors (synthesized vs ground truth features) as
+/// `100·(1 - Σ|a-b| / max(Σ|a|, Σ|b|))`, averaged over windows, clamped to
+/// `[0, 100]`.
+pub fn count_vector_accuracy(actual: &[Vec<f64>], synthesized: &[Vec<f64>]) -> f64 {
+    assert_eq!(
+        actual.len(),
+        synthesized.len(),
+        "count_vector_accuracy: window count mismatch"
+    );
+    if actual.is_empty() {
+        return 100.0;
+    }
+    let mut total = 0.0;
+    for (a, s) in actual.iter().zip(synthesized.iter()) {
+        assert_eq!(a.len(), s.len(), "count_vector_accuracy: dim mismatch");
+        let l1_diff: f64 = a.iter().zip(s.iter()).map(|(x, y)| (x - y).abs()).sum();
+        let mass = a
+            .iter()
+            .map(|v| v.abs())
+            .sum::<f64>()
+            .max(s.iter().map(|v| v.abs()).sum::<f64>());
+        let acc = if mass < 1e-12 {
+            1.0
+        } else {
+            (1.0 - l1_diff / mass).max(0.0)
+        };
+        total += acc;
+    }
+    100.0 * total / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(v.to_vec())
+    }
+
+    #[test]
+    fn mape_of_perfect_estimate_is_zero() {
+        let a = ts(&[10.0, 20.0, 30.0]);
+        assert_eq!(mape(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mape_scales_with_error() {
+        let a = ts(&[100.0, 100.0]);
+        let e = ts(&[110.0, 90.0]);
+        assert!((mape(&a, &e) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_survives_zero_actuals() {
+        let a = ts(&[0.0, 100.0]);
+        let e = ts(&[1.0, 100.0]);
+        let m = mape(&a, &e);
+        assert!(m.is_finite());
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn smape_is_bounded() {
+        let a = ts(&[0.0, 0.0]);
+        let e = ts(&[5.0, 100.0]);
+        let s = smape(&a, &e);
+        assert!(s <= 200.0 + 1e-9);
+    }
+
+    #[test]
+    fn rmse_and_mae_known_values() {
+        let a = ts(&[0.0, 0.0]);
+        let e = ts(&[3.0, 4.0]);
+        assert!((rmse(&a, &e) - (12.5f64).sqrt()).abs() < 1e-9);
+        assert!((mae(&a, &e) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_counts_inside_windows() {
+        let a = ts(&[1.0, 5.0, 9.0, 20.0]);
+        let lo = ts(&[0.0; 4]);
+        let hi = ts(&[10.0; 4]);
+        assert_eq!(interval_coverage(&a, &lo, &hi), 0.75);
+    }
+
+    #[test]
+    fn deviation_is_zero_inside_interval() {
+        let a = ts(&[5.0, 15.0, -5.0]);
+        let lo = ts(&[0.0; 3]);
+        let hi = ts(&[10.0; 3]);
+        let d = interval_deviation(&a, &lo, &hi);
+        assert_eq!(d.get(0), 0.0);
+        assert!(d.get(1) > 0.0);
+        assert!(d.get(2) > 0.0);
+        // Symmetric overshoot magnitude gives symmetric score.
+        assert!((d.get(1) - d.get(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anomalous_ranges_debounce() {
+        let s = ts(&[0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0]);
+        let runs = anomalous_ranges(&s, 0.5, 2);
+        assert_eq!(runs, vec![AnomalousRange { start: 3, end: 6 }]);
+        // Trailing open run is kept when long enough.
+        let runs = anomalous_ranges(&s, 0.5, 1);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[2], AnomalousRange { start: 7, end: 8 });
+    }
+
+    #[test]
+    fn count_vector_accuracy_perfect_and_half() {
+        let a = vec![vec![2.0, 2.0]];
+        assert_eq!(count_vector_accuracy(&a, &a), 100.0);
+        let s = vec![vec![2.0, 0.0]];
+        assert!((count_vector_accuracy(&a, &s) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_vector_accuracy_empty_windows_are_perfect() {
+        let a = vec![vec![0.0, 0.0]];
+        assert_eq!(count_vector_accuracy(&a, &a), 100.0);
+    }
+}

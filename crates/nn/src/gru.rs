@@ -1,0 +1,267 @@
+//! Gated recurrent unit following Eq. 2 of the paper.
+
+use deeprest_tensor::{Graph, ParamId, ParamStore, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::init;
+
+/// A GRU cell with the paper's exact formulation (Eq. 2):
+///
+/// ```text
+/// z_t = σ(W_z·x̃_t + U_z·h_{t-1} + b_z)         (update gate)
+/// k_t = σ(W_k·x̃_t + U_k·h_{t-1} + b_k)         (reset gate)
+/// h̃_t = tanh(W_h·x̃_t + U_h·(k_t ⊙ h_{t-1}) + b_h)
+/// h_t = z_t ⊙ h_{t-1} + (1 - z_t) ⊙ h̃_t
+/// ```
+///
+/// The `U` matrices and biases are independent of the input feature space —
+/// the paper calls them the "application-independent part" and uses them for
+/// the transfer-learning analysis of Fig. 21; see
+/// [`GruCell::application_independent_params`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GruCell {
+    /// Update-gate input weights `W_z`, shape `(hidden, input)`.
+    pub wz: ParamId,
+    /// Update-gate recurrent weights `U_z`, shape `(hidden, hidden)`.
+    pub uz: ParamId,
+    /// Update-gate bias `b_z`.
+    pub bz: ParamId,
+    /// Reset-gate input weights `W_k`.
+    pub wk: ParamId,
+    /// Reset-gate recurrent weights `U_k`.
+    pub uk: ParamId,
+    /// Reset-gate bias `b_k`.
+    pub bk: ParamId,
+    /// Candidate input weights `W_h`.
+    pub wh: ParamId,
+    /// Candidate recurrent weights `U_h`.
+    pub uh: ParamId,
+    /// Candidate bias `b_h`.
+    pub bh: ParamId,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl GruCell {
+    /// Registers a Xavier-initialized GRU cell in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut w = |suffix: &str| {
+            store.add(
+                format!("{name}.w{suffix}"),
+                init::xavier_uniform(hidden_dim, input_dim, rng),
+            )
+        };
+        let wz = w("z");
+        let wk = w("k");
+        let wh = w("h");
+        let mut u = |suffix: &str| {
+            store.add(
+                format!("{name}.u{suffix}"),
+                init::xavier_uniform(hidden_dim, hidden_dim, rng),
+            )
+        };
+        let uz = u("z");
+        let uk = u("k");
+        let uh = u("h");
+        let mut b = |suffix: &str| {
+            store.add(format!("{name}.b{suffix}"), init::zeros(hidden_dim, 1))
+        };
+        let bz = b("z");
+        let bk = b("k");
+        let bh = b("h");
+        Self {
+            wz,
+            uz,
+            bz,
+            wk,
+            uk,
+            bk,
+            wh,
+            uh,
+            bh,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Handles of the input-independent parameters (`U_*`, `b_*`), i.e. the
+    /// part whose shape does not depend on the application's feature space.
+    pub fn application_independent_params(&self) -> [ParamId; 6] {
+        [self.uz, self.uk, self.uh, self.bz, self.bk, self.bh]
+    }
+
+    /// Inserts all nine parameters into `graph` once, returning reusable
+    /// handles for unrolling over many time steps.
+    pub fn bind(&self, graph: &mut Graph, store: &ParamStore) -> BoundGruCell {
+        BoundGruCell {
+            wz: graph.param(store, self.wz),
+            uz: graph.param(store, self.uz),
+            bz: graph.param(store, self.bz),
+            wk: graph.param(store, self.wk),
+            uk: graph.param(store, self.uk),
+            bk: graph.param(store, self.bk),
+            wh: graph.param(store, self.wh),
+            uh: graph.param(store, self.uh),
+            bh: graph.param(store, self.bh),
+        }
+    }
+}
+
+/// A [`GruCell`] bound into a specific graph.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundGruCell {
+    wz: Var,
+    uz: Var,
+    bz: Var,
+    wk: Var,
+    uk: Var,
+    bk: Var,
+    wh: Var,
+    uh: Var,
+    bh: Var,
+}
+
+impl BoundGruCell {
+    /// Advances the recurrence one step: `h_t = GRU(x_t, h_{t-1})` per Eq. 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `(input_dim, 1)` or `h_prev` is not
+    /// `(hidden_dim, 1)`.
+    pub fn step(&self, g: &mut Graph, x: Var, h_prev: Var) -> Var {
+        let z = {
+            let wx = g.matmul(self.wz, x);
+            let uh = g.matmul(self.uz, h_prev);
+            let s = g.add(wx, uh);
+            let s = g.add(s, self.bz);
+            g.sigmoid(s)
+        };
+        let k = {
+            let wx = g.matmul(self.wk, x);
+            let uh = g.matmul(self.uk, h_prev);
+            let s = g.add(wx, uh);
+            let s = g.add(s, self.bk);
+            g.sigmoid(s)
+        };
+        let h_tilde = {
+            let gated = g.mul(k, h_prev);
+            let wx = g.matmul(self.wh, x);
+            let uh = g.matmul(self.uh, gated);
+            let s = g.add(wx, uh);
+            let s = g.add(s, self.bh);
+            g.tanh(s)
+        };
+        let keep = g.mul(z, h_prev);
+        let one_minus_z = g.one_minus(z);
+        let new = g.mul(one_minus_z, h_tilde);
+        g.add(keep, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn cell(input: usize, hidden: usize) -> (ParamStore, GruCell) {
+        let mut store = ParamStore::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let cell = GruCell::new(&mut store, "g", input, hidden, &mut rng);
+        (store, cell)
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        let (store, cell) = cell(3, 4);
+        let mut g = Graph::new();
+        let bound = cell.bind(&mut g, &store);
+        let mut h = g.constant(Tensor::zeros(4, 1));
+        for t in 0..50 {
+            let x = g.constant(Tensor::vector(vec![t as f32, 1.0, -1.0]));
+            h = bound.step(&mut g, x, h);
+        }
+        // h is a convex combination of h_prev and tanh output, so |h| ≤ 1.
+        assert!(g.value(h).data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_is_fixed_by_biases_only() {
+        let (store, cell) = cell(2, 3);
+        let mut g = Graph::new();
+        let bound = cell.bind(&mut g, &store);
+        let h0 = g.constant(Tensor::zeros(3, 1));
+        let x = g.constant(Tensor::zeros(2, 1));
+        let h1 = bound.step(&mut g, x, h0);
+        // With zero biases (the default init), tanh(0) = 0 so h stays 0.
+        assert!(g.value(h1).data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn gradients_reach_all_nine_parameters() {
+        let (mut store, cell) = cell(2, 3);
+        let mut g = Graph::new();
+        let bound = cell.bind(&mut g, &store);
+        let mut h = g.constant(Tensor::zeros(3, 1));
+        for _ in 0..3 {
+            let x = g.constant(Tensor::vector(vec![1.0, -0.5]));
+            h = bound.step(&mut g, x, h);
+        }
+        let sq = g.square(h);
+        let l = g.sum_all(sq);
+        g.backward(l, &mut store);
+        for id in [
+            cell.wz, cell.uz, cell.bz, cell.wk, cell.uk, cell.bk, cell.wh, cell.uh, cell.bh,
+        ] {
+            assert!(
+                store.grad(id).norm() > 0.0,
+                "no gradient for {}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn memory_retention_with_saturated_update_gate() {
+        // Force z ≈ 1 via a huge positive bias: h_t ≈ h_{t-1} (pure memory).
+        let (mut store, cell) = cell(1, 2);
+        *store.value_mut(cell.bz) = Tensor::vector(vec![50.0, 50.0]);
+        let mut g = Graph::new();
+        let bound = cell.bind(&mut g, &store);
+        let mut h = g.constant(Tensor::vector(vec![0.7, -0.3]));
+        for _ in 0..10 {
+            let x = g.constant(Tensor::vector(vec![5.0]));
+            h = bound.step(&mut g, x, h);
+        }
+        let out = g.value(h);
+        assert!((out.data()[0] - 0.7).abs() < 1e-3);
+        assert!((out.data()[1] + 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn application_independent_part_excludes_input_weights() {
+        let (_, cell) = cell(5, 4);
+        let indep = cell.application_independent_params();
+        assert!(!indep.contains(&cell.wz));
+        assert!(!indep.contains(&cell.wk));
+        assert!(!indep.contains(&cell.wh));
+        assert!(indep.contains(&cell.uh));
+    }
+}

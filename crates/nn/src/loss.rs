@@ -1,0 +1,111 @@
+//! Quantile-regression loss helpers (Eqs. 5-6 of the paper).
+
+use deeprest_tensor::{Graph, Tensor, Var};
+
+/// The three quantiles evaluated by each expert head for a confidence level
+/// `delta` (Eq. 6): median, lower limit `(1-δ)/2` and upper limit
+/// `δ + (1-δ)/2`.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1`.
+pub fn quantiles_for(delta: f32) -> [f32; 3] {
+    assert!(
+        (0.0..1.0).contains(&delta) && delta > 0.0,
+        "quantiles_for: delta must be in (0, 1), got {delta}"
+    );
+    [0.5, (1.0 - delta) / 2.0, delta + (1.0 - delta) / 2.0]
+}
+
+/// Records the per-time-step expert loss of Eq. 6: the pinball loss of the
+/// three-row prediction `(expected, lower, upper)` against the scalar ground
+/// truth `y`, at the quantiles of [`quantiles_for`].
+pub fn expert_quantile_loss(g: &mut Graph, pred: Var, y: f32, delta: f32) -> Var {
+    let target = Tensor::vector(vec![y, y, y]);
+    g.pinball(pred, target, &quantiles_for(delta))
+}
+
+/// Records a mean-squared-error loss against a constant target (used by the
+/// `resrc-aware DL` baseline and the quantile-head ablation).
+pub fn mse_loss(g: &mut Graph, pred: Var, target: Tensor) -> Var {
+    let delta = g.sub_const(pred, target);
+    let sq = g.square(delta);
+    g.mean_all(sq)
+}
+
+/// Scalar pinball loss value (no autodiff), for evaluation code.
+pub fn pinball_value(delta: f32, quantile: f32) -> f32 {
+    if delta >= 0.0 {
+        quantile * delta
+    } else {
+        (quantile - 1.0) * delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_tensor::ParamStore;
+
+    #[test]
+    fn quantiles_match_paper_delta_090() {
+        let q = quantiles_for(0.90);
+        assert!((q[0] - 0.5).abs() < 1e-6);
+        assert!((q[1] - 0.05).abs() < 1e-6);
+        assert!((q[2] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn quantiles_reject_bad_delta() {
+        let _ = quantiles_for(1.5);
+    }
+
+    #[test]
+    fn pinball_value_is_asymmetric() {
+        // At q = 0.95, predicting *below* the target costs 19x more than
+        // predicting the same amount above it.
+        assert!((pinball_value(1.0, 0.95) - 0.95).abs() < 1e-6);
+        assert!((pinball_value(-1.0, 0.95) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimizing_quantile_loss_recovers_quantiles() {
+        // Train three constants against samples drawn from {0, 1} with equal
+        // probability: q05 → 0, q95 → 1.
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::vector(vec![0.5, 0.5, 0.5]));
+        let mut opt = crate::Sgd::new(0.05, 0.0);
+        let samples: Vec<f32> = (0..200).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        for _ in 0..200 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let pv = g.param(&store, p);
+            let mut terms = Vec::new();
+            for &s in &samples {
+                terms.push(expert_quantile_loss(&mut g, pv, s, 0.90));
+            }
+            let total = g.add_n(&terms);
+            let loss = g.scale(total, 1.0 / samples.len() as f32);
+            g.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        let v = store.value(p).data();
+        assert!(v[1] < 0.2, "q05 should approach 0, got {}", v[1]);
+        assert!(v[2] > 0.8, "q95 should approach 1, got {}", v[2]);
+    }
+
+    #[test]
+    fn mse_loss_matches_hand_computation() {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::vector(vec![1.0, 3.0]));
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let l = mse_loss(&mut g, pv, Tensor::vector(vec![0.0, 1.0]));
+        // ((1-0)² + (3-1)²) / 2 = 2.5.
+        assert!((g.value(l).data()[0] - 2.5).abs() < 1e-6);
+        g.backward(l, &mut store);
+        // d/dp = 2(p - t)/n = [1, 2].
+        assert_eq!(store.grad(p).data(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use deeprest_tensor::{ParamStore, Tensor};
+
+/// Stochastic gradient descent with optional classical momentum.
+///
+/// The paper trains DeepRest with plain SGD at learning rate `0.001` (§5.1);
+/// `momentum = 0.0` reproduces that setting.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in `[0, 1)`; `0` disables momentum.
+    pub momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update `θ ← θ - lr·(v)` with `v ← momentum·v + grad`,
+    /// then leaves gradients untouched (call [`ParamStore::zero_grads`]
+    /// before the next accumulation).
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        for id in store.ids().collect::<Vec<_>>() {
+            let grad = store.grad(id).clone();
+            let update = if self.momentum > 0.0 {
+                let v = &mut self.velocity[id.index()];
+                v.scale_assign(self.momentum);
+                v.add_assign(&grad);
+                v.clone()
+            } else {
+                grad
+            };
+            store.value_mut(id).axpy(-self.lr, &update);
+        }
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        while self.velocity.len() < store.len() {
+            let id = store.ids().nth(self.velocity.len()).expect("in range");
+            let shape = store.value(id).shape();
+            self.velocity.push(Tensor::zeros(shape.0, shape.1));
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), offered as a faster-converging alternative
+/// to the paper's SGD; the experiment binaries expose it behind a flag.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: i32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional betas `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one bias-corrected Adam update.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for id in store.ids().collect::<Vec<_>>() {
+            let idx = id.index();
+            let grad = store.grad(id).clone();
+            let m = &mut self.m[idx];
+            m.scale_assign(self.beta1);
+            m.axpy(1.0 - self.beta1, &grad);
+            let v = &mut self.v[idx];
+            v.scale_assign(self.beta2);
+            let grad_sq = grad.mul(&grad);
+            v.axpy(1.0 - self.beta2, &grad_sq);
+
+            let value = store.value_mut(id);
+            for i in 0..value.len() {
+                let m_hat = self.m[idx].data()[i] / bc1;
+                let v_hat = self.v[idx].data()[i] / bc2;
+                value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        while self.m.len() < store.len() {
+            let id = store.ids().nth(self.m.len()).expect("in range");
+            let shape = store.value(id).shape();
+            self.m.push(Tensor::zeros(shape.0, shape.1));
+            self.v.push(Tensor::zeros(shape.0, shape.1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_tensor::Graph;
+
+    /// Minimizes `f(θ) = (θ - 3)²` and checks convergence.
+    fn converges(mut step: impl FnMut(&mut ParamStore)) -> f32 {
+        let mut store = ParamStore::new();
+        let id = store.add("theta", Tensor::scalar(0.0));
+        for _ in 0..500 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let theta = g.param(&store, id);
+            let delta = g.sub_const(theta, Tensor::scalar(3.0));
+            let sq = g.square(delta);
+            let l = g.sum_all(sq);
+            g.backward(l, &mut store);
+            step(&mut store);
+        }
+        store.value(id).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.0);
+        let theta = converges(|s| opt.step(s));
+        assert!((theta - 3.0).abs() < 1e-3, "got {theta}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut opt = Sgd::new(0.01, 0.9);
+        let theta = converges(|s| opt.step(s));
+        assert!((theta - 3.0).abs() < 1e-2, "got {theta}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let theta = converges(|s| opt.step(s));
+        assert!((theta - 3.0).abs() < 1e-2, "got {theta}");
+    }
+
+    #[test]
+    fn optimizers_handle_params_added_after_creation() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::scalar(1.0));
+        let mut opt = Sgd::new(0.1, 0.5);
+        *store.grad_mut(a) = Tensor::scalar(1.0);
+        opt.step(&mut store);
+        // A new parameter appears later; the optimizer must grow its state.
+        let b = store.add("b", Tensor::scalar(2.0));
+        store.zero_grads();
+        *store.grad_mut(b) = Tensor::scalar(1.0);
+        opt.step(&mut store);
+        assert!(store.value(b).data()[0] < 2.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The DeathStarBench Hotel Reservation application (Fig. 7 of the paper).
+//!
+//! 18 components (12 stateless, 6 stateful) and 4 API endpoints for
+//! searching hotels, getting recommendations, reserving rooms and user
+//! authentication.
+
+use crate::{ApiSpec, AppSpec, CallNode, ComponentSpec, Condition, OperationCost};
+
+/// Builds the hotel reservation [`AppSpec`].
+pub fn hotel_reservation() -> AppSpec {
+    let mut app = AppSpec::new("hotel-reservation");
+
+    app.add_component(
+        ComponentSpec::stateless("FrontendService")
+            .with_cores(0.4)
+            .with_memory(48.0, 64.0),
+    );
+    for (name, cores) in [
+        ("SearchService", 0.4),
+        ("GeoService", 0.3),
+        ("RateService", 0.3),
+        ("ProfileService", 0.3),
+        ("RecommendService", 0.3),
+        ("ReserveService", 0.3),
+        ("UserService", 0.2),
+    ] {
+        app.add_component(ComponentSpec::stateless(name).with_cores(cores));
+    }
+    for name in [
+        "RateMemcached",
+        "ProfileMemcached",
+        "ReserveMemcached",
+        "UserMemcached",
+    ] {
+        app.add_component(
+            ComponentSpec::stateless(name)
+                .with_cores(0.2)
+                .with_memory(96.0, 160.0),
+        );
+    }
+    for (name, disk) in [
+        ("GeoMongoDB", 128.0),
+        ("RateMongoDB", 256.0),
+        ("ProfileMongoDB", 512.0),
+        ("RecommendMongoDB", 128.0),
+        ("ReserveMongoDB", 256.0),
+        ("UserMongoDB", 128.0),
+    ] {
+        app.add_component(
+            ComponentSpec::stateful(name)
+                .with_cores(0.4)
+                .with_disk(disk),
+        );
+    }
+
+    register_costs(&mut app);
+    register_apis(&mut app);
+    app
+}
+
+fn register_costs(app: &mut AppSpec) {
+    app.set_cost("FrontendService", "search", OperationCost::cpu(8.0));
+    app.set_cost("FrontendService", "recommend", OperationCost::cpu(6.0));
+    app.set_cost("FrontendService", "reserve", OperationCost::cpu(7.0));
+    app.set_cost("FrontendService", "user", OperationCost::cpu(5.0));
+
+    app.set_cost("SearchService", "nearby", OperationCost::cpu(10.0).with_cache(0.01));
+    app.set_cost("GeoService", "nearby", OperationCost::cpu(7.0).with_cache(0.01));
+    app.set_cost("GeoMongoDB", "find", OperationCost::cpu(4.5).with_cache(0.02));
+    app.set_cost("RateService", "getRates", OperationCost::cpu(6.0).with_cache(0.01));
+    app.set_cost("RateMemcached", "get", OperationCost::cpu(0.8).with_cache(0.008));
+    app.set_cost("RateMongoDB", "find", OperationCost::cpu(4.5).with_cache(0.02));
+    app.set_cost(
+        "ProfileService",
+        "getProfiles",
+        OperationCost::cpu(6.5).with_cache(0.012),
+    );
+    app.set_cost("ProfileMemcached", "get", OperationCost::cpu(0.9).with_cache(0.01));
+    app.set_cost("ProfileMongoDB", "find", OperationCost::cpu(5.0).with_cache(0.03));
+
+    app.set_cost(
+        "RecommendService",
+        "getRecommendations",
+        OperationCost::cpu(8.0).with_cache(0.01),
+    );
+    app.set_cost("RecommendMongoDB", "find", OperationCost::cpu(5.0).with_cache(0.02));
+
+    app.set_cost("ReserveService", "makeReservation", OperationCost::cpu(9.0));
+    app.set_cost(
+        "ReserveMongoDB",
+        "insert",
+        OperationCost::cpu(5.0).with_writes(3.0, 2.5).with_cache(0.015),
+    );
+    app.set_cost("ReserveMemcached", "update", OperationCost::cpu(1.0).with_cache(0.008));
+
+    app.set_cost("UserService", "checkUser", OperationCost::cpu(5.0));
+    app.set_cost("UserService", "login", OperationCost::cpu(6.0));
+    app.set_cost("UserMemcached", "get", OperationCost::cpu(0.8).with_cache(0.008));
+    app.set_cost("UserMongoDB", "find", OperationCost::cpu(4.0).with_cache(0.02));
+}
+
+fn register_apis(app: &mut AppSpec) {
+    // /search: geo lookup + rates + profiles, each cache-fronted.
+    let search = CallNode::new("FrontendService", "search")
+        .child(
+            CallNode::new("SearchService", "nearby")
+                .child(
+                    CallNode::new("GeoService", "nearby")
+                        .child_if(Condition::Prob(0.5), CallNode::new("GeoMongoDB", "find")),
+                )
+                .child(
+                    CallNode::new("RateService", "getRates").child(
+                        CallNode::new("RateMemcached", "get").child_if(
+                            Condition::Prob(0.4),
+                            CallNode::new("RateMongoDB", "find"),
+                        ),
+                    ),
+                ),
+        )
+        .child(
+            CallNode::new("ProfileService", "getProfiles").child(
+                CallNode::new("ProfileMemcached", "get").child_if(
+                    Condition::Prob(0.35),
+                    CallNode::new("ProfileMongoDB", "find"),
+                ),
+            ),
+        );
+    app.add_api(ApiSpec::new("/search", 0.55, search));
+
+    // /recommend.
+    let recommend = CallNode::new("FrontendService", "recommend")
+        .child(
+            CallNode::new("RecommendService", "getRecommendations")
+                .child(CallNode::new("RecommendMongoDB", "find")),
+        )
+        .child(
+            CallNode::new("ProfileService", "getProfiles").child(
+                CallNode::new("ProfileMemcached", "get").child_if(
+                    Condition::Prob(0.35),
+                    CallNode::new("ProfileMongoDB", "find"),
+                ),
+            ),
+        );
+    app.add_api(ApiSpec::new("/recommend", 0.18, recommend));
+
+    // /reserve: the only write path.
+    let reserve = CallNode::new("FrontendService", "reserve")
+        .child(
+            CallNode::new("UserService", "checkUser").child(
+                CallNode::new("UserMemcached", "get")
+                    .child_if(Condition::Prob(0.3), CallNode::new("UserMongoDB", "find")),
+            ),
+        )
+        .child(
+            CallNode::new("ReserveService", "makeReservation")
+                .child(CallNode::new("ReserveMongoDB", "insert"))
+                .child(CallNode::new("ReserveMemcached", "update")),
+        );
+    app.add_api(ApiSpec::new("/reserve", 0.15, reserve));
+
+    // /user: login.
+    let user = CallNode::new("FrontendService", "user").child(
+        CallNode::new("UserService", "login").child(
+            CallNode::new("UserMemcached", "get")
+                .child_if(Condition::Prob(0.3), CallNode::new("UserMongoDB", "find")),
+        ),
+    );
+    app.add_api(ApiSpec::new("/user", 0.12, user));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_is_the_only_writing_api() {
+        let app = hotel_reservation();
+        for api in &app.apis {
+            let mut writes = false;
+            api.root.visit(&mut |n| {
+                if app.cost(&n.component, &n.operation).unwrap().has_writes() {
+                    writes = true;
+                }
+            });
+            assert_eq!(writes, api.endpoint == "/reserve", "api {}", api.endpoint);
+        }
+    }
+
+    #[test]
+    fn search_touches_geo_rate_profile() {
+        let app = hotel_reservation();
+        let mut comps = Vec::new();
+        app.api("/search")
+            .unwrap()
+            .root
+            .visit(&mut |n| comps.push(n.component.clone()));
+        for c in ["GeoService", "RateService", "ProfileService"] {
+            assert!(comps.iter().any(|x| x == c), "missing {c}");
+        }
+        assert!(!comps.iter().any(|x| x == "ReserveService"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The two DeathStarBench applications the paper evaluates on, rebuilt as
+//! simulator specifications with the paper's exact component and resource
+//! counts.
+
+mod hotel_reservation;
+mod social_network;
+
+pub use hotel_reservation::hotel_reservation;
+pub use social_network::social_network;
+
+/// Display names of the social network's three representative APIs used
+/// throughout the paper's discussion (Fig. 8).
+pub const REPRESENTATIVE_APIS: [&str; 3] = ["/composePost", "/readUserTimeline", "/uploadMedia"];
+
+/// The six focus components of Fig. 8.
+pub const FOCUS_COMPONENTS: [&str; 6] = [
+    "FrontendNGINX",
+    "MediaNGINX",
+    "ComposePostService",
+    "UserTimelineService",
+    "PostStorageMongoDB",
+    "MediaMongoDB",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_network_matches_paper_counts() {
+        let app = social_network();
+        app.validate().expect("social network spec must validate");
+        assert_eq!(app.components.len(), 29, "23 stateless + 6 stateful");
+        assert_eq!(
+            app.components.iter().filter(|c| c.stateful).count(),
+            6,
+            "6 stateful MongoDB components"
+        );
+        assert_eq!(app.apis.len(), 11, "11 API endpoints");
+        assert_eq!(app.resource_count(), 76, "76 tracked resources");
+    }
+
+    #[test]
+    fn hotel_reservation_matches_paper_counts() {
+        let app = hotel_reservation();
+        app.validate().expect("hotel reservation spec must validate");
+        assert_eq!(app.components.len(), 18, "12 stateless + 6 stateful");
+        assert_eq!(app.components.iter().filter(|c| c.stateful).count(), 6);
+        assert_eq!(app.apis.len(), 4, "4 API endpoints");
+        assert_eq!(app.resource_count(), 54, "54 tracked resources");
+    }
+
+    #[test]
+    fn focus_components_exist() {
+        let app = social_network();
+        for name in FOCUS_COMPONENTS {
+            assert!(app.component(name).is_some(), "missing {name}");
+        }
+        for api in REPRESENTATIVE_APIS {
+            assert!(app.api(api).is_some(), "missing {api}");
+        }
+    }
+
+    #[test]
+    fn default_mixes_are_normalizable() {
+        for app in [social_network(), hotel_reservation()] {
+            let total: f64 = app.default_mix().iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-6, "{} mix sums to {total}", app.name);
+        }
+    }
+
+    #[test]
+    fn compose_post_reaches_post_storage_but_read_does_not_write() {
+        let app = social_network();
+        let compose = app.api("/composePost").unwrap();
+        let mut touches_post_storage_mongo = false;
+        compose.root.visit(&mut |n| {
+            if n.component == "PostStorageMongoDB" {
+                touches_post_storage_mongo = true;
+                assert!(app.cost(&n.component, &n.operation).unwrap().has_writes());
+            }
+        });
+        assert!(touches_post_storage_mongo);
+
+        // /readUserTimeline may touch PostStorageMongoDB but only with reads.
+        let read = app.api("/readUserTimeline").unwrap();
+        read.root.visit(&mut |n| {
+            if n.component == "PostStorageMongoDB" {
+                assert!(!app.cost(&n.component, &n.operation).unwrap().has_writes());
+            }
+        });
+    }
+
+    #[test]
+    fn read_timeline_does_not_touch_compose_post_service() {
+        // Fig. 8/11: /readTimeline does not invoke the ComposePostService.
+        let app = social_network();
+        let read = app.api("/readUserTimeline").unwrap();
+        read.root.visit(&mut |n| {
+            assert_ne!(n.component, "ComposePostService");
+        });
+    }
+
+    #[test]
+    fn upload_media_is_the_only_media_store_writer() {
+        let app = social_network();
+        for api in &app.apis {
+            let mut writes_media = false;
+            api.root.visit(&mut |n| {
+                if n.component == "MediaMongoDB"
+                    && app.cost(&n.component, &n.operation).unwrap().has_writes()
+                {
+                    writes_media = true;
+                }
+            });
+            assert_eq!(
+                writes_media,
+                api.endpoint == "/uploadMedia",
+                "only /uploadMedia may write MediaMongoDB (violated by {})",
+                api.endpoint
+            );
+        }
+    }
+}

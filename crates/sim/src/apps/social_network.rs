@@ -1,0 +1,411 @@
+//! The DeathStarBench Social Network application (Fig. 1 of the paper).
+//!
+//! 29 components (23 stateless, 6 stateful MongoDB stores) and 11 API
+//! endpoints for publishing, reading and reacting to social-media posts.
+//! Invocation trees follow the DeathStarBench architecture: an NGINX frontend
+//! fans out to single-purpose services, each backed by a cache (memcached /
+//! Redis) in front of a MongoDB store; compose-post fans writes out to
+//! follower home timelines through a queue.
+
+use crate::{ApiSpec, AppSpec, CallNode, ComponentSpec, Condition, OperationCost, Repeat};
+
+/// Builds the social network [`AppSpec`].
+#[allow(clippy::too_many_lines)]
+pub fn social_network() -> AppSpec {
+    let mut app = AppSpec::new("social-network");
+
+    // Entry web servers get small CPU allocations (k8s-style fractional
+    // cores), so utilization percentages are meaningful at benchmark scale.
+    app.add_component(
+        ComponentSpec::stateless("FrontendNGINX")
+            .with_cores(0.4)
+            .with_memory(48.0, 64.0),
+    );
+    app.add_component(
+        ComponentSpec::stateless("MediaNGINX")
+            .with_cores(0.3)
+            .with_memory(48.0, 80.0),
+    );
+
+    // Core services.
+    for (name, cores) in [
+        ("UniqueIDService", 0.2),
+        ("URLShortenService", 0.2),
+        ("UserService", 0.3),
+        ("MediaService", 0.3),
+        ("TextService", 0.3),
+        ("UserMentionService", 0.2),
+        ("ComposePostService", 0.4),
+        ("PostStorageService", 0.4),
+        ("WriteHomeTimelineService", 0.3),
+        ("HomeTimelineService", 0.3),
+        ("UserTimelineService", 0.4),
+        ("SocialGraphService", 0.3),
+    ] {
+        app.add_component(ComponentSpec::stateless(name).with_cores(cores));
+    }
+
+    // Caches and the fan-out queue (stateless for disk purposes).
+    for name in [
+        "URLShortenMemcached",
+        "UserMemcached",
+        "MediaMemcached",
+        "PostStorageMemcached",
+        "ComposePostRedis",
+        "HomeTimelineRedis",
+        "UserTimelineRedis",
+        "SocialGraphRedis",
+        "WriteHomeTimelineRabbitMQ",
+    ] {
+        app.add_component(
+            ComponentSpec::stateless(name)
+                .with_cores(0.2)
+                .with_memory(96.0, 192.0),
+        );
+    }
+
+    // Stateful MongoDB stores.
+    for (name, disk) in [
+        ("URLShortenMongoDB", 128.0),
+        ("UserMongoDB", 256.0),
+        ("MediaMongoDB", 2_048.0),
+        ("PostStorageMongoDB", 1_024.0),
+        ("UserTimelineMongoDB", 512.0),
+        ("SocialGraphMongoDB", 256.0),
+    ] {
+        app.add_component(
+            ComponentSpec::stateful(name)
+                .with_cores(0.5)
+                .with_disk(disk),
+        );
+    }
+
+    register_costs(&mut app);
+    register_apis(&mut app);
+    app
+}
+
+fn register_costs(app: &mut AppSpec) {
+    // Entry points.
+    app.set_cost("FrontendNGINX", "composePost", OperationCost::cpu(9.0).per_text(0.5));
+    app.set_cost("FrontendNGINX", "readUserTimeline", OperationCost::cpu(7.0));
+    app.set_cost("FrontendNGINX", "readHomeTimeline", OperationCost::cpu(7.0));
+    app.set_cost("FrontendNGINX", "login", OperationCost::cpu(5.0));
+    app.set_cost("FrontendNGINX", "register", OperationCost::cpu(6.0));
+    app.set_cost("FrontendNGINX", "follow", OperationCost::cpu(4.5));
+    app.set_cost("FrontendNGINX", "unfollow", OperationCost::cpu(4.5));
+    app.set_cost("FrontendNGINX", "getFollowers", OperationCost::cpu(5.0));
+    app.set_cost("FrontendNGINX", "getFollowees", OperationCost::cpu(5.0));
+    app.set_cost(
+        "MediaNGINX",
+        "uploadMedia",
+        OperationCost::cpu(6.0).per_media_kib(0.012, 0.0).with_cache(0.01),
+    );
+    app.set_cost("MediaNGINX", "getMedia", OperationCost::cpu(5.0).with_cache(0.02));
+
+    // Compose-post pipeline.
+    app.set_cost(
+        "ComposePostService",
+        "composePost",
+        OperationCost::cpu(14.0).per_text(1.2).with_cache(0.015),
+    );
+    app.set_cost("ComposePostRedis", "append", OperationCost::cpu(1.2).with_cache(0.01));
+    app.set_cost("TextService", "processText", OperationCost::cpu(6.0).per_text(2.0));
+    app.set_cost("UserMentionService", "resolveMentions", OperationCost::cpu(5.0));
+    app.set_cost("UniqueIDService", "generate", OperationCost::cpu(1.5));
+    app.set_cost("URLShortenService", "shorten", OperationCost::cpu(4.0));
+    app.set_cost("URLShortenMemcached", "set", OperationCost::cpu(0.8).with_cache(0.008));
+    app.set_cost(
+        "URLShortenMongoDB",
+        "insert",
+        OperationCost::cpu(3.0).with_writes(2.0, 1.5).with_cache(0.01),
+    );
+    app.set_cost("MediaService", "attachMedia", OperationCost::cpu(4.0));
+    app.set_cost(
+        "PostStorageService",
+        "storePost",
+        OperationCost::cpu(8.0).per_text(0.4),
+    );
+    app.set_cost(
+        "PostStorageMongoDB",
+        "insert",
+        OperationCost::cpu(6.0)
+            .per_text(0.5)
+            .with_writes(4.0, 6.0)
+            .with_term({
+                let mut t = crate::CostTerm::zero(crate::CostDriver::TextHectochars);
+                t.write_kib = 2.0;
+                t.write_ops = 0.4;
+                t
+            })
+            .with_cache(0.02),
+    );
+    app.set_cost(
+        "UserTimelineService",
+        "writeTimeline",
+        OperationCost::cpu(6.0),
+    );
+    app.set_cost(
+        "UserTimelineMongoDB",
+        "insert",
+        OperationCost::cpu(4.0).with_writes(2.0, 1.2).with_cache(0.012),
+    );
+    app.set_cost("UserTimelineRedis", "update", OperationCost::cpu(1.0).with_cache(0.01));
+    app.set_cost(
+        "WriteHomeTimelineService",
+        "fanoutWrite",
+        OperationCost::cpu(4.0).per_fanout(0.25, 0.0, 0.0),
+    );
+    app.set_cost("WriteHomeTimelineRabbitMQ", "enqueue", OperationCost::cpu(1.5));
+    app.set_cost(
+        "HomeTimelineRedis",
+        "update",
+        OperationCost::cpu(0.9).with_cache(0.012),
+    );
+
+    // Timeline reads.
+    app.set_cost(
+        "UserTimelineService",
+        "readTimeline",
+        OperationCost::cpu(9.0).with_cache(0.01),
+    );
+    app.set_cost("UserTimelineRedis", "get", OperationCost::cpu(0.8).with_cache(0.006));
+    app.set_cost(
+        "UserTimelineMongoDB",
+        "find",
+        OperationCost::cpu(5.0).with_cache(0.03),
+    );
+    app.set_cost(
+        "HomeTimelineService",
+        "readTimeline",
+        OperationCost::cpu(8.0).with_cache(0.01),
+    );
+    app.set_cost("HomeTimelineRedis", "get", OperationCost::cpu(0.8).with_cache(0.006));
+    app.set_cost(
+        "PostStorageService",
+        "getPosts",
+        OperationCost::cpu(7.0).with_cache(0.015),
+    );
+    app.set_cost("PostStorageMemcached", "get", OperationCost::cpu(0.9).with_cache(0.01));
+    app.set_cost(
+        "PostStorageMongoDB",
+        "find",
+        OperationCost::cpu(6.5).with_cache(0.04),
+    );
+
+    // Media path.
+    app.set_cost(
+        "MediaService",
+        "upload",
+        OperationCost::cpu(8.0).per_media_kib(0.010, 0.0),
+    );
+    app.set_cost(
+        "MediaMongoDB",
+        "store",
+        OperationCost::cpu(5.0)
+            .per_media_kib(0.006, 1.0)
+            .with_writes(2.0, 4.0)
+            .with_cache(0.03),
+    );
+    app.set_cost("MediaService", "get", OperationCost::cpu(6.0).with_cache(0.02));
+    app.set_cost("MediaMemcached", "get", OperationCost::cpu(0.9).with_cache(0.015));
+    app.set_cost("MediaMongoDB", "find", OperationCost::cpu(5.5).with_cache(0.05));
+
+    // Users and the social graph.
+    app.set_cost("UserService", "login", OperationCost::cpu(7.0));
+    app.set_cost("UserService", "register", OperationCost::cpu(9.0));
+    app.set_cost("UserMemcached", "get", OperationCost::cpu(0.8).with_cache(0.008));
+    app.set_cost("UserMongoDB", "find", OperationCost::cpu(4.5).with_cache(0.02));
+    app.set_cost(
+        "UserMongoDB",
+        "insert",
+        OperationCost::cpu(4.0).with_writes(2.0, 1.0).with_cache(0.01),
+    );
+    app.set_cost("SocialGraphService", "getFollowers", OperationCost::cpu(5.5));
+    app.set_cost("SocialGraphService", "getFollowees", OperationCost::cpu(5.5));
+    app.set_cost("SocialGraphService", "follow", OperationCost::cpu(6.0));
+    app.set_cost("SocialGraphService", "unfollow", OperationCost::cpu(6.0));
+    app.set_cost("SocialGraphService", "insertUser", OperationCost::cpu(5.0));
+    app.set_cost("SocialGraphRedis", "get", OperationCost::cpu(0.8).with_cache(0.01));
+    app.set_cost("SocialGraphRedis", "update", OperationCost::cpu(1.0).with_cache(0.008));
+    app.set_cost(
+        "SocialGraphMongoDB",
+        "find",
+        OperationCost::cpu(4.5).with_cache(0.025),
+    );
+    app.set_cost(
+        "SocialGraphMongoDB",
+        "update",
+        OperationCost::cpu(4.5).with_writes(1.5, 0.8).with_cache(0.01),
+    );
+    app.set_cost(
+        "SocialGraphMongoDB",
+        "insert",
+        OperationCost::cpu(4.0).with_writes(2.0, 0.9).with_cache(0.01),
+    );
+}
+
+fn register_apis(app: &mut AppSpec) {
+    // /composePost — the write-heavy flagship flow (Fig. 8): text
+    // processing (mentions, URLs), unique-id, post storage, the author's
+    // user timeline, and a fan-out write to followers' home timelines.
+    let compose = CallNode::new("FrontendNGINX", "composePost").child(
+        CallNode::new("ComposePostService", "composePost")
+            .child_repeat(Repeat::Fixed(2), CallNode::new("ComposePostRedis", "append"))
+            .child(
+                CallNode::new("TextService", "processText")
+                    .child_if(
+                        Condition::HasMention,
+                        CallNode::new("UserMentionService", "resolveMentions").child(
+                            CallNode::new("UserMemcached", "get").child_if(
+                                Condition::Prob(0.3),
+                                CallNode::new("UserMongoDB", "find"),
+                            ),
+                        ),
+                    )
+                    .child_if(
+                        Condition::HasUrl,
+                        CallNode::new("URLShortenService", "shorten")
+                            .child(CallNode::new("URLShortenMongoDB", "insert"))
+                            .child(CallNode::new("URLShortenMemcached", "set")),
+                    ),
+            )
+            .child(CallNode::new("UniqueIDService", "generate"))
+            .child_if(Condition::HasMedia, CallNode::new("MediaService", "attachMedia"))
+            .child(
+                CallNode::new("PostStorageService", "storePost")
+                    .child(CallNode::new("PostStorageMongoDB", "insert")),
+            )
+            .child(
+                CallNode::new("UserTimelineService", "writeTimeline")
+                    .child(CallNode::new("UserTimelineMongoDB", "insert"))
+                    .child(CallNode::new("UserTimelineRedis", "update")),
+            )
+            .child(
+                CallNode::new("WriteHomeTimelineService", "fanoutWrite")
+                    .child(CallNode::new("WriteHomeTimelineRabbitMQ", "enqueue"))
+                    .child(
+                        CallNode::new("SocialGraphService", "getFollowers").child(
+                            CallNode::new("SocialGraphRedis", "get").child_if(
+                                Condition::Prob(0.2),
+                                CallNode::new("SocialGraphMongoDB", "find"),
+                            ),
+                        ),
+                    )
+                    .child_repeat(
+                        Repeat::PerFanout {
+                            scale: 0.12,
+                            max: 6,
+                        },
+                        CallNode::new("HomeTimelineRedis", "update"),
+                    ),
+            ),
+    );
+    app.add_api(
+        ApiSpec::new("/composePost", 0.25, compose)
+            .with_text()
+            .with_fanout(),
+    );
+
+    // /readUserTimeline — the paper's "/readTimeline".
+    let read_user = CallNode::new("FrontendNGINX", "readUserTimeline").child(
+        CallNode::new("UserTimelineService", "readTimeline")
+            .child(
+                CallNode::new("UserTimelineRedis", "get").child_if(
+                    Condition::Prob(0.35),
+                    CallNode::new("UserTimelineMongoDB", "find"),
+                ),
+            )
+            .child(
+                CallNode::new("PostStorageService", "getPosts").child(
+                    CallNode::new("PostStorageMemcached", "get").child_if(
+                        Condition::Prob(0.4),
+                        CallNode::new("PostStorageMongoDB", "find"),
+                    ),
+                ),
+            ),
+    );
+    app.add_api(ApiSpec::new("/readUserTimeline", 0.33, read_user));
+
+    // /readHomeTimeline.
+    let read_home = CallNode::new("FrontendNGINX", "readHomeTimeline").child(
+        CallNode::new("HomeTimelineService", "readTimeline")
+            .child(CallNode::new("HomeTimelineRedis", "get"))
+            .child(
+                CallNode::new("PostStorageService", "getPosts").child(
+                    CallNode::new("PostStorageMemcached", "get").child_if(
+                        Condition::Prob(0.4),
+                        CallNode::new("PostStorageMongoDB", "find"),
+                    ),
+                ),
+            ),
+    );
+    app.add_api(ApiSpec::new("/readHomeTimeline", 0.15, read_home));
+
+    // /uploadMedia and /getMedia through the media NGINX.
+    let upload = CallNode::new("MediaNGINX", "uploadMedia").child(
+        CallNode::new("MediaService", "upload").child(CallNode::new("MediaMongoDB", "store")),
+    );
+    app.add_api(ApiSpec::new("/uploadMedia", 0.08, upload).with_media());
+
+    let get_media = CallNode::new("MediaNGINX", "getMedia").child(
+        CallNode::new("MediaService", "get").child(
+            CallNode::new("MediaMemcached", "get")
+                .child_if(Condition::Prob(0.3), CallNode::new("MediaMongoDB", "find")),
+        ),
+    );
+    app.add_api(ApiSpec::new("/getMedia", 0.06, get_media));
+
+    // Account and graph management endpoints.
+    let login = CallNode::new("FrontendNGINX", "login").child(
+        CallNode::new("UserService", "login").child(
+            CallNode::new("UserMemcached", "get")
+                .child_if(Condition::Prob(0.3), CallNode::new("UserMongoDB", "find")),
+        ),
+    );
+    app.add_api(ApiSpec::new("/login", 0.04, login));
+
+    let register = CallNode::new("FrontendNGINX", "register").child(
+        CallNode::new("UserService", "register")
+            .child(CallNode::new("UserMongoDB", "insert"))
+            .child(
+                CallNode::new("SocialGraphService", "insertUser")
+                    .child(CallNode::new("SocialGraphMongoDB", "insert")),
+            ),
+    );
+    app.add_api(ApiSpec::new("/register", 0.01, register));
+
+    let follow = CallNode::new("FrontendNGINX", "follow").child(
+        CallNode::new("SocialGraphService", "follow")
+            .child(CallNode::new("SocialGraphMongoDB", "update"))
+            .child(CallNode::new("SocialGraphRedis", "update")),
+    );
+    app.add_api(ApiSpec::new("/follow", 0.03, follow));
+
+    let unfollow = CallNode::new("FrontendNGINX", "unfollow").child(
+        CallNode::new("SocialGraphService", "unfollow")
+            .child(CallNode::new("SocialGraphMongoDB", "update"))
+            .child(CallNode::new("SocialGraphRedis", "update")),
+    );
+    app.add_api(ApiSpec::new("/unfollow", 0.01, unfollow));
+
+    let get_followers = CallNode::new("FrontendNGINX", "getFollowers").child(
+        CallNode::new("SocialGraphService", "getFollowers").child(
+            CallNode::new("SocialGraphRedis", "get").child_if(
+                Condition::Prob(0.25),
+                CallNode::new("SocialGraphMongoDB", "find"),
+            ),
+        ),
+    );
+    app.add_api(ApiSpec::new("/getFollowers", 0.03, get_followers));
+
+    let get_followees = CallNode::new("FrontendNGINX", "getFollowees").child(
+        CallNode::new("SocialGraphService", "getFollowees").child(
+            CallNode::new("SocialGraphRedis", "get").child_if(
+                Condition::Prob(0.25),
+                CallNode::new("SocialGraphMongoDB", "find"),
+            ),
+        ),
+    );
+    app.add_api(ApiSpec::new("/getFollowees", 0.01, get_followees));
+}

@@ -1,0 +1,105 @@
+//! Component (container/pod) specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// A deployable component of a microservice application — one container or
+/// pod in the paper's Kubernetes deployment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Component name, e.g. `PostStorageMongoDB`.
+    pub name: String,
+    /// Stateful components (MongoDB stores) additionally track write IOps,
+    /// write throughput and disk usage.
+    pub stateful: bool,
+    /// CPU cores allocated to the container.
+    pub cores: f64,
+    /// Idle CPU overhead in percent (health checks, runtime threads).
+    pub cpu_baseline_pct: f64,
+    /// Resident memory of the idle process, MiB.
+    pub mem_baseline_mib: f64,
+    /// Maximum memory the component's cache/working set may grow to, MiB.
+    pub mem_cache_max_mib: f64,
+    /// Initial on-disk data size, MiB (stateful only; pre-seeded datasets).
+    pub disk_initial_mib: f64,
+}
+
+impl ComponentSpec {
+    /// A stateless service or cache with sensible defaults.
+    pub fn stateless(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            stateful: false,
+            cores: 1.0,
+            cpu_baseline_pct: 1.5,
+            mem_baseline_mib: 64.0,
+            mem_cache_max_mib: 96.0,
+            disk_initial_mib: 0.0,
+        }
+    }
+
+    /// A stateful store (MongoDB-like) with sensible defaults.
+    pub fn stateful(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            stateful: true,
+            cores: 1.0,
+            cpu_baseline_pct: 2.0,
+            mem_baseline_mib: 128.0,
+            mem_cache_max_mib: 256.0,
+            disk_initial_mib: 512.0,
+        }
+    }
+
+    /// Builder: CPU cores.
+    pub fn with_cores(mut self, cores: f64) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Builder: idle CPU percent.
+    pub fn with_cpu_baseline(mut self, pct: f64) -> Self {
+        self.cpu_baseline_pct = pct;
+        self
+    }
+
+    /// Builder: baseline and max-cache memory (MiB).
+    pub fn with_memory(mut self, baseline_mib: f64, cache_max_mib: f64) -> Self {
+        self.mem_baseline_mib = baseline_mib;
+        self.mem_cache_max_mib = cache_max_mib;
+        self
+    }
+
+    /// Builder: initial disk size (MiB).
+    pub fn with_disk(mut self, initial_mib: f64) -> Self {
+        self.disk_initial_mib = initial_mib;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stateless_and_stateful_defaults() {
+        let s = ComponentSpec::stateless("TextService");
+        assert!(!s.stateful);
+        assert_eq!(s.disk_initial_mib, 0.0);
+        let m = ComponentSpec::stateful("PostStorageMongoDB");
+        assert!(m.stateful);
+        assert!(m.disk_initial_mib > 0.0);
+        assert!(m.mem_baseline_mib > s.mem_baseline_mib);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = ComponentSpec::stateless("FrontendNGINX")
+            .with_cores(2.0)
+            .with_cpu_baseline(3.0)
+            .with_memory(32.0, 48.0);
+        assert_eq!(c.cores, 2.0);
+        assert_eq!(c.cpu_baseline_pct, 3.0);
+        assert_eq!(c.mem_baseline_mib, 32.0);
+        assert_eq!(c.mem_cache_max_mib, 48.0);
+    }
+}

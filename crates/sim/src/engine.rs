@@ -1,0 +1,567 @@
+//! The simulation engine: drives API traffic through an application,
+//! producing distributed traces and windowed resource metrics.
+
+use std::collections::HashMap;
+
+use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::{Interner, SpanNode, Trace};
+use deeprest_workload::content::{PayloadModel, SocialGraph};
+use deeprest_workload::ApiTraffic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::anomaly::Injector;
+use crate::cost::Payload;
+use crate::{AppSpec, CallNode, Condition, Repeat};
+
+/// Simulation knobs. Defaults reproduce the dynamics the paper's estimation
+/// problem depends on: queueing amplification near saturation (so doubling
+/// traffic can more-than-double CPU), temporal carryover (so utilization
+/// depends on past windows), cache-driven memory (the paper's noted hard
+/// case) and measurement noise.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Scrape window length in seconds.
+    pub window_secs: f64,
+    /// RNG seed (controls request sampling, payloads and noise).
+    pub seed: u64,
+    /// Multiplicative measurement-noise magnitude.
+    pub noise: f64,
+    /// CPU utilization fraction where queueing effects kick in.
+    pub queue_knee: f64,
+    /// Strength of the superlinear CPU amplification beyond the knee.
+    pub queue_gain: f64,
+    /// EWMA weight of the *current* window for CPU (the remainder carries
+    /// over from the previous window — queued work finishing late).
+    pub smoothing: f64,
+    /// Per-window decay of each component's cache working set.
+    pub cache_decay: f64,
+    /// Fraction of per-request transient memory visible in the window
+    /// average.
+    pub transient_mem_factor: f64,
+    /// Number of simulated application users backing the social graph.
+    pub graph_users: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            window_secs: 30.0,
+            seed: 42,
+            noise: 0.02,
+            queue_knee: 0.50,
+            queue_gain: 1.4,
+            smoothing: 0.75,
+            cache_decay: 0.985,
+            transient_mem_factor: 0.35,
+            graph_users: 2_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Builder: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the window length.
+    pub fn with_window_secs(mut self, secs: f64) -> Self {
+        self.window_secs = secs;
+        self
+    }
+}
+
+/// Everything one simulation run produces: the Jaeger-substitute traces, the
+/// Prometheus-substitute metrics, and the name table resolving the interned
+/// symbols inside the traces.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// Per-window distributed traces.
+    pub traces: WindowedTraces,
+    /// Per-(component, resource) utilization time-series.
+    pub metrics: MetricsRegistry,
+    /// Name table for the trace symbols.
+    pub interner: Interner,
+}
+
+/// Runs `traffic` through `app` with no anomaly injection.
+pub fn simulate(app: &AppSpec, traffic: &ApiTraffic, config: &SimConfig) -> SimOutput {
+    simulate_with(app, traffic, config, &[])
+}
+
+/// Runs `traffic` through `app`, post-processing each metric window through
+/// the given anomaly `injectors` (the API traffic and traces are untouched —
+/// attacks consume resources without corresponding user activity, which is
+/// exactly the signal DeepRest's sanity check hunts for).
+///
+/// # Panics
+///
+/// Panics if the app fails validation (call [`AppSpec::validate`] first for
+/// a descriptive error) or traffic references an unknown endpoint.
+pub fn simulate_with(
+    app: &AppSpec,
+    traffic: &ApiTraffic,
+    config: &SimConfig,
+    injectors: &[&dyn Injector],
+) -> SimOutput {
+    app.validate().expect("simulate: invalid AppSpec");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Pre-intern every name in app-declaration order so the interner is a
+    // pure function of the application: traces from different runs (learning
+    // vs query) of the same app share one symbol space.
+    let mut interner = Interner::new();
+    for api in &app.apis {
+        interner.intern(&api.endpoint);
+        api.root.visit(&mut |n: &CallNode| {
+            interner.intern(&n.component);
+            interner.intern(&n.operation);
+        });
+    }
+
+    // Resolve API endpoints to specs in traffic column order.
+    let api_specs: Vec<&crate::ApiSpec> = traffic
+        .apis()
+        .iter()
+        .map(|endpoint| {
+            app.api(endpoint)
+                .unwrap_or_else(|| panic!("simulate: unknown API endpoint {endpoint}"))
+        })
+        .collect();
+    let api_syms: Vec<_> = traffic
+        .apis()
+        .iter()
+        .map(|endpoint| interner.intern(endpoint))
+        .collect();
+
+    let comp_index: HashMap<&str, usize> = app
+        .components
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+
+    let graph = SocialGraph::generate(config.graph_users, config.seed ^ 0x5f5f);
+    let payload_model = PayloadModel::default();
+
+    let window_count = traffic.window_count();
+    let mut traces = WindowedTraces::with_windows(config.window_secs, window_count);
+
+    // Per-component dynamic state.
+    let n = app.components.len();
+    let mut cpu_prev = vec![0.0f64; n];
+    let mut cache_state = vec![0.0f64; n];
+    let mut disk_state: Vec<f64> = app.components.iter().map(|c| c.disk_initial_mib).collect();
+
+    // Output series.
+    let mut series: HashMap<MetricKey, TimeSeries> = HashMap::new();
+    for c in &app.components {
+        for &r in ResourceKind::for_component(c.stateful) {
+            series.insert(MetricKey::new(&c.name, r), TimeSeries::zeros(0));
+        }
+    }
+
+    let mut acc = vec![WindowAccum::default(); n];
+    for t in 0..window_count {
+        for a in &mut acc {
+            *a = WindowAccum::default();
+        }
+
+        // Sample and execute requests.
+        for (api_idx, spec) in api_specs.iter().enumerate() {
+            let expected = traffic.window(t)[api_idx];
+            let count = sample_poisson(&mut rng, expected);
+            for _ in 0..count {
+                let payload = sample_payload(spec, &payload_model, &graph, &mut rng);
+                let root = execute(
+                    &spec.root,
+                    app,
+                    &comp_index,
+                    &payload,
+                    &mut acc,
+                    &mut interner,
+                    &mut rng,
+                );
+                traces.windows[t].push(Trace::new(api_syms[api_idx], root));
+            }
+        }
+
+        // Turn accumulated work into utilization metrics.
+        for (i, comp) in app.components.iter().enumerate() {
+            let a = &acc[i];
+
+            // CPU: busy time over capacity, queue-amplified and smoothed.
+            let busy_pct = 100.0 * a.cpu_ms / (config.window_secs * 1_000.0 * comp.cores);
+            let raw = comp.cpu_baseline_pct + busy_pct;
+            let rho = (raw / 100.0).min(1.5);
+            let amplified = raw * (1.0 + config.queue_gain * (rho - config.queue_knee).max(0.0));
+            let smoothed =
+                config.smoothing * amplified + (1.0 - config.smoothing) * cpu_prev[i];
+            cpu_prev[i] = smoothed;
+            let mut cpu = (smoothed * noise_factor(&mut rng, config.noise)).clamp(0.0, 100.0);
+
+            // Memory: baseline + decaying cache working set + transients.
+            cache_state[i] = (cache_state[i] * config.cache_decay + a.cache_mib)
+                .min(comp.mem_cache_max_mib);
+            let mut mem = (comp.mem_baseline_mib
+                + cache_state[i]
+                + config.transient_mem_factor * a.mem_mib)
+                * noise_factor(&mut rng, config.noise);
+
+            let mut iops = a.write_ops / config.window_secs;
+            let mut throughput = a.write_kib / config.window_secs;
+
+            for injector in injectors {
+                cpu = injector.adjust(t, &comp.name, ResourceKind::Cpu, cpu);
+                mem = injector.adjust(t, &comp.name, ResourceKind::Memory, mem);
+                if comp.stateful {
+                    iops = injector.adjust(t, &comp.name, ResourceKind::WriteIops, iops);
+                    throughput =
+                        injector.adjust(t, &comp.name, ResourceKind::WriteThroughput, throughput);
+                }
+            }
+            cpu = cpu.clamp(0.0, 100.0);
+
+            push(&mut series, &comp.name, ResourceKind::Cpu, cpu);
+            push(&mut series, &comp.name, ResourceKind::Memory, mem);
+            if comp.stateful {
+                let iops_noisy = iops * noise_factor(&mut rng, config.noise);
+                let thr_noisy = throughput * noise_factor(&mut rng, config.noise);
+                // Disk grows by what was actually written (post-injection:
+                // e.g. ransomware re-encrypting data does churn the disk).
+                disk_state[i] += thr_noisy * config.window_secs / 1024.0;
+                push(&mut series, &comp.name, ResourceKind::WriteIops, iops_noisy);
+                push(
+                    &mut series,
+                    &comp.name,
+                    ResourceKind::WriteThroughput,
+                    thr_noisy,
+                );
+                push(&mut series, &comp.name, ResourceKind::DiskUsage, disk_state[i]);
+            }
+        }
+    }
+
+    let mut metrics = MetricsRegistry::new();
+    for (k, s) in series {
+        metrics.insert(k, s);
+    }
+    SimOutput {
+        traces,
+        metrics,
+        interner,
+    }
+}
+
+/// Per-window, per-component work accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+struct WindowAccum {
+    cpu_ms: f64,
+    write_ops: f64,
+    write_kib: f64,
+    cache_mib: f64,
+    mem_mib: f64,
+}
+
+fn push(
+    series: &mut HashMap<MetricKey, TimeSeries>,
+    component: &str,
+    resource: ResourceKind,
+    value: f64,
+) {
+    series
+        .get_mut(&MetricKey::new(component, resource))
+        .expect("series pre-registered")
+        .push(value);
+}
+
+fn sample_payload(
+    spec: &crate::ApiSpec,
+    model: &PayloadModel,
+    graph: &SocialGraph,
+    rng: &mut StdRng,
+) -> SampledPayload {
+    let media_kib = if spec.carries_media {
+        model.sample_media_kib(rng)
+    } else {
+        0.0
+    };
+    let text_chars = if spec.carries_text {
+        model.sample_text_chars(rng)
+    } else {
+        0.0
+    };
+    let fanout = if spec.uses_fanout {
+        f64::from(graph.sample_fanout(rng))
+    } else {
+        0.0
+    };
+    SampledPayload {
+        payload: Payload {
+            media_kib,
+            text_chars,
+            fanout,
+        },
+        has_url: spec.carries_text && model.sample_has_url(rng),
+        has_mention: spec.carries_text && model.sample_has_mention(rng),
+        has_media: spec.carries_media && media_kib > 0.0,
+    }
+}
+
+struct SampledPayload {
+    payload: Payload,
+    has_url: bool,
+    has_mention: bool,
+    has_media: bool,
+}
+
+/// Walks one request through the invocation tree: accumulates costs and
+/// builds the span tree.
+fn execute(
+    node: &CallNode,
+    app: &AppSpec,
+    comp_index: &HashMap<&str, usize>,
+    sampled: &SampledPayload,
+    acc: &mut [WindowAccum],
+    interner: &mut Interner,
+    rng: &mut StdRng,
+) -> SpanNode {
+    let idx = comp_index[node.component.as_str()];
+    let cost = app
+        .cost(&node.component, &node.operation)
+        .expect("validated cost")
+        .sample(&sampled.payload);
+    let a = &mut acc[idx];
+    a.cpu_ms += cost.cpu_ms;
+    a.write_ops += cost.write_ops;
+    a.write_kib += cost.write_kib;
+    a.cache_mib += cost.cache_mib;
+    a.mem_mib += cost.mem_mib;
+
+    let comp_sym = interner.intern(&node.component);
+    let op_sym = interner.intern(&node.operation);
+    let mut span = SpanNode::leaf(comp_sym, op_sym);
+
+    for edge in &node.children {
+        let fire = match edge.condition {
+            Condition::Always => true,
+            Condition::Prob(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
+            Condition::HasUrl => sampled.has_url,
+            Condition::HasMention => sampled.has_mention,
+            Condition::HasMedia => sampled.has_media,
+        };
+        if !fire {
+            continue;
+        }
+        let times = match edge.repeat {
+            Repeat::Once => 1,
+            Repeat::Fixed(k) => k,
+            Repeat::PerFanout { scale, max } => {
+                ((sampled.payload.fanout * scale).ceil() as u32).clamp(1, max)
+            }
+        };
+        for _ in 0..times {
+            span.children.push(execute(
+                &edge.node, app, comp_index, sampled, acc, interner, rng,
+            ));
+        }
+    }
+    span
+}
+
+/// Poisson sampling: Knuth's method for small rates, a rounded normal
+/// approximation for large ones.
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation N(λ, λ).
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        return (lambda + lambda.sqrt() * z).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn noise_factor(rng: &mut StdRng, magnitude: f64) -> f64 {
+    if magnitude <= 0.0 {
+        1.0
+    } else {
+        1.0 + rng.gen_range(-magnitude..magnitude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApiSpec, ComponentSpec, OperationCost};
+    use deeprest_workload::WorkloadSpec;
+
+    fn tiny_app() -> AppSpec {
+        let mut app = AppSpec::new("tiny");
+        app.add_component(ComponentSpec::stateless("Frontend").with_cpu_baseline(0.5));
+        app.add_component(ComponentSpec::stateful("Store").with_cpu_baseline(0.5));
+        app.set_cost("Frontend", "read", OperationCost::cpu(4.0));
+        app.set_cost("Frontend", "write", OperationCost::cpu(6.0));
+        app.set_cost(
+            "Store",
+            "insert",
+            OperationCost::cpu(3.0).with_writes(2.0, 16.0).with_cache(0.02),
+        );
+        app.set_cost("Store", "find", OperationCost::cpu(2.0).with_cache(0.05));
+        app.add_api(ApiSpec::new(
+            "/read",
+            0.7,
+            CallNode::new("Frontend", "read")
+                .child_if(Condition::Prob(0.5), CallNode::new("Store", "find")),
+        ));
+        app.add_api(ApiSpec::new(
+            "/write",
+            0.3,
+            CallNode::new("Frontend", "write").child(CallNode::new("Store", "insert")),
+        ));
+        app
+    }
+
+    fn tiny_traffic(days: usize) -> ApiTraffic {
+        WorkloadSpec::new(
+            120.0,
+            vec![("/read".into(), 0.7), ("/write".into(), 0.3)],
+        )
+        .with_days(days)
+        .with_windows_per_day(24)
+        .generate()
+    }
+
+    #[test]
+    fn produces_aligned_traces_and_metrics() {
+        let out = simulate(&tiny_app(), &tiny_traffic(1), &SimConfig::default());
+        assert_eq!(out.traces.len(), 24);
+        assert_eq!(out.metrics.window_count(), Some(24));
+        // 1 stateless (2 resources) + 1 stateful (5) = 7 series.
+        assert_eq!(out.metrics.len(), 7);
+        assert!(out.traces.trace_count() > 100);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = simulate(&tiny_app(), &tiny_traffic(1), &SimConfig::default());
+        let b = simulate(&tiny_app(), &tiny_traffic(1), &SimConfig::default());
+        assert_eq!(
+            a.metrics.get_parts("Store", ResourceKind::Cpu).unwrap().values(),
+            b.metrics.get_parts("Store", ResourceKind::Cpu).unwrap().values()
+        );
+        assert_eq!(a.traces.trace_count(), b.traces.trace_count());
+        let c = simulate(
+            &tiny_app(),
+            &tiny_traffic(1),
+            &SimConfig::default().with_seed(7),
+        );
+        assert_ne!(
+            a.metrics.get_parts("Store", ResourceKind::Cpu).unwrap().values(),
+            c.metrics.get_parts("Store", ResourceKind::Cpu).unwrap().values()
+        );
+    }
+
+    #[test]
+    fn cpu_tracks_traffic_intensity() {
+        let out = simulate(&tiny_app(), &tiny_traffic(1), &SimConfig::default());
+        let cpu = out.metrics.get_parts("Frontend", ResourceKind::Cpu).unwrap();
+        let traffic = tiny_traffic(1).total_series();
+        // Peak window CPU should exceed trough CPU substantially.
+        let peak_w = (0..24).max_by(|&a, &b| {
+            traffic.get(a).partial_cmp(&traffic.get(b)).unwrap()
+        }).unwrap();
+        let trough_w = (0..24).min_by(|&a, &b| {
+            traffic.get(a).partial_cmp(&traffic.get(b)).unwrap()
+        }).unwrap();
+        assert!(cpu.get(peak_w) > 1.5 * cpu.get(trough_w));
+    }
+
+    #[test]
+    fn disk_usage_is_monotone() {
+        let out = simulate(&tiny_app(), &tiny_traffic(2), &SimConfig::default());
+        let disk = out
+            .metrics
+            .get_parts("Store", ResourceKind::DiskUsage)
+            .unwrap();
+        assert!(disk.values().windows(2).all(|w| w[1] >= w[0]));
+        assert!(disk.get(disk.len() - 1) > disk.get(0));
+    }
+
+    #[test]
+    fn only_write_api_drives_store_writes() {
+        // Traffic with zero /write requests → (almost) no IOps on the store.
+        let read_only = WorkloadSpec::new(120.0, vec![("/read".into(), 1.0)])
+            .with_days(1)
+            .with_windows_per_day(24)
+            .generate();
+        let out = simulate(&tiny_app(), &read_only, &SimConfig::default());
+        let iops = out.metrics.get_parts("Store", ResourceKind::WriteIops).unwrap();
+        assert!(iops.max() < 1e-9, "read-only traffic must not write");
+    }
+
+    #[test]
+    fn traces_reflect_invocation_structure() {
+        let out = simulate(&tiny_app(), &tiny_traffic(1), &SimConfig::default());
+        let mut write_traces = 0;
+        for tr in out.traces.iter_all() {
+            let api = out.interner.resolve(tr.api);
+            if api == "/write" {
+                write_traces += 1;
+                // /write always has exactly the 2-node chain.
+                assert_eq!(tr.span_count(), 2);
+            } else {
+                assert!(tr.span_count() <= 2);
+            }
+        }
+        assert!(write_traces > 0);
+    }
+
+    #[test]
+    fn superlinear_cpu_under_heavy_load() {
+        let app = tiny_app();
+        let base = tiny_traffic(1);
+        let heavy = base.scale(6.0);
+        let cfg = SimConfig::default();
+        let out1 = simulate(&app, &base, &cfg);
+        let out6 = simulate(&app, &heavy, &cfg);
+        let cpu1 = out1.metrics.get_parts("Frontend", ResourceKind::Cpu).unwrap().mean();
+        let cpu6 = out6.metrics.get_parts("Frontend", ResourceKind::Cpu).unwrap().mean();
+        // Queueing amplification: 6x traffic → clearly more than 6x CPU
+        // above baseline would exceed 100%, so check the amplified ratio on
+        // the un-clamped region instead: mean CPU grows more than linearly
+        // relative to the busy fraction at low load.
+        let busy1 = cpu1 - 1.5;
+        let busy6 = cpu6 - 1.5;
+        assert!(busy6 > 6.0 * busy1 * 0.9, "busy1={busy1} busy6={busy6}");
+    }
+
+    #[test]
+    fn poisson_sampler_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &lambda in &[0.5, 5.0, 50.0] {
+            let n = 4_000;
+            let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end sanity checks of the benchmark applications at realistic
+//! scale: utilization magnitudes, dynamic range and scale behaviour.
+
+use deeprest_metrics::ResourceKind;
+use deeprest_sim::apps;
+use deeprest_sim::engine::{simulate, SimConfig};
+use deeprest_workload::WorkloadSpec;
+
+fn traffic(users: f64, days: usize) -> deeprest_workload::ApiTraffic {
+    let app = apps::social_network();
+    WorkloadSpec::new(users, app.default_mix())
+        .with_days(days)
+        .with_windows_per_day(96)
+        .generate()
+}
+
+#[test]
+fn social_network_magnitudes_are_sane() {
+    let app = apps::social_network();
+    let out = simulate(&app, &traffic(120.0, 2), &SimConfig::default());
+
+    // Every focus component's CPU is alive but unsaturated.
+    for name in apps::FOCUS_COMPONENTS {
+        let cpu = out.metrics.get_parts(name, ResourceKind::Cpu).unwrap();
+        assert!(cpu.mean() > 1.0, "{name} CPU mean {:.2} too idle", cpu.mean());
+        assert!(cpu.max() < 60.0, "{name} CPU max {:.2} saturated", cpu.max());
+        // Two-peak traffic leaves a clear intra-day dynamic range.
+        assert!(
+            cpu.max() > 1.4 * cpu.min(),
+            "{name} CPU range too flat: {:.2}..{:.2}",
+            cpu.min(),
+            cpu.max()
+        );
+    }
+
+    // The write path produces IOps on the post store; disk grows.
+    let iops = out
+        .metrics
+        .get_parts("PostStorageMongoDB", ResourceKind::WriteIops)
+        .unwrap();
+    assert!(iops.mean() > 0.5);
+    let disk = out
+        .metrics
+        .get_parts("PostStorageMongoDB", ResourceKind::DiskUsage)
+        .unwrap();
+    assert!(disk.values().windows(2).all(|w| w[1] >= w[0]));
+
+    // All 76 resources emit aligned series.
+    assert_eq!(out.metrics.len(), 76);
+    assert_eq!(out.metrics.window_count(), Some(192));
+    assert!(out.traces.trace_count() > 5_000);
+}
+
+#[test]
+fn tripling_users_more_than_doubles_frontend_cpu() {
+    let app = apps::social_network();
+    let cfg = SimConfig::default();
+    let base = simulate(&app, &traffic(120.0, 1), &cfg);
+    let tripled = simulate(&app, &traffic(120.0, 1).scale(3.0), &cfg);
+    let cpu1 = base
+        .metrics
+        .get_parts("FrontendNGINX", ResourceKind::Cpu)
+        .unwrap()
+        .mean();
+    let cpu3 = tripled
+        .metrics
+        .get_parts("FrontendNGINX", ResourceKind::Cpu)
+        .unwrap()
+        .mean();
+    assert!(cpu3 > 2.0 * cpu1, "cpu1 {cpu1:.2} cpu3 {cpu3:.2}");
+}
+
+#[test]
+fn hotel_reservation_simulates_cleanly() {
+    let app = apps::hotel_reservation();
+    let traffic = WorkloadSpec::new(150.0, app.default_mix())
+        .with_days(1)
+        .with_windows_per_day(96)
+        .generate();
+    let out = simulate(&app, &traffic, &SimConfig::default());
+    assert_eq!(out.metrics.len(), 54);
+    let cpu = out
+        .metrics
+        .get_parts("FrontendService", ResourceKind::Cpu)
+        .unwrap();
+    assert!(cpu.mean() > 1.0 && cpu.max() < 80.0);
+    // Only /reserve writes: ReserveMongoDB sees IOps, GeoMongoDB none.
+    let reserve = out
+        .metrics
+        .get_parts("ReserveMongoDB", ResourceKind::WriteIops)
+        .unwrap();
+    let geo = out
+        .metrics
+        .get_parts("GeoMongoDB", ResourceKind::WriteIops)
+        .unwrap();
+    assert!(reserve.mean() > 0.0);
+    assert!(geo.max() < 1e-9);
+}

@@ -1,0 +1,659 @@
+//! Tape-based reverse-mode automatic differentiation.
+
+use crate::{ParamId, ParamStore, Tensor};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// The recorded operation that produced a node.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Leaf without gradient (inputs, targets, masks of constants).
+    Constant,
+    /// Leaf whose gradient flows back into a [`ParamStore`].
+    Param(ParamId),
+    /// Elementwise `a + b`.
+    Add(Var, Var),
+    /// Elementwise `a - b`.
+    Sub(Var, Var),
+    /// Hadamard product `a ⊙ b`.
+    Mul(Var, Var),
+    /// Matrix product `a * b`.
+    MatMul(Var, Var),
+    /// Logistic sigmoid `σ(a)`.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// `1 - a` elementwise.
+    OneMinus(Var),
+    /// `c * a` for a compile-time scalar `c`.
+    Scale(Var, f32),
+    /// `a ⊙ c` for a constant tensor `c` (e.g. self-exclusion masks).
+    MulConst(Var, Tensor),
+    /// `a - c` for a constant tensor `c` (e.g. regression targets); only
+    /// the operand var is needed for the backward pass.
+    SubConst(Var),
+    /// Elementwise square `a ⊙ a`.
+    Square(Var),
+    /// Vertical stack of column vectors.
+    ConcatRows(Vec<Var>),
+    /// Horizontal stack of column vectors into a matrix.
+    ConcatCols(Vec<Var>),
+    /// Sum of all elements, producing a `(1, 1)` scalar.
+    SumAll(Var),
+    /// Mean of all elements, producing a `(1, 1)` scalar.
+    MeanAll(Var),
+    /// Elementwise sum of same-shaped vars.
+    AddN(Vec<Var>),
+    /// Pinball (quantile) loss summed over rows; see [`Graph::pinball`].
+    Pinball {
+        pred: Var,
+        target: Tensor,
+        quantiles: Vec<f32>,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A computation tape.
+///
+/// Operations append nodes in topological order; [`Graph::backward`] sweeps
+/// the tape in reverse, accumulating parameter gradients into the
+/// [`ParamStore`] the parameters were read from.
+///
+/// A graph is intended to be short-lived: build one per forward/backward pass
+/// (per truncated-BPTT subsequence during training) and drop it afterwards.
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Creates an empty tape with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a gradient-less leaf (model input, target, fixed mask).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Constant)
+    }
+
+    /// Records a trainable parameter leaf by copying its current value from
+    /// `store`. Gradients accumulate back into `store` on [`Graph::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Hadamard product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// `1 - a` elementwise (used for the GRU update gate mix).
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 - x);
+        self.push(v, Op::OneMinus(a))
+    }
+
+    /// Scalar scaling `c * a`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// Elementwise product with a constant tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul_const(&mut self, a: Var, c: Tensor) -> Var {
+        let v = self.value(a).mul(&c);
+        self.push(v, Op::MulConst(a, c))
+    }
+
+    /// Elementwise difference with a constant tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub_const(&mut self, a: Var, c: Tensor) -> Var {
+        let v = self.value(a).sub(&c);
+        self.push(v, Op::SubConst(a))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v, Op::Square(a))
+    }
+
+    /// Vertically stacks column vectors (the paper's `a || h` concatenation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is not a column vector.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_rows(&tensors);
+        self.push(v, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Stacks column vectors side by side into a matrix, enabling the
+    /// cross-component attention `H_t · α` as one mat-vec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are not identically sized column vectors.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Sum of all elements, yielding a scalar node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, yielding a scalar node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Elementwise sum of several same-shaped vars in one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shapes differ.
+    pub fn add_n(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "Graph::add_n: no inputs");
+        let mut v = self.value(parts[0]).clone();
+        for &p in &parts[1..] {
+            v.add_assign(self.value(p));
+        }
+        self.push(v, Op::AddN(parts.to_vec()))
+    }
+
+    /// Pinball (quantile) loss summed over rows, in the standard orientation
+    /// whose minimizer at quantile `q` is the `q`-th quantile of the targets.
+    ///
+    /// For each row `i`, with `u_i = target_i - pred_i` and quantile `q_i`:
+    /// `Q(u|q) = q·u` when `u ≥ 0`, else `(q-1)·u`.
+    ///
+    /// Note: the paper's Eq. 5 writes the loss in terms of `Δ = ŷ - y` with
+    /// the quantile factor on the `Δ ≥ 0` branch, which, taken literally,
+    /// makes the head trained at `δ + (1-δ)/2` estimate the *lower* tail.
+    /// We use the standard orientation so the Eq. 6 quantiles
+    /// `{0.5, (1-δ)/2, δ+(1-δ)/2}` produce the intended
+    /// (median, lower, upper) interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred`, `target` and `quantiles` disagree on length, or if
+    /// `pred` is not a column vector.
+    pub fn pinball(&mut self, pred: Var, target: Tensor, quantiles: &[f32]) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.cols(), 1, "Graph::pinball: pred must be a column vector");
+        assert_eq!(
+            p.rows(),
+            target.rows(),
+            "Graph::pinball: pred and target length mismatch"
+        );
+        assert_eq!(
+            p.rows(),
+            quantiles.len(),
+            "Graph::pinball: pred and quantile count mismatch"
+        );
+        let mut loss = 0.0;
+        for ((&pi, &ti), &q) in p
+            .data()
+            .iter()
+            .zip(target.data().iter())
+            .zip(quantiles.iter())
+        {
+            let u = ti - pi;
+            loss += if u >= 0.0 { q * u } else { (q - 1.0) * u };
+        }
+        self.push(
+            Tensor::scalar(loss),
+            Op::Pinball {
+                pred,
+                target,
+                quantiles: quantiles.to_vec(),
+            },
+        )
+    }
+
+    /// Runs the reverse sweep from scalar node `loss`, accumulating parameter
+    /// gradients into `store` (gradients are *added*; call
+    /// [`ParamStore::zero_grads`] between optimizer steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `(1, 1)` tensor.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "Graph::backward: loss must be scalar"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            // Split borrow: clone the op descriptor (cheap: Vars + small
+            // constants) so we can mutate `grads` while matching on it.
+            let op = self.nodes[idx].op.clone();
+            match op {
+                Op::Constant => {}
+                Op::Param(id) => store.grad_mut(id).add_assign(&g),
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a, &g);
+                    accumulate(&mut grads, b, &g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a, &g);
+                    accumulate_scaled(&mut grads, b, &g, -1.0);
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.mul(self.value(b));
+                    let gb = g.mul(self.value(a));
+                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, b, &gb);
+                }
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul(&self.value(b).transpose());
+                    let gb = self.value(a).transpose().matmul(&g);
+                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, b, &gb);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let ga = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, a, &ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let ga = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate(&mut grads, a, &ga);
+                }
+                Op::Relu(a) => {
+                    let x = self.value(a);
+                    let ga = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    accumulate(&mut grads, a, &ga);
+                }
+                Op::OneMinus(a) => accumulate_scaled(&mut grads, a, &g, -1.0),
+                Op::Scale(a, c) => accumulate_scaled(&mut grads, a, &g, c),
+                Op::MulConst(a, ref c) => {
+                    let ga = g.mul(c);
+                    accumulate(&mut grads, a, &ga);
+                }
+                Op::SubConst(a) => accumulate(&mut grads, a, &g),
+                Op::Square(a) => {
+                    let x = self.value(a);
+                    let ga = g.zip_map(x, |gi, xi| 2.0 * gi * xi);
+                    accumulate(&mut grads, a, &ga);
+                }
+                Op::ConcatRows(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let rows = self.value(p).rows();
+                        let slice = Tensor::vector(g.data()[offset..offset + rows].to_vec());
+                        accumulate(&mut grads, p, &slice);
+                        offset += rows;
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let rows = self.nodes[idx].value.rows();
+                    let cols = parts.len();
+                    for (c, p) in parts.into_iter().enumerate() {
+                        let mut col = Tensor::zeros(rows, 1);
+                        for r in 0..rows {
+                            col.data_mut()[r] = g.data()[r * cols + c];
+                        }
+                        accumulate(&mut grads, p, &col);
+                    }
+                }
+                Op::SumAll(a) => {
+                    let shape = self.value(a).shape();
+                    let ga = Tensor::full(shape.0, shape.1, g.data()[0]);
+                    accumulate(&mut grads, a, &ga);
+                }
+                Op::MeanAll(a) => {
+                    let shape = self.value(a).shape();
+                    let n = (shape.0 * shape.1) as f32;
+                    let ga = Tensor::full(shape.0, shape.1, g.data()[0] / n);
+                    accumulate(&mut grads, a, &ga);
+                }
+                Op::AddN(parts) => {
+                    for p in parts {
+                        accumulate(&mut grads, p, &g);
+                    }
+                }
+                Op::Pinball {
+                    pred,
+                    ref target,
+                    ref quantiles,
+                } => {
+                    let p = self.value(pred);
+                    let mut gp = Tensor::zeros(p.rows(), 1);
+                    for (i, ((&pi, &ti), &q)) in p
+                        .data()
+                        .iter()
+                        .zip(target.data().iter())
+                        .zip(quantiles.iter())
+                        .enumerate()
+                    {
+                        let u = ti - pi;
+                        // dL/dpred = -q when under the target, (1-q) above it;
+                        // the subgradient at u = 0 uses the u ≥ 0 branch.
+                        let d = if u >= 0.0 { -q } else { 1.0 - q };
+                        gp.data_mut()[i] = g.data()[0] * d;
+                    }
+                    accumulate(&mut grads, pred, &gp);
+                }
+            }
+        }
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: &Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+fn accumulate_scaled(grads: &mut [Option<Tensor>], v: Var, g: &Tensor, scale: f32) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.axpy(scale, g),
+        slot @ None => *slot = Some(g.scale(scale)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(values: &[(&str, Tensor)]) -> (ParamStore, Vec<ParamId>) {
+        let mut s = ParamStore::new();
+        let ids = values
+            .iter()
+            .map(|(n, t)| s.add(*n, t.clone()))
+            .collect();
+        (s, ids)
+    }
+
+    /// Central finite-difference gradient of `f` w.r.t. parameter `id`.
+    fn numeric_grad(
+        store: &ParamStore,
+        id: ParamId,
+        f: impl Fn(&ParamStore) -> f32,
+    ) -> Tensor {
+        let eps = 1e-3;
+        let base = store.value(id).clone();
+        let mut out = Tensor::zeros(base.rows(), base.cols());
+        for i in 0..base.len() {
+            let mut plus = store.clone();
+            plus.value_mut(id).data_mut()[i] += eps;
+            let mut minus = store.clone();
+            minus.value_mut(id).data_mut()[i] -= eps;
+            out.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "gradient mismatch: analytic {x} vs numeric {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_differences() {
+        let (mut store, ids) = store_with(&[
+            ("w", Tensor::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.5, 0.7, -0.4])),
+            ("x", Tensor::vector(vec![1.0, -1.5, 2.0])),
+        ]);
+        let f = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let w = g.param(s, ids[0]);
+            let x = g.param(s, ids[1]);
+            let y = g.matmul(w, x);
+            let l = g.sum_all(y);
+            g.value(l).data()[0]
+        };
+        let mut g = Graph::new();
+        let w = g.param(&store, ids[0]);
+        let x = g.param(&store, ids[1]);
+        let y = g.matmul(w, x);
+        let l = g.sum_all(y);
+        g.backward(l, &mut store);
+
+        assert_close(store.grad(ids[0]), &numeric_grad(&store, ids[0], f), 1e-2);
+        assert_close(store.grad(ids[1]), &numeric_grad(&store, ids[1], f), 1e-2);
+    }
+
+    #[test]
+    fn gru_like_composite_gradients() {
+        // z = σ(Wx); h = z ⊙ tanh(Ux); loss = mean(h²) exercises most ops.
+        let (mut store, ids) = store_with(&[
+            ("w", Tensor::from_vec(2, 2, vec![0.3, -0.1, 0.4, 0.2])),
+            ("u", Tensor::from_vec(2, 2, vec![-0.2, 0.6, 0.1, -0.5])),
+        ]);
+        let x = Tensor::vector(vec![0.8, -0.6]);
+        let (w_id, u_id) = (ids[0], ids[1]);
+        let f = {
+            let x = x.clone();
+            move |s: &ParamStore| {
+                let mut g = Graph::new();
+                let w = g.param(s, w_id);
+                let u = g.param(s, u_id);
+                let xv = g.constant(x.clone());
+                let wx = g.matmul(w, xv);
+                let z = g.sigmoid(wx);
+                let ux = g.matmul(u, xv);
+                let th = g.tanh(ux);
+                let h = g.mul(z, th);
+                let sq = g.square(h);
+                let l = g.mean_all(sq);
+                g.value(l).data()[0]
+            }
+        };
+        let mut g = Graph::new();
+        let w = g.param(&store, ids[0]);
+        let u = g.param(&store, ids[1]);
+        let xv = g.constant(x);
+        let wx = g.matmul(w, xv);
+        let z = g.sigmoid(wx);
+        let ux = g.matmul(u, xv);
+        let th = g.tanh(ux);
+        let h = g.mul(z, th);
+        let sq = g.square(h);
+        let l = g.mean_all(sq);
+        g.backward(l, &mut store);
+
+        assert_close(store.grad(ids[0]), &numeric_grad(&store, ids[0], &f), 2e-2);
+        assert_close(store.grad(ids[1]), &numeric_grad(&store, ids[1], &f), 2e-2);
+    }
+
+    #[test]
+    fn concat_ops_route_gradients() {
+        let (mut store, ids) = store_with(&[
+            ("a", Tensor::vector(vec![1.0, 2.0])),
+            ("b", Tensor::vector(vec![3.0, 4.0])),
+        ]);
+        let mut g = Graph::new();
+        let a = g.param(&store, ids[0]);
+        let b = g.param(&store, ids[1]);
+        let rows = g.concat_rows(&[a, b]);
+        // Weight rows so each part receives a distinct gradient.
+        let w = g.constant(Tensor::vector(vec![1.0, 2.0, 3.0, 4.0]));
+        let weighted = g.mul(rows, w);
+        let l1 = g.sum_all(weighted);
+
+        let cols = g.concat_cols(&[a, b]);
+        let v = g.constant(Tensor::vector(vec![10.0, 100.0]));
+        let mv = g.matmul(cols, v);
+        let l2 = g.sum_all(mv);
+
+        let l = g.add(l1, l2);
+        g.backward(l, &mut store);
+
+        assert_eq!(store.grad(ids[0]).data(), &[11.0, 12.0]);
+        assert_eq!(store.grad(ids[1]).data(), &[103.0, 104.0]);
+    }
+
+    #[test]
+    fn pinball_matches_definition_and_gradient() {
+        let (mut store, ids) = store_with(&[("p", Tensor::vector(vec![0.5, 0.5, 0.5]))]);
+        let target = Tensor::vector(vec![0.0, 1.0, 0.5]);
+        let qs = [0.5, 0.05, 0.95];
+        let mut g = Graph::new();
+        let p = g.param(&store, ids[0]);
+        let l = g.pinball(p, target.clone(), &qs);
+        // Row 0: u = 0 - 0.5 < 0 → (0.5-1)·(-0.5) = 0.25.
+        // Row 1: u = 1 - 0.5 ≥ 0 → 0.05·0.5 = 0.025.
+        // Row 2: u = 0 → 0.
+        assert!((g.value(l).data()[0] - 0.275).abs() < 1e-6);
+        g.backward(l, &mut store);
+        // Row 0 above target: 1-q = 0.5. Row 1 below: -0.05. Row 2 at: -0.95.
+        assert_eq!(store.grad(ids[0]).data(), &[0.5, -0.05, -0.95]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let (mut store, ids) = store_with(&[("a", Tensor::scalar(2.0))]);
+        for _ in 0..3 {
+            let mut g = Graph::new();
+            let a = g.param(&store, ids[0]);
+            let l = g.sum_all(a);
+            g.backward(l, &mut store);
+        }
+        assert_eq!(store.grad(ids[0]).data(), &[3.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(ids[0]).data(), &[0.0]);
+    }
+
+    #[test]
+    fn fan_out_sums_gradients() {
+        // loss = sum(a ⊙ a + a) ⇒ d/da = 2a + 1.
+        let (mut store, ids) = store_with(&[("a", Tensor::vector(vec![1.0, -2.0]))]);
+        let mut g = Graph::new();
+        let a = g.param(&store, ids[0]);
+        let sq = g.mul(a, a);
+        let s = g.add(sq, a);
+        let l = g.sum_all(s);
+        g.backward(l, &mut store);
+        assert_eq!(store.grad(ids[0]).data(), &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn scale_one_minus_relu_and_add_n() {
+        let (mut store, ids) = store_with(&[("a", Tensor::vector(vec![0.5, -0.5]))]);
+        let mut g = Graph::new();
+        let a = g.param(&store, ids[0]);
+        let r = g.relu(a); // [0.5, 0]
+        let om = g.one_minus(a); // [0.5, 1.5]
+        let sc = g.scale(a, 3.0); // [1.5, -1.5]
+        let n = g.add_n(&[r, om, sc]);
+        let l = g.sum_all(n);
+        g.backward(l, &mut store);
+        // d/da = relu'(a) - 1 + 3 = [1-1+3, 0-1+3] = [3, 2].
+        assert_eq!(store.grad(ids[0]).data(), &[3.0, 2.0]);
+        assert_eq!(g.value(n).data(), &[2.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut store = ParamStore::new();
+        let id = store.add("a", Tensor::vector(vec![1.0, 2.0]));
+        let mut g = Graph::new();
+        let a = g.param(&store, id);
+        g.backward(a, &mut store);
+    }
+}

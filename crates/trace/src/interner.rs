@@ -1,0 +1,166 @@
+//! String interning for component, operation and API names.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An interned name. Cheap to copy, hash and compare; resolve it back to a
+/// string through the [`Interner`] that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sym(pub(crate) u32);
+
+impl Sym {
+    /// A sentinel symbol that matches no interned name; used when
+    /// translating symbols across interners and the source name is unknown
+    /// to the target.
+    pub const UNKNOWN: Sym = Sym(u32::MAX);
+
+    /// Raw index of the symbol inside its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Packs two symbols into one `u64` (used for canonical trace keys and
+    /// feature-space path keys).
+    pub fn pack(a: Sym, b: Sym) -> u64 {
+        (u64::from(a.0) << 32) | u64::from(b.0)
+    }
+
+    /// Inverse of [`Sym::pack`].
+    pub fn unpack(packed: u64) -> (Sym, Sym) {
+        (Sym((packed >> 32) as u32), Sym(packed as u32))
+    }
+}
+
+/// A bidirectional string ↔ [`Sym`] table.
+///
+/// Trace producers and consumers share one interner so that symbol equality
+/// means name equality.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Interner {
+    names: Vec<String>,
+    #[serde(skip)]
+    lookup: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol (existing or new).
+    pub fn intern(&mut self, name: &str) -> Sym {
+        self.rebuild_lookup_if_needed();
+        if let Some(&id) = self.lookup.get(name) {
+            return Sym(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), id);
+        Sym(id)
+    }
+
+    /// Looks up an already-interned name without inserting.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        if self.lookup.len() == self.names.len() {
+            self.lookup.get(name).map(|&id| Sym(id))
+        } else {
+            // Deserialized interner: the lookup map is skipped by serde, so
+            // fall back to a scan (interners are small; callers that care
+            // re-intern once, which rebuilds the map).
+            self.names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| Sym(i as u32))
+        }
+    }
+
+    /// Resolves a symbol back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+
+    /// Translates a symbol produced by `from` into this interner's symbol
+    /// for the same name, or [`Sym::UNKNOWN`] when this interner has never
+    /// seen the name.
+    pub fn translate(&self, from: &Interner, sym: Sym) -> Sym {
+        self.get(from.resolve(sym)).unwrap_or(Sym::UNKNOWN)
+    }
+
+    fn rebuild_lookup_if_needed(&mut self) {
+        if self.lookup.len() != self.names.len() {
+            self.lookup = self
+                .names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), i as u32))
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("FrontendNGINX");
+        let b = i.intern("FrontendNGINX");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.resolve(a), "FrontendNGINX");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_syms() {
+        let mut i = Interner::new();
+        let a = i.intern("composePost");
+        let b = i.intern("readTimeline");
+        assert_ne!(a, b);
+        assert_eq!(i.get("readTimeline"), Some(b));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let a = Sym(7);
+        let b = Sym(123_456);
+        let packed = Sym::pack(a, b);
+        assert_eq!(Sym::unpack(packed), (a, b));
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let names: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Distributed-tracing data model for DeepRest.
+//!
+//! The paper consumes traces in the format produced by off-the-shelf tracing
+//! tools (Jaeger): each API request yields a *trace*, a tree of *spans*, each
+//! span tagged with a `(component, operation)` pair (Fig. 3). This crate
+//! provides that data model plus the derived structures DeepRest's feature
+//! engineering needs:
+//!
+//! * [`Interner`] / [`Sym`] — cheap interned names for components,
+//!   operations and API endpoints.
+//! * [`SpanNode`] / [`Trace`] — the span tree of one API request.
+//! * [`ExecutionTopology`] — the execution topology graph of Fig. 5, where
+//!   each node is a `(component, operation)` pair observed in traces.
+//! * [`hashing`] — privacy-preserving name hashing: component/operation/API
+//!   names are replaced with opaque digests before DeepRest ingests them, as
+//!   required by the paper's privacy-preserving design principle (§3).
+//! * [`window`] — partitioning of timestamped traces into the fixed scrape
+//!   windows resource metrics are aggregated over (§4.1).
+//! * [`jaeger`] — import/export of Jaeger-API-shaped JSON, the ingestion
+//!   path for traces dumped from a real tracing deployment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hashing;
+mod interner;
+pub mod jaeger;
+mod span;
+mod topology;
+pub mod window;
+
+pub use interner::{Interner, Sym};
+pub use span::{SpanNode, Trace};
+pub use topology::{ExecutionTopology, TopoNodeId};

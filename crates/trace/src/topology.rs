@@ -1,0 +1,236 @@
+//! The execution topology graph (Fig. 5 of the paper).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Interner, Sym, Trace};
+
+/// Identifier of a `(component, operation)` node in an
+/// [`ExecutionTopology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopoNodeId(u32);
+
+impl TopoNodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The execution topology graph: every `(component, operation)` pair found in
+/// the observed traces is a node; a directed edge `u → v` exists when some
+/// span with identity `u` had a direct child with identity `v`.
+///
+/// A trace is then a directed invocation path (tree) in this graph, which is
+/// the structure DeepRest's feature space (Alg. 1) is built over.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExecutionTopology {
+    nodes: Vec<(Sym, Sym)>,
+    lookup: HashMap<u64, TopoNodeId>,
+    edges: HashMap<TopoNodeId, Vec<TopoNodeId>>,
+    roots: Vec<TopoNodeId>,
+}
+
+impl ExecutionTopology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a topology from a set of traces.
+    pub fn from_traces<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Self {
+        let mut topo = Self::new();
+        for t in traces {
+            topo.add_trace(t);
+        }
+        topo
+    }
+
+    /// Incorporates one trace's spans and parent→child edges.
+    pub fn add_trace(&mut self, trace: &Trace) {
+        let root_id = self.intern_node(trace.root.component, trace.root.operation);
+        if !self.roots.contains(&root_id) {
+            self.roots.push(root_id);
+        }
+        self.add_span_edges(&trace.root);
+    }
+
+    fn add_span_edges(&mut self, span: &crate::SpanNode) {
+        let parent = self.intern_node(span.component, span.operation);
+        for child in &span.children {
+            let child_id = self.intern_node(child.component, child.operation);
+            let entry = self.edges.entry(parent).or_default();
+            if !entry.contains(&child_id) {
+                entry.push(child_id);
+            }
+            self.add_span_edges(child);
+        }
+    }
+
+    fn intern_node(&mut self, component: Sym, operation: Sym) -> TopoNodeId {
+        let packed = Sym::pack(component, operation);
+        if let Some(&id) = self.lookup.get(&packed) {
+            return id;
+        }
+        let id = TopoNodeId(self.nodes.len() as u32);
+        self.nodes.push((component, operation));
+        self.lookup.insert(packed, id);
+        id
+    }
+
+    /// Number of `(component, operation)` nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// The `(component, operation)` pair of a node.
+    pub fn node(&self, id: TopoNodeId) -> (Sym, Sym) {
+        self.nodes[id.index()]
+    }
+
+    /// Looks up a node by its `(component, operation)` pair.
+    pub fn find(&self, component: Sym, operation: Sym) -> Option<TopoNodeId> {
+        self.lookup.get(&Sym::pack(component, operation)).copied()
+    }
+
+    /// Children of a node.
+    pub fn children(&self, id: TopoNodeId) -> &[TopoNodeId] {
+        self.edges.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Entry nodes (root spans observed in traces).
+    pub fn roots(&self) -> &[TopoNodeId] {
+        &self.roots
+    }
+
+    /// All node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = TopoNodeId> {
+        (0..self.nodes.len() as u32).map(TopoNodeId)
+    }
+
+    /// Distinct component symbols appearing in the topology, in first-seen
+    /// order.
+    pub fn components(&self) -> Vec<Sym> {
+        let mut seen = Vec::new();
+        for &(c, _) in &self.nodes {
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        seen
+    }
+
+    /// Renders the topology in Graphviz DOT format for documentation and
+    /// debugging (names resolved through `interner`).
+    pub fn to_dot(&self, interner: &Interner) -> String {
+        let mut out = String::from("digraph execution_topology {\n  rankdir=LR;\n");
+        for id in self.node_ids() {
+            let (c, o) = self.node(id);
+            out.push_str(&format!(
+                "  n{} [label=\"{}:{}\"];\n",
+                id.index(),
+                interner.resolve(c),
+                interner.resolve(o)
+            ));
+        }
+        for id in self.node_ids() {
+            for child in self.children(id) {
+                out.push_str(&format!("  n{} -> n{};\n", id.index(), child.index()));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanNode;
+
+    fn make_trace(i: &mut Interner, api: &str, chain: &[(&str, &str)]) -> Trace {
+        let api_sym = i.intern(api);
+        let mut node: Option<SpanNode> = None;
+        for &(c, o) in chain.iter().rev() {
+            let comp = i.intern(c);
+            let op = i.intern(o);
+            node = Some(match node.take() {
+                None => SpanNode::leaf(comp, op),
+                Some(child) => SpanNode::with_children(comp, op, vec![child]),
+            });
+        }
+        Trace::new(api_sym, node.expect("non-empty chain"))
+    }
+
+    #[test]
+    fn builds_nodes_and_edges_from_traces() {
+        let mut i = Interner::new();
+        let t1 = make_trace(
+            &mut i,
+            "/uploadMedia",
+            &[("MediaNGINX", "uploadMedia"), ("MediaMongoDB", "store")],
+        );
+        let t2 = make_trace(
+            &mut i,
+            "/getMedia",
+            &[("MediaNGINX", "getMedia"), ("MediaMongoDB", "find")],
+        );
+        let topo = ExecutionTopology::from_traces([&t1, &t2]);
+        assert_eq!(topo.node_count(), 4);
+        assert_eq!(topo.edge_count(), 2);
+        assert_eq!(topo.roots().len(), 2);
+        assert_eq!(topo.components().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_traces_do_not_duplicate_edges() {
+        let mut i = Interner::new();
+        let t = make_trace(&mut i, "/x", &[("A", "op"), ("B", "op")]);
+        let topo = ExecutionTopology::from_traces([&t, &t, &t]);
+        assert_eq!(topo.node_count(), 2);
+        assert_eq!(topo.edge_count(), 1);
+        assert_eq!(topo.roots().len(), 1);
+    }
+
+    #[test]
+    fn same_component_different_operations_are_distinct_nodes() {
+        let mut i = Interner::new();
+        let t1 = make_trace(&mut i, "/a", &[("F", "read"), ("M", "find")]);
+        let t2 = make_trace(&mut i, "/b", &[("F", "write"), ("M", "store")]);
+        let topo = ExecutionTopology::from_traces([&t1, &t2]);
+        assert_eq!(topo.node_count(), 4);
+        let f = i.get("F").unwrap();
+        let read = i.get("read").unwrap();
+        let write = i.get("write").unwrap();
+        assert_ne!(topo.find(f, read), topo.find(f, write));
+    }
+
+    #[test]
+    fn children_lookup() {
+        let mut i = Interner::new();
+        let t = make_trace(&mut i, "/x", &[("A", "op"), ("B", "op"), ("C", "op")]);
+        let topo = ExecutionTopology::from_traces([&t]);
+        let a = topo.find(i.get("A").unwrap(), i.get("op").unwrap()).unwrap();
+        let kids = topo.children(a);
+        assert_eq!(kids.len(), 1);
+        let (comp, _) = topo.node(kids[0]);
+        assert_eq!(i.resolve(comp), "B");
+    }
+
+    #[test]
+    fn dot_export_contains_all_nodes() {
+        let mut i = Interner::new();
+        let t = make_trace(&mut i, "/x", &[("A", "op"), ("B", "op")]);
+        let topo = ExecutionTopology::from_traces([&t]);
+        let dot = topo.to_dot(&i);
+        assert!(dot.contains("A:op"));
+        assert!(dot.contains("B:op"));
+        assert!(dot.contains("n0 -> n1"));
+    }
+}

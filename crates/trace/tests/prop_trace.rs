@@ -1,0 +1,120 @@
+//! Property-based tests for the trace data model: canonical keys are a
+//! bijection on span trees, anonymization preserves structure, windowing
+//! conserves traces.
+
+use deeprest_trace::hashing;
+use deeprest_trace::window::{partition, TimestampedTrace};
+use deeprest_trace::{Interner, SpanNode, Sym, Trace};
+use proptest::prelude::*;
+
+/// Strategy generating random span trees over a small symbol alphabet.
+fn arb_span(depth: u32) -> BoxedStrategy<SpanNode> {
+    let leaf = (0u32..6, 0u32..4).prop_map(|(c, o)| SpanNode::leaf(sym(c), sym(o + 16)));
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        (0u32..6, 0u32..4, proptest::collection::vec(inner, 0..3)).prop_map(
+            |(c, o, children)| SpanNode::with_children(sym(c), sym(o + 16), children),
+        )
+    })
+    .boxed()
+}
+
+/// Interns a fixed alphabet so raw ids are valid symbols.
+fn alphabet() -> Interner {
+    let mut i = Interner::new();
+    for k in 0..6 {
+        i.intern(&format!("Component{k}"));
+    }
+    // Pad so operation symbols (offset 16) resolve.
+    for k in 6..16 {
+        i.intern(&format!("pad{k}"));
+    }
+    for k in 0..4 {
+        i.intern(&format!("op{k}"));
+    }
+    i
+}
+
+fn sym(raw: u32) -> Sym {
+    // Symbols are opaque; build them through a scratch interner with the
+    // same alphabet layout.
+    let mut i = Interner::new();
+    let mut last = None;
+    for k in 0..=raw {
+        let name = if k < 6 {
+            format!("Component{k}")
+        } else if k < 16 {
+            format!("pad{k}")
+        } else {
+            format!("op{}", k - 16)
+        };
+        last = Some(i.intern(&name));
+    }
+    last.expect("raw >= 0")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn canonical_key_round_trips(root in arb_span(4)) {
+        let key = root.canonical_key();
+        let rebuilt = SpanNode::from_canonical_key(&key);
+        prop_assert_eq!(rebuilt, Some(root));
+    }
+
+    #[test]
+    fn canonical_key_length_is_twice_span_count(root in arb_span(4)) {
+        prop_assert_eq!(root.canonical_key().len(), 2 * root.span_count());
+    }
+
+    #[test]
+    fn identical_keys_iff_identical_trees(a in arb_span(3), b in arb_span(3)) {
+        prop_assert_eq!(a.canonical_key() == b.canonical_key(), a == b);
+    }
+
+    #[test]
+    fn anonymization_preserves_shape_and_key_equality(
+        a in arb_span(3),
+        b in arb_span(3),
+        salt in any::<u64>(),
+    ) {
+        let src = alphabet();
+        let mut hashed = Interner::new();
+        let api = sym(0);
+        let ta = hashing::anonymize_trace(&Trace::new(api, a.clone()), &src, &mut hashed, salt);
+        let tb = hashing::anonymize_trace(&Trace::new(api, b.clone()), &src, &mut hashed, salt);
+        prop_assert_eq!(ta.span_count(), a.span_count());
+        prop_assert_eq!(tb.span_count(), b.span_count());
+        // Hashing is injective in practice on this alphabet: tree equality
+        // is exactly preserved.
+        prop_assert_eq!(
+            ta.canonical_key() == tb.canonical_key(),
+            a.canonical_key() == b.canonical_key()
+        );
+    }
+
+    #[test]
+    fn partition_conserves_in_range_traces(
+        times in proptest::collection::vec(0.0f64..100.0, 0..50),
+    ) {
+        let api = sym(0);
+        let span = SpanNode::leaf(sym(1), sym(16));
+        let stamped: Vec<_> = times
+            .iter()
+            .map(|&at_secs| TimestampedTrace {
+                at_secs,
+                trace: Trace::new(api, span.clone()),
+            })
+            .collect();
+        let windows = partition(stamped, 10.0, 10);
+        prop_assert_eq!(windows.trace_count(), times.len());
+        // Every trace landed in the window its timestamp dictates.
+        for (t, w) in windows.windows.iter().enumerate() {
+            let expected = times
+                .iter()
+                .filter(|&&at| (at / 10.0) as usize == t)
+                .count();
+            prop_assert_eq!(w.len(), expected, "window {}", t);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Capacity planning ahead of a traffic surge (the paper's resource-
+//! allocation use case, §5.3).
+//!
+//! The application owner expects a holiday weekend: three times the usual
+//! users, and the mix shifting toward timeline reads. DeepRest answers
+//! "how much of each resource will every component need?" *before* the
+//! traffic arrives, so slow-to-provision resources can be requested early.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use deeprest::core::{DeepRest, DeepRestConfig};
+use deeprest::metrics::{MetricKey, MetricsRegistry, ResourceKind};
+use deeprest::sim::apps;
+use deeprest::sim::engine::{simulate, SimConfig};
+use deeprest::workload::WorkloadSpec;
+
+fn main() {
+    let app = apps::social_network();
+    let learn_traffic = WorkloadSpec::new(120.0, app.default_mix())
+        .with_days(4)
+        .with_windows_per_day(96)
+        .generate();
+    let learn = simulate(&app, &learn_traffic, &SimConfig::default());
+
+    // Plan for the six focus components' CPU plus the post store's disk.
+    let scope: Vec<MetricKey> = apps::FOCUS_COMPONENTS
+        .iter()
+        .map(|c| MetricKey::new(*c, ResourceKind::Cpu))
+        .chain([MetricKey::new("PostStorageMongoDB", ResourceKind::DiskUsage)])
+        .collect();
+    let mut metrics = MetricsRegistry::new();
+    for key in &scope {
+        metrics.insert(key.clone(), learn.metrics.get(key).unwrap().clone());
+    }
+    let (model, _) = DeepRest::fit(
+        &learn.traces,
+        &metrics,
+        &learn.interner,
+        DeepRestConfig::default().with_epochs(25).with_scope(scope.clone()),
+    );
+
+    // The expected holiday traffic: 3x users, read-heavy mix.
+    let mut holiday_mix = app.default_mix();
+    for (api, w) in &mut holiday_mix {
+        if api == "/readUserTimeline" {
+            *w *= 1.8;
+        }
+    }
+    let holiday = WorkloadSpec::new(360.0, holiday_mix)
+        .with_days(1)
+        .with_windows_per_day(96)
+        .with_seed(2026)
+        .generate();
+    let estimate = model.estimate_traffic(&holiday, 7);
+
+    println!("capacity plan for the holiday weekend (3x users, read-heavy):\n");
+    println!(
+        "  {:<26} {:>12} {:>12} {:>12}",
+        "component", "today peak", "est. peak", "headroom?"
+    );
+    for key in scope.iter().filter(|k| k.resource == ResourceKind::Cpu) {
+        let today_peak = learn.metrics.get(key).unwrap().max();
+        let pred = estimate.get(key).expect("in scope");
+        // Plan against the upper confidence limit, not the median: the
+        // quantile head exists precisely so operators can provision for the
+        // 95th percentile.
+        let planned_peak = pred.upper.max();
+        let verdict = if planned_peak < 70.0 { "ok" } else { "SCALE UP" };
+        println!(
+            "  {:<26} {today_peak:11.1}% {planned_peak:11.1}% {verdict:>12}",
+            key.component
+        );
+    }
+
+    // Disk: how much will the post store grow over the holiday day?
+    let disk_key = MetricKey::new("PostStorageMongoDB", ResourceKind::DiskUsage);
+    let current = learn.metrics.get(&disk_key).unwrap().values().last().copied().unwrap();
+    let growth = estimate
+        .get(&disk_key)
+        .expect("in scope")
+        .integrated(current);
+    println!(
+        "\n  PostStorageMongoDB disk: {:.0} MiB today -> {:.0} MiB expected after the holiday (+{:.0} MiB)",
+        current,
+        growth.expected.values().last().unwrap(),
+        growth.expected.values().last().unwrap() - current
+    );
+    println!("\n(the upper-limit column uses the delta=0.90 confidence interval of Eq. 6)");
+}

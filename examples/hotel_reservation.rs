@@ -1,0 +1,70 @@
+//! DeepRest on a second application — the hotel reservation system (Fig. 7)
+//! — demonstrating application-independence: no DeepRest code changes, just
+//! different telemetry in, estimates out.
+//!
+//! Run with: `cargo run --release --example hotel_reservation`
+
+use deeprest::core::{DeepRest, DeepRestConfig};
+use deeprest::metrics::{eval, MetricKey, MetricsRegistry, ResourceKind};
+use deeprest::sim::apps;
+use deeprest::sim::engine::{simulate, SimConfig};
+use deeprest::workload::WorkloadSpec;
+
+fn main() {
+    let app = apps::hotel_reservation();
+    println!(
+        "application: {} ({} components, {} APIs, {} tracked resources)",
+        app.name,
+        app.components.len(),
+        app.apis.len(),
+        app.resource_count()
+    );
+
+    let learn_traffic = WorkloadSpec::new(150.0, app.default_mix())
+        .with_days(4)
+        .with_windows_per_day(96)
+        .generate();
+    let learn = simulate(&app, &learn_traffic, &SimConfig::default());
+
+    let scope = vec![
+        MetricKey::new("FrontendService", ResourceKind::Cpu),
+        MetricKey::new("SearchService", ResourceKind::Cpu),
+        MetricKey::new("ReserveMongoDB", ResourceKind::WriteIops),
+    ];
+    let mut metrics = MetricsRegistry::new();
+    for key in &scope {
+        metrics.insert(key.clone(), learn.metrics.get(key).unwrap().clone());
+    }
+    let (model, report) = DeepRest::fit(
+        &learn.traces,
+        &metrics,
+        &learn.interner,
+        DeepRestConfig::default().with_epochs(25).with_scope(scope.clone()),
+    );
+    println!(
+        "trained {} experts over {} invocation-path features",
+        report.expert_count, report.feature_dim
+    );
+
+    // The Fig. 17 scenario: 3x more users than ever.
+    let query = WorkloadSpec::new(450.0, app.default_mix())
+        .with_days(1)
+        .with_windows_per_day(96)
+        .with_seed(33)
+        .generate();
+    let estimate = model.estimate_traffic(&query, 5);
+    let actual = simulate(&app, &query, &SimConfig::default().with_seed(44));
+
+    println!("\nestimating a 3x-users day:");
+    for key in &scope {
+        let pred = estimate.get(key).expect("in scope");
+        let truth = actual.metrics.get(key).expect("simulated");
+        println!(
+            "  {key:<34} MAPE {:5.1}%  (actual peak {:.1} {}, estimated peak {:.1})",
+            eval::mape(truth, &pred.expected),
+            truth.max(),
+            key.resource.unit(),
+            pred.expected.max()
+        );
+    }
+}

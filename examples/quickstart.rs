@@ -1,0 +1,87 @@
+//! Quickstart: the full DeepRest pipeline in one file.
+//!
+//! 1. Simulate a microservice social network serving three days of two-peak
+//!    API traffic (this stands in for a production deployment with Jaeger +
+//!    Prometheus telemetry).
+//! 2. Application learning: fit DeepRest on the traces + metrics.
+//! 3. Mode 1 query: "what if twice as many users show up tomorrow?"
+//! 4. Compare against the actual measurement of that hypothetical day.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use deeprest::core::{DeepRest, DeepRestConfig};
+use deeprest::metrics::{eval, MetricKey, ResourceKind};
+use deeprest::sim::apps;
+use deeprest::sim::engine::{simulate, SimConfig};
+use deeprest::workload::WorkloadSpec;
+
+fn main() {
+    // -- 1. The "production" application -----------------------------------
+    let app = apps::social_network();
+    println!(
+        "application: {} ({} components, {} APIs, {} tracked resources)",
+        app.name,
+        app.components.len(),
+        app.apis.len(),
+        app.resource_count()
+    );
+
+    let learn_traffic = WorkloadSpec::new(120.0, app.default_mix())
+        .with_days(3)
+        .with_windows_per_day(96)
+        .generate();
+    let sim_cfg = SimConfig::default();
+    let learn = simulate(&app, &learn_traffic, &sim_cfg);
+    println!(
+        "learning phase: {} windows, {} traces collected",
+        learn.traces.len(),
+        learn.traces.trace_count()
+    );
+
+    // -- 2. Application learning -------------------------------------------
+    // A small scope keeps the example fast; drop `.with_scope` to train one
+    // expert per resource.
+    let scope = vec![
+        MetricKey::new("FrontendNGINX", ResourceKind::Cpu),
+        MetricKey::new("ComposePostService", ResourceKind::Cpu),
+        MetricKey::new("PostStorageMongoDB", ResourceKind::WriteIops),
+    ];
+    let config = DeepRestConfig::default().with_epochs(25).with_scope(scope.clone());
+    let metrics = {
+        // Filter the registry to the scope (the model only needs these).
+        let mut filtered = deeprest::metrics::MetricsRegistry::new();
+        for key in &scope {
+            filtered.insert(key.clone(), learn.metrics.get(key).unwrap().clone());
+        }
+        filtered
+    };
+    let (model, report) = DeepRest::fit(&learn.traces, &metrics, &learn.interner, config);
+    println!(
+        "trained {} experts over {} path features in {:.1}s (loss {:.3} -> {:.3})",
+        report.expert_count,
+        report.feature_dim,
+        report.train_seconds,
+        report.epoch_losses.first().unwrap(),
+        report.epoch_losses.last().unwrap()
+    );
+
+    // -- 3. Mode 1: hypothetical traffic ------------------------------------
+    let query_traffic = learn_traffic.slice(0..96).scale(2.0);
+    let estimate = model.estimate_traffic(&query_traffic, 42);
+
+    // -- 4. Validate against an actual run of that traffic ------------------
+    let actual = simulate(&app, &query_traffic, &SimConfig::default().with_seed(99));
+    println!("\nestimation quality on the 2x-users day:");
+    for key in &scope {
+        let pred = estimate.get(key).expect("in scope");
+        let truth = actual.metrics.get(key).expect("simulated");
+        println!(
+            "  {key:<38} MAPE {:5.1}%  (actual mean {:.2} {}, estimated mean {:.2})",
+            eval::mape(truth, &pred.expected),
+            truth.mean(),
+            key.resource.unit(),
+            pred.expected.mean()
+        );
+    }
+    println!("\ndone — see examples/capacity_planning.rs and examples/sanity_check.rs for the two query modes in depth");
+}

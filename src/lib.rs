@@ -1,0 +1,30 @@
+//! DeepRest — deep resource estimation for interactive microservices.
+//!
+//! This is the facade crate of the DeepRest reproduction (EuroSys '22,
+//! Chow et al.). It re-exports every workspace crate under one namespace so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autodiff.
+//! * [`nn`] — layers (Linear, GRU), optimizers, losses.
+//! * [`trace`] — distributed-tracing data model (spans, topologies, paths).
+//! * [`metrics`] — resource telemetry time-series and evaluation metrics.
+//! * [`workload`] — API traffic generation (scales, mixes, shapes).
+//! * [`sim`] — the microservice application simulator (DeathStarBench
+//!   substitute) with the Social Network and Hotel Reservation apps.
+//! * [`core`] — DeepRest itself: feature extraction, trace synthesis, the
+//!   API-aware deep resource estimator, sanity checks, interpretation.
+//! * [`baselines`] — resource-aware DL, simple scaling, component-aware
+//!   scaling comparison estimators.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+#![forbid(unsafe_code)]
+
+pub use deeprest_baselines as baselines;
+pub use deeprest_core as core;
+pub use deeprest_metrics as metrics;
+pub use deeprest_nn as nn;
+pub use deeprest_sim as sim;
+pub use deeprest_tensor as tensor;
+pub use deeprest_trace as trace;
+pub use deeprest_workload as workload;
