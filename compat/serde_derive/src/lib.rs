@@ -1,0 +1,595 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! carries a dependency-free derive implementation built directly on
+//! `proc_macro` token streams (no `syn`/`quote`). It supports the subset
+//! of serde this codebase uses:
+//!
+//! * named structs, tuple/newtype structs
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, matching serde's default representation)
+//! * generic parameters copied verbatim (bounds must already include
+//!   `serde::Serialize` / `serde::Deserialize` where required)
+//! * field attributes `#[serde(rename = "...")]`, `#[serde(default)]`,
+//!   `#[serde(skip)]`
+//!
+//! The generated code targets the mini-serde data model: `Serialize` is
+//! `fn to_value(&self) -> serde::Value` and `Deserialize` is
+//! `fn from_value(&serde::Value) -> Result<Self, serde::Error>`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip: bool,
+}
+
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Body {
+    Named(Vec<NamedField>),
+    /// Tuple struct: per-field attrs in declaration order.
+    Tuple(Vec<FieldAttrs>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+struct Item {
+    name: String,
+    /// Verbatim generic parameter list (without the angle brackets), e.g.
+    /// `'a, T: serde::Serialize`. Empty when the item is not generic.
+    generics: String,
+    /// The generic arguments for the self type, bounds stripped: `'a, T`.
+    generic_args: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, name: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+/// Consumes leading attributes, returning the merged serde field attrs.
+fn take_attrs(tokens: &[TokenTree], mut pos: usize) -> (FieldAttrs, usize) {
+    let mut attrs = FieldAttrs::default();
+    while pos + 1 < tokens.len() && is_punct(&tokens[pos], '#') {
+        if let TokenTree::Group(g) = &tokens[pos + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_attr_group(&g.stream(), &mut attrs);
+                pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (attrs, pos)
+}
+
+/// Parses the inside of one `#[...]`; only `serde(...)` is interpreted.
+fn parse_attr_group(stream: &TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.len() != 2 || !is_ident(&tokens[0], "serde") {
+        return;
+    }
+    let TokenTree::Group(inner) = &tokens[1] else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => {
+                    attrs.skip = true;
+                    i += 1;
+                }
+                "default" => {
+                    attrs.default = true;
+                    i += 1;
+                }
+                "rename" => {
+                    // rename = "literal"
+                    if i + 2 < inner.len() && is_punct(&inner[i + 1], '=') {
+                        if let TokenTree::Literal(lit) = &inner[i + 2] {
+                            let text = lit.to_string();
+                            attrs.rename = Some(text.trim_matches('"').to_string());
+                        }
+                    }
+                    i += 3;
+                }
+                other => panic!("serde_derive compat: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde_derive compat: unexpected token in serde attribute: {other}"),
+        }
+    }
+}
+
+/// Skips an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if pos < tokens.len() && is_ident(&tokens[pos], "pub") {
+        pos += 1;
+        if pos < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[pos] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Skips a type (or bound) until a top-level `,`, tracking `<...>` depth.
+/// Returns the position of the `,` (or `tokens.len()`).
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut depth = 0i32;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return pos,
+            _ => {}
+        }
+        pos += 1;
+    }
+    pos
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Drops bounds from a generic parameter list: `'a, T: X<Y>` -> `'a, T`.
+fn strip_bounds(tokens: &[TokenTree]) -> String {
+    let mut kept: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    let mut skipping = false;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                skipping = false;
+                kept.push(tt.clone());
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 0 => {
+                skipping = true;
+                continue;
+            }
+            _ => {}
+        }
+        if !skipping {
+            kept.push(tt.clone());
+        }
+    }
+    render(&kept)
+}
+
+fn parse_named_fields(group: &TokenStream) -> Vec<NamedField> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (attrs, next) = take_attrs(&tokens, pos);
+        pos = skip_vis(&tokens, next);
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!(
+                "serde_derive compat: expected field name, got {:?}",
+                tokens[pos].to_string()
+            );
+        };
+        pos += 1; // name
+        assert!(
+            is_punct(&tokens[pos], ':'),
+            "serde_derive compat: expected `:`"
+        );
+        pos = skip_to_top_level_comma(&tokens, pos + 1);
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(NamedField {
+            name: name.to_string(),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: &TokenStream) -> Vec<FieldAttrs> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (attrs, next) = take_attrs(&tokens, pos);
+        pos = skip_vis(&tokens, next);
+        if pos >= tokens.len() {
+            break; // trailing comma
+        }
+        pos = skip_to_top_level_comma(&tokens, pos);
+        pos += 1;
+        fields.push(attrs);
+    }
+    fields
+}
+
+fn parse_variants(group: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (_attrs, next) = take_attrs(&tokens, pos);
+        pos = next;
+        if pos >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!("serde_derive compat: expected variant name");
+        };
+        pos += 1;
+        let mut kind = VariantKind::Unit;
+        if pos < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[pos] {
+                kind = match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        VariantKind::Tuple(parse_tuple_fields(&g.stream()).len())
+                    }
+                    Delimiter::Brace => VariantKind::Named(parse_named_fields(&g.stream())),
+                    _ => panic!("serde_derive compat: unexpected variant delimiter"),
+                };
+                pos += 1;
+            }
+        }
+        // Consume a trailing `,` if present.
+        if pos < tokens.len() && is_punct(&tokens[pos], ',') {
+            pos += 1;
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    // Outer attributes (doc comments, other derives' helpers).
+    while pos + 1 < tokens.len() && is_punct(&tokens[pos], '#') {
+        pos += 2;
+    }
+    pos = skip_vis(&tokens, pos);
+    let is_enum = if is_ident(&tokens[pos], "struct") {
+        false
+    } else if is_ident(&tokens[pos], "enum") {
+        true
+    } else {
+        panic!("serde_derive compat: only structs and enums are supported");
+    };
+    pos += 1;
+    let TokenTree::Ident(name) = &tokens[pos] else {
+        panic!("serde_derive compat: expected item name");
+    };
+    let name = name.to_string();
+    pos += 1;
+
+    // Generics.
+    let mut generic_tokens: Vec<TokenTree> = Vec::new();
+    if pos < tokens.len() && is_punct(&tokens[pos], '<') {
+        pos += 1;
+        let mut depth = 1i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        pos += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            generic_tokens.push(tokens[pos].clone());
+            pos += 1;
+        }
+    }
+    if pos < tokens.len() && is_ident(&tokens[pos], "where") {
+        panic!("serde_derive compat: `where` clauses are not supported");
+    }
+
+    let body = if is_enum {
+        let TokenTree::Group(g) = &tokens[pos] else {
+            panic!("serde_derive compat: expected enum body");
+        };
+        Body::Enum(parse_variants(&g.stream()))
+    } else {
+        match &tokens[pos] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(&g.stream()))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(parse_tuple_fields(&g.stream()))
+            }
+            other => panic!("serde_derive compat: unsupported struct body: {other}"),
+        }
+    };
+
+    Item {
+        name,
+        generics: render(&generic_tokens),
+        generic_args: strip_bounds(&generic_tokens),
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+impl Item {
+    fn impl_header(&self, trait_name: &str) -> String {
+        let (lt, args) = if self.generics.is_empty() {
+            (String::new(), String::new())
+        } else {
+            (
+                format!("<{}>", self.generics),
+                format!("<{}>", self.generic_args),
+            )
+        };
+        format!("impl{lt} ::serde::{trait_name} for {}{args}", self.name)
+    }
+}
+
+fn json_key(field: &NamedField) -> &str {
+    field.attrs.rename.as_deref().unwrap_or(&field.name)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let mut s = String::from("let mut object = ::serde::Map::new();\n");
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "object.insert(\"{}\", ::serde::Serialize::to_value(&self.{}));\n",
+                    json_key(f),
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(object)");
+            s
+        }
+        Body::Tuple(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Body::Tuple(fields) => {
+            let elems: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &item.name;
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{ty}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{ty}::{vn}(f0) => {{\n\
+                             let mut object = ::serde::Map::new();\n\
+                             object.insert(\"{vn}\", ::serde::Serialize::to_value(f0));\n\
+                             ::serde::Value::Object(object)\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({}) => {{\n\
+                             let mut object = ::serde::Map::new();\n\
+                             object.insert(\"{vn}\", ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(object)\n}}\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            inner.push_str(&format!(
+                                "inner.insert(\"{}\", ::serde::Serialize::to_value({}));\n",
+                                json_key(f),
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut object = ::serde::Map::new();\n\
+                             object.insert(\"{vn}\", ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(object)\n}}\n",
+                            names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{} {{\nfn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        item.impl_header("Serialize")
+    )
+}
+
+/// Generates the expression deserializing one named field from `object`.
+fn named_field_expr(item_name: &str, f: &NamedField) -> String {
+    if f.attrs.skip {
+        return format!("{}: Default::default(),\n", f.name);
+    }
+    let key = json_key(f);
+    let missing = if f.attrs.default {
+        "Default::default()".to_string()
+    } else {
+        format!("return Err(::serde::Error::custom(\"{item_name}: missing field `{key}`\"))")
+    };
+    format!(
+        "{}: match object.get(\"{key}\") {{\n\
+         Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+         None => {missing},\n}},\n",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let mut s = format!(
+                "let object = value.as_object().ok_or_else(|| ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&named_field_expr(name, f));
+            }
+            s.push_str("})");
+            s
+        }
+        Body::Tuple(fields) if fields.len() == 1 => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Body::Tuple(fields) => {
+            let n = fields.len();
+            let elems: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::Error::custom(\"{name}: expected array\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(\"{name}: expected {n} elements\"));\n}}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| ::serde::Error::custom(\"{name}::{vn}: expected array\"))?;\n\
+                             if items.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\"{name}::{vn}: expected {n} elements\"));\n}}\n\
+                             Ok({name}::{vn}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut s = format!(
+                            "\"{vn}\" => {{\n\
+                             let object = inner.as_object().ok_or_else(|| ::serde::Error::custom(\"{name}::{vn}: expected object\"))?;\n\
+                             Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            s.push_str(&named_field_expr(name, f));
+                        }
+                        s.push_str("})\n}\n");
+                        data_arms.push_str(&s);
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\"{name}: unknown variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(object) => {{\n\
+                 let (tag, inner) = object.iter().next().ok_or_else(|| ::serde::Error::custom(\"{name}: empty variant object\"))?;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::Error::custom(format!(\"{name}: unknown variant `{{other}}`\"))),\n}}\n}}\n\
+                 _ => Err(::serde::Error::custom(\"{name}: expected string or object\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "{} {{\nfn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+        item.impl_header("Deserialize")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Serialize` (mini-serde `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive compat: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (mini-serde `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive compat: generated invalid Deserialize impl")
+}

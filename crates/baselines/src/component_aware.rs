@@ -101,7 +101,10 @@ impl BaselineEstimator for ComponentAwareScaling {
             .metrics
             .iter()
             .map(|(key, series)| {
-                (key.clone(), day_profile(series.values(), self.windows_per_day))
+                (
+                    key.clone(),
+                    day_profile(series.values(), self.windows_per_day),
+                )
             })
             .collect();
     }
@@ -116,8 +119,7 @@ impl BaselineEstimator for ComponentAwareScaling {
         // Expected per-component invocations in the query period: counted
         // from real traces when available, otherwise predicted from the
         // query traffic through the learned per-API invocation rates.
-        let query_invocations: BTreeMap<String, Vec<f64>> = match (query.traces, query.interner)
-        {
+        let query_invocations: BTreeMap<String, Vec<f64>> = match (query.traces, query.interner) {
             (Some(traces), Some(interner)) => Self::count_invocations(traces, interner),
             _ => {
                 let apis: Vec<&String> = query.traffic.apis().iter().collect();
@@ -151,9 +153,9 @@ impl BaselineEstimator for ComponentAwareScaling {
                         let base = profile[t % self.windows_per_day];
                         match (hist, inv) {
                             (Some(h), Some(q)) => {
-                                let day_mean =
-                                    h.iter().sum::<f64>() / h.len().max(1) as f64;
-                                let denom = h[t % self.windows_per_day].max(0.05 * day_mean).max(1e-9);
+                                let day_mean = h.iter().sum::<f64>() / h.len().max(1) as f64;
+                                let denom =
+                                    h[t % self.windows_per_day].max(0.05 * day_mean).max(1e-9);
                                 base * (q[t] / denom)
                             }
                             // Component never invoked in learning or query:

@@ -55,7 +55,10 @@ pub trait BaselineEstimator {
 ///
 /// Panics if `windows_per_day` is zero.
 pub fn day_profile(values: &[f64], windows_per_day: usize) -> Vec<f64> {
-    assert!(windows_per_day > 0, "day_profile: windows_per_day must be > 0");
+    assert!(
+        windows_per_day > 0,
+        "day_profile: windows_per_day must be > 0"
+    );
     let mut sums = vec![0.0f64; windows_per_day];
     let mut counts = vec![0usize; windows_per_day];
     for (t, &v) in values.iter().enumerate() {

@@ -100,7 +100,13 @@ impl BaselineEstimator for ResourceAwareDl {
                 .collect();
             let name = format!("{key}");
             let gru = GruCell::new(&mut store, &name, 3, self.hidden_dim, &mut rng);
-            let head = Linear::new(&mut store, &format!("{name}.head"), self.hidden_dim, 1, &mut rng);
+            let head = Linear::new(
+                &mut store,
+                &format!("{name}.head"),
+                self.hidden_dim,
+                1,
+                &mut rng,
+            );
             let last_day = norm[norm.len().saturating_sub(windows_per_day)..].to_vec();
             models.insert(
                 key.clone(),
@@ -114,10 +120,7 @@ impl BaselineEstimator for ResourceAwareDl {
         }
 
         // Training pairs: day d as input, day d+1 as target.
-        let total = data
-            .metrics
-            .window_count()
-            .expect("metrics present");
+        let total = data.metrics.window_count().expect("metrics present");
         let days = total / windows_per_day;
         let mut opt = Adam::new(self.lr);
         let norm_series: BTreeMap<MetricKey, Vec<f32>> = data
@@ -281,8 +284,16 @@ mod tests {
         });
         let q1 = traffic.slice(0..16);
         let q3 = q1.scale(3.0);
-        let e1 = b.estimate(&QueryData { traffic: &q1, traces: None, interner: None });
-        let e3 = b.estimate(&QueryData { traffic: &q3, traces: None, interner: None });
+        let e1 = b.estimate(&QueryData {
+            traffic: &q1,
+            traces: None,
+            interner: None,
+        });
+        let e3 = b.estimate(&QueryData {
+            traffic: &q3,
+            traces: None,
+            interner: None,
+        });
         // Same forecast regardless of traffic volume — its defining flaw.
         assert_eq!(
             e1[&MetricKey::new("C", ResourceKind::Cpu)].values(),

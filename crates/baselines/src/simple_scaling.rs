@@ -40,7 +40,10 @@ impl BaselineEstimator for SimpleScaling {
             .metrics
             .iter()
             .map(|(key, series)| {
-                (key.clone(), day_profile(series.values(), self.windows_per_day))
+                (
+                    key.clone(),
+                    day_profile(series.values(), self.windows_per_day),
+                )
             })
             .collect();
     }
@@ -99,7 +102,12 @@ mod tests {
             MetricKey::new("C", ResourceKind::WriteIops),
             TimeSeries::from_values(vec![1.0, 2.0, 1.0, 0.5]),
         );
-        (traffic, metrics, WindowedTraces::with_windows(1.0, 4), Interner::new())
+        (
+            traffic,
+            metrics,
+            WindowedTraces::with_windows(1.0, 4),
+            Interner::new(),
+        )
     }
 
     #[test]

@@ -17,7 +17,9 @@ fn synthetic(dim: usize, windows: usize) -> (Interner, WindowedTraces, MetricsRe
     let mut interner = Interner::new();
     let comp = interner.intern("Svc");
     let api = interner.intern("/api");
-    let ops: Vec<_> = (0..dim).map(|i| interner.intern(&format!("op{i}"))).collect();
+    let ops: Vec<_> = (0..dim)
+        .map(|i| interner.intern(&format!("op{i}")))
+        .collect();
     let mut traces = WindowedTraces::with_windows(1.0, windows);
     let mut cpu = TimeSeries::zeros(0);
     for t in 0..windows {
@@ -91,6 +93,50 @@ fn bench_expert_inference(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(30);
+    // The shapes the estimator actually hits: (hidden, dim)·(dim, 1)
+    // gate products, square recurrent products, and the transposed-B /
+    // transposed-A products the backward pass runs per matmul node.
+    for &(m, k, n) in &[
+        (32usize, 64usize, 1usize),
+        (128, 128, 1),
+        (64, 64, 64),
+        (128, 128, 128),
+    ] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Tensor::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b_mat = Tensor::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+        let bt = b_mat.transpose();
+        let at = a.transpose();
+        let id = format!("{m}x{k}x{n}");
+        group.bench_with_input(BenchmarkId::new("nn", &id), &id, |bench, _| {
+            bench.iter(|| a.matmul(&b_mat));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", &id), &id, |bench, _| {
+            bench.iter(|| a.matmul_nt(&bt));
+        });
+        group.bench_with_input(BenchmarkId::new("tn", &id), &id, |bench, _| {
+            bench.iter(|| at.matmul_tn(&b_mat));
+        });
+    }
+    group.finish();
+}
+
+fn bench_joint_training_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joint_training_epoch");
+    group.sample_size(10);
+    let (interner, traces, metrics) = synthetic(64, 96);
+    for threads in [1usize, 2, 4] {
+        let config = quick_config().with_epochs(1).with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| DeepRest::fit(&traces, &metrics, &interner, config.clone()));
+        });
+    }
+    group.finish();
+}
+
 fn bench_gru_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn_primitives");
     group.sample_size(30);
@@ -98,6 +144,24 @@ fn bench_gru_step(c: &mut Criterion) {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(3);
         let cell = GruCell::new(&mut store, "g", 64, hidden, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("gru_single_step", hidden),
+            &hidden,
+            |b, &hidden| {
+                let mut g = Graph::with_capacity(64);
+                let x_val = Tensor::full(64, 1, 0.25);
+                b.iter(|| {
+                    // Rebind and step on a reset arena: the per-step cost
+                    // the truncated-BPTT unroll pays 48 times per graph.
+                    g.reset();
+                    let bound = cell.bind(&mut g, &store);
+                    let h0 = g.constant(Tensor::zeros(hidden, 1));
+                    let x = g.constant(x_val.clone());
+                    let h1 = bound.step(&mut g, x, h0);
+                    g.value(h1).sum()
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("gru_unroll_48", hidden),
             &hidden,
@@ -159,7 +223,9 @@ criterion_group!(
     benches,
     bench_feature_extraction,
     bench_trace_synthesis,
+    bench_matmul,
     bench_expert_training_epoch,
+    bench_joint_training_epoch,
     bench_expert_inference,
     bench_gru_step,
     bench_backward,

@@ -20,6 +20,10 @@ pub struct Args {
     pub full: bool,
     /// Use the paper's SGD optimizer instead of Adam.
     pub paper_sgd: bool,
+    /// Worker threads for training, prediction and repeated queries.
+    /// `None` defers to `DEEPREST_THREADS` / the available parallelism;
+    /// any value yields bit-identical results (`1` forces serial runs).
+    pub threads: Option<usize>,
     /// Output directory for JSON result dumps.
     pub out: String,
 }
@@ -35,6 +39,7 @@ impl Default for Args {
             epochs: 30,
             full: false,
             paper_sgd: false,
+            threads: None,
             out: "target/experiments".to_owned(),
         }
     }
@@ -72,6 +77,9 @@ impl Args {
                 "--epochs" => out.epochs = value("--epochs").parse().expect("--epochs usize"),
                 "--full" => out.full = true,
                 "--paper-sgd" => out.paper_sgd = true,
+                "--threads" => {
+                    out.threads = Some(value("--threads").parse().expect("--threads usize"));
+                }
                 "--out" => out.out = value("--out"),
                 other => panic!("unknown flag {other}; see crate docs for usage"),
             }
@@ -106,6 +114,13 @@ mod tests {
         assert!(a.full);
         assert_eq!(a.hidden, 64);
         assert_eq!(a.out, "/tmp/x");
+        assert_eq!(a.threads, None);
+    }
+
+    #[test]
+    fn parses_threads() {
+        let a = Args::parse_from(strs(&["--threads", "4"]));
+        assert_eq!(a.threads, Some(4));
     }
 
     #[test]

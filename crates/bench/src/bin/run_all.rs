@@ -8,47 +8,74 @@
 
 use deeprest_bench::experiments;
 use deeprest_bench::{Args, ExpCtx};
+use deeprest_tensor::Pool;
 use deeprest_workload::TrafficShape;
 
 fn main() {
     let args = Args::parse();
     let started = std::time::Instant::now();
+    let threads = args.threads.unwrap_or_else(|| Pool::global().threads());
 
     // Workload-only figures need no training.
     experiments::fig09_learning_traffic::run(&args);
     experiments::fig13_query_traffic::run(&args);
     experiments::table1_synthesizer::run(&args);
 
-    // One social-network context serves most experiments.
-    println!("\n[training the social-network estimators ...]");
-    let ctx = ExpCtx::social(&args);
-    println!(
-        "[DeepRest: {} experts, feature dim {}, {:.1}s training]",
-        ctx.estimators.report.expert_count,
-        ctx.estimators.report.feature_dim,
-        ctx.estimators.report.train_seconds
-    );
-    experiments::fig10_compose_dominated::run_with(&args, &ctx);
-    experiments::fig11_read_dominated::run_with(&args, &ctx);
-    experiments::fig12_heatmap::run_with(&args, &ctx);
-    experiments::fig14_unseen_scale::run_with(&args, &ctx);
-    experiments::fig15_unseen_composition::run_with(&args, &ctx);
-    experiments::fig16_unseen_shape::run_with(&args, &ctx);
-    experiments::fig18_shape_examples::run_with(&args, &ctx);
-    experiments::fig19_ransomware::run_with(&args, &ctx);
-    experiments::fig20_cryptojacking::run_with(&args, &ctx);
-    experiments::fig22_masks::run_with(&args, &ctx);
-    experiments::ablations::run_with(&args, &ctx);
+    // The three learning phases (social two-peak, social flat for fig16b,
+    // hotel for fig17) are independent, so they train concurrently; the
+    // experiments themselves still run — and print — in paper order, and
+    // every context is bit-identical to a serial run.
+    std::thread::scope(|scope| {
+        let (flat_task, hotel_task) = if threads > 1 {
+            (
+                Some(scope.spawn(|| ExpCtx::social_shaped(&args, TrafficShape::Flat))),
+                Some(scope.spawn(|| ExpCtx::hotel(&args))),
+            )
+        } else {
+            (None, None)
+        };
 
-    // The flat-learning direction of Fig. 16 needs its own context.
-    println!("\n[training the flat-learning context for fig16b ...]");
-    let flat_ctx = ExpCtx::social_shaped(&args, TrafficShape::Flat);
-    experiments::fig16_unseen_shape::run_reverse_with(&args, &flat_ctx);
+        // One social-network context serves most experiments.
+        println!("\n[training the social-network estimators ...]");
+        let ctx = ExpCtx::social(&args);
+        println!(
+            "[DeepRest: {} experts, feature dim {}, {:.1}s training]",
+            ctx.estimators.report.expert_count,
+            ctx.estimators.report.feature_dim,
+            ctx.estimators.report.train_seconds
+        );
+        experiments::fig10_compose_dominated::run_with(&args, &ctx);
+        experiments::fig11_read_dominated::run_with(&args, &ctx);
+        experiments::fig12_heatmap::run_with(&args, &ctx);
+        experiments::fig14_unseen_scale::run_with(&args, &ctx);
+        experiments::fig15_unseen_composition::run_with(&args, &ctx);
+        experiments::fig16_unseen_shape::run_with(&args, &ctx);
+        experiments::fig18_shape_examples::run_with(&args, &ctx);
+        experiments::fig19_ransomware::run_with(&args, &ctx);
+        experiments::fig20_cryptojacking::run_with(&args, &ctx);
+        experiments::fig22_masks::run_with(&args, &ctx);
+        experiments::ablations::run_with(&args, &ctx);
 
-    // Hotel reservation (Fig. 17).
-    println!("\n[training the hotel-reservation estimators ...]");
-    let hotel_ctx = ExpCtx::hotel(&args);
-    experiments::fig17_hotel_3x::run_with(&args, &hotel_ctx);
+        // The flat-learning direction of Fig. 16 needs its own context.
+        let flat_ctx = match flat_task {
+            Some(task) => task.join().expect("flat-context training panicked"),
+            None => {
+                println!("\n[training the flat-learning context for fig16b ...]");
+                ExpCtx::social_shaped(&args, TrafficShape::Flat)
+            }
+        };
+        experiments::fig16_unseen_shape::run_reverse_with(&args, &flat_ctx);
+
+        // Hotel reservation (Fig. 17).
+        let hotel_ctx = match hotel_task {
+            Some(task) => task.join().expect("hotel-context training panicked"),
+            None => {
+                println!("\n[training the hotel-reservation estimators ...]");
+                ExpCtx::hotel(&args)
+            }
+        };
+        experiments::fig17_hotel_3x::run_with(&args, &hotel_ctx);
+    });
 
     // Wider-swarm, transfer and synthetic-dimension studies train their own
     // models.

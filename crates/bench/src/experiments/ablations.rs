@@ -107,11 +107,15 @@ pub fn run_with(args: &Args, ctx: &ExpCtx) {
     let mut json = Vec::new();
     println!(
         "  {:<28} {:>9} {:>9} {:>9} {:>9}   (MAPE / coverage over {} resources)",
-        "variant", "1x MAPE", "1x cov", "mix MAPE", "3x MAPE", eval_keys.len()
+        "variant",
+        "1x MAPE",
+        "1x cov",
+        "mix MAPE",
+        "3x MAPE",
+        eval_keys.len()
     );
     for (label, config) in variants {
-        let (model, rep) =
-            DeepRest::fit(&ctx.learn.traces, &metrics, &ctx.learn.interner, config);
+        let (model, rep) = DeepRest::fit(&ctx.learn.traces, &metrics, &ctx.learn.interner, config);
         let (m_same, cov_same) = score(&model, &t_same);
         let (m_mix, _) = score(&model, &t_mix);
         let (m_scale, _) = score(&model, &t_scale);

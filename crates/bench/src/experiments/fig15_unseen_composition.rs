@@ -1,8 +1,8 @@
 //! Fig. 15: CPU estimation under seen vs unseen API compositions (e.g. a
 //! holiday shifting users from posting to reading).
 
-use super::sweeps::{run_cpu_sweep, Setting, REPEATS};
 use super::mix_with;
+use super::sweeps::{run_cpu_sweep, Setting, REPEATS};
 use crate::{Args, ExpCtx};
 
 /// Runs the experiment.

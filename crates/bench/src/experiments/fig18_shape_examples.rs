@@ -16,8 +16,7 @@ pub fn run(args: &Args) {
 
 /// Runs against a prepared context (shared with `run_all`).
 pub fn run_with(args: &Args, ctx: &ExpCtx) {
-    let traffic =
-        qualitative::one_day_query(ctx, ctx.app.default_mix(), 1.0, TrafficShape::Flat);
+    let traffic = qualitative::one_day_query(ctx, ctx.app.default_mix(), 1.0, TrafficShape::Flat);
     qualitative::run_query(
         args,
         ctx,

@@ -61,7 +61,11 @@ pub fn run_with(args: &Args, ctx: &ExpCtx) {
 
     let deeprest_days = flagged_days(&sanity, wpd);
     let learned_profile = day_profile(
-        ctx.learn.metrics.get(&cpu_key).expect("learning metrics").values(),
+        ctx.learn
+            .metrics
+            .get(&cpu_key)
+            .expect("learning metrics")
+            .values(),
         wpd,
     );
     let pattern_days = pattern_detector_flags(

@@ -74,7 +74,11 @@ pub fn run(args: &Args) {
     );
     println!("\n  2-D projection (x = PC1, y = PC2):");
     for p in &pca.projections {
-        let tag = if p.key.component.contains("MongoDB") { "M" } else { "." };
+        let tag = if p.key.component.contains("MongoDB") {
+            "M"
+        } else {
+            "."
+        };
         println!(
             "    [{tag}] {:<42} ({:9.3}, {:9.3})",
             p.key.to_string(),
@@ -95,7 +99,11 @@ pub fn run(args: &Args) {
     let mut by_resource = Vec::new();
     for resource in ResourceKind::ALL {
         let d = pca.mean_pairwise_distance(|k| k.resource == resource);
-        println!("    all {:<22} {d:8.3}  (ratio {:.2})", format!("{resource} experts"), d / all_dist.max(1e-12));
+        println!(
+            "    all {:<22} {d:8.3}  (ratio {:.2})",
+            format!("{resource} experts"),
+            d / all_dist.max(1e-12)
+        );
         by_resource.push((resource.label(), d));
     }
     println!(

@@ -17,7 +17,10 @@ pub fn run(args: &Args) {
 
 /// Runs against a prepared context (shared with `run_all`).
 pub fn run_with(args: &Args, ctx: &ExpCtx) {
-    report::banner("fig22", "learned API-aware masks: API -> resource dependencies");
+    report::banner(
+        "fig22",
+        "learned API-aware masks: API -> resource dependencies",
+    );
     let model = &ctx.estimators.deeprest;
 
     let targets = [

@@ -82,7 +82,11 @@ mod tests {
         let app = apps::social_network();
         let mix = mix_with(
             &app,
-            &[("/composePost", 0.10), ("/readUserTimeline", 0.85), ("/uploadMedia", 0.05)],
+            &[
+                ("/composePost", 0.10),
+                ("/readUserTimeline", 0.85),
+                ("/uploadMedia", 0.05),
+            ],
         );
         let total: f64 = mix.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);

@@ -17,13 +17,7 @@ pub(crate) fn spotlight_keys() -> [MetricKey; 2] {
 /// Runs one qualitative comparison: prints the query traffic, then per
 /// spotlight resource the actual curve, each estimator's curve, and the
 /// MAPE table; dumps everything as JSON.
-pub(crate) fn run_query(
-    args: &Args,
-    ctx: &ExpCtx,
-    id: &str,
-    title: &str,
-    traffic: &ApiTraffic,
-) {
+pub(crate) fn run_query(args: &Args, ctx: &ExpCtx, id: &str, title: &str, traffic: &ApiTraffic) {
     report::banner(id, title);
     println!("  query traffic ({} windows):", traffic.window_count());
     for api in ["/composePost", "/readUserTimeline", "/uploadMedia"] {

@@ -20,7 +20,10 @@ use crate::{report, Args};
 
 /// Runs the experiment.
 pub fn run(args: &Args) {
-    report::banner("scalability", "model size, training and inference cost (§6)");
+    report::banner(
+        "scalability",
+        "model size, training and inference cost (§6)",
+    );
 
     // Synthetic single-component dataset with a controllable feature count:
     // `dim` distinct operations = `dim` invocation paths.
@@ -28,7 +31,9 @@ pub fn run(args: &Args) {
         let mut interner = Interner::new();
         let comp = interner.intern("Svc");
         let api = interner.intern("/api");
-        let ops: Vec<_> = (0..dim).map(|i| interner.intern(&format!("op{i}"))).collect();
+        let ops: Vec<_> = (0..dim)
+            .map(|i| interner.intern(&format!("op{i}")))
+            .collect();
         let mut traces = WindowedTraces::with_windows(1.0, windows);
         let mut cpu = TimeSeries::zeros(0);
         for t in 0..windows {
@@ -58,7 +63,10 @@ pub fn run(args: &Args) {
     let (interner, traces, metrics) = build(base_dim, windows * 2);
     let (model, rep) = DeepRest::fit(&traces, &metrics, &interner, config.clone());
 
-    println!("  per-expert accounting (hidden={} dim={base_dim}):", args.hidden);
+    println!(
+        "  per-expert accounting (hidden={} dim={base_dim}):",
+        args.hidden
+    );
     println!(
         "    model size            {:>10.1} kB   (paper: 801.5 kB at hidden=128)",
         model.model_size_bytes() as f64 / rep.expert_count as f64 / 1000.0
@@ -78,7 +86,9 @@ pub fn run(args: &Args) {
     );
 
     // Dimensionality scaling: 1x, 10x, 100x the base feature count.
-    println!("\n  inference time vs feature dimensionality (paper: 10x -> 1.08x, 100x -> 1.21x on GPU):");
+    println!(
+        "\n  inference time vs feature dimensionality (paper: 10x -> 1.08x, 100x -> 1.21x on GPU):"
+    );
     let mut json_dims = Vec::new();
     let mut base_time = None;
     for factor in [1usize, 10, 100] {
@@ -101,7 +111,9 @@ pub fn run(args: &Args) {
         println!("    dim {dim:>6} ({factor:>3}x): {ms:>9.2} ms  ({ratio:5.2}x)");
         json_dims.push(serde_json::json!({ "dim": dim, "ms": ms, "ratio": ratio }));
     }
-    println!("    (scalar CPU backend: cost grows with dim; the paper's sublinearity is a GPU effect)");
+    println!(
+        "    (scalar CPU backend: cost grows with dim; the paper's sublinearity is a GPU effect)"
+    );
 
     report::dump_json(
         &args.out,

@@ -51,18 +51,46 @@ pub fn run(args: &Args) {
 
     // (scenario label, learning phase, query traffic).
     let settings: Vec<(&str, &deeprest_sim::engine::SimOutput, ApiTraffic)> = vec![
-        ("unseen scale 1x", &learn_two_peak,
-         query(args.users, app.default_mix(), TrafficShape::TwoPeak, 0x1a)),
-        ("unseen scale 2x", &learn_two_peak,
-         query(args.users * 2.0, app.default_mix(), TrafficShape::TwoPeak, 0x1b)),
-        ("unseen scale 3x", &learn_two_peak,
-         query(args.users * 3.0, app.default_mix(), TrafficShape::TwoPeak, 0x1c)),
-        ("unseen API composition", &learn_two_peak,
-         query(args.users, unseen_mix, TrafficShape::TwoPeak, 0x1d)),
-        ("2-peak/day -> flat", &learn_two_peak,
-         query(args.users, app.default_mix(), TrafficShape::Flat, 0x1e)),
-        ("flat -> 2-peak/day", &learn_flat,
-         query(args.users, app.default_mix(), TrafficShape::TwoPeak, 0x1f)),
+        (
+            "unseen scale 1x",
+            &learn_two_peak,
+            query(args.users, app.default_mix(), TrafficShape::TwoPeak, 0x1a),
+        ),
+        (
+            "unseen scale 2x",
+            &learn_two_peak,
+            query(
+                args.users * 2.0,
+                app.default_mix(),
+                TrafficShape::TwoPeak,
+                0x1b,
+            ),
+        ),
+        (
+            "unseen scale 3x",
+            &learn_two_peak,
+            query(
+                args.users * 3.0,
+                app.default_mix(),
+                TrafficShape::TwoPeak,
+                0x1c,
+            ),
+        ),
+        (
+            "unseen API composition",
+            &learn_two_peak,
+            query(args.users, unseen_mix, TrafficShape::TwoPeak, 0x1d),
+        ),
+        (
+            "2-peak/day -> flat",
+            &learn_two_peak,
+            query(args.users, app.default_mix(), TrafficShape::Flat, 0x1e),
+        ),
+        (
+            "flat -> 2-peak/day",
+            &learn_flat,
+            query(args.users, app.default_mix(), TrafficShape::TwoPeak, 0x1f),
+        ),
     ];
 
     let bucket = (args.windows_per_day / 12).max(1); // Two-hour buckets.

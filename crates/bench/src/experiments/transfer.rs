@@ -27,7 +27,11 @@ pub fn run(args: &Args) {
         .with_windows_per_day(args.windows_per_day)
         .with_seed(args.seed)
         .generate();
-    let social_learn = simulate(&social, &social_traffic, &SimConfig::default().with_seed(args.seed ^ 0xa5a5));
+    let social_learn = simulate(
+        &social,
+        &social_traffic,
+        &SimConfig::default().with_seed(args.seed ^ 0xa5a5),
+    );
     let social_scope = focus_scope(&social);
     let config = DeepRestConfig::default()
         .with_hidden(args.hidden)
@@ -67,7 +71,10 @@ pub fn run(args: &Args) {
         MetricKey::new("ReserveMongoDB", ResourceKind::Cpu),
     ];
     let hotel_metrics = filter_metrics(&hotel_learn.metrics, &hotel_scope);
-    let short = config.clone().with_epochs(8).with_scope(hotel_scope.clone());
+    let short = config
+        .clone()
+        .with_epochs(8)
+        .with_scope(hotel_scope.clone());
 
     let (_, cold) = DeepRest::fit(
         &hotel_learn.traces,

@@ -4,8 +4,7 @@
 use std::collections::BTreeMap;
 
 use deeprest_baselines::{
-    BaselineEstimator, ComponentAwareScaling, LearnData, QueryData, ResourceAwareDl,
-    SimpleScaling,
+    BaselineEstimator, ComponentAwareScaling, LearnData, QueryData, ResourceAwareDl, SimpleScaling,
 };
 use deeprest_core::{DeepRest, DeepRestConfig, OptimizerKind, TrainReport};
 use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
@@ -101,11 +100,7 @@ impl EstimatorSet {
 
     /// DeepRest's full interval prediction for a traffic query (used by the
     /// curve figures).
-    pub fn deeprest_intervals(
-        &self,
-        traffic: &ApiTraffic,
-        seed: u64,
-    ) -> deeprest_core::Estimates {
+    pub fn deeprest_intervals(&self, traffic: &ApiTraffic, seed: u64) -> deeprest_core::Estimates {
         self.deeprest.estimate_traffic(traffic, seed)
     }
 }
@@ -180,6 +175,9 @@ impl ExpCtx {
             .with_epochs(args.epochs)
             .with_seed(args.seed)
             .with_scope(scope.clone());
+        if let Some(threads) = args.threads {
+            config = config.with_threads(threads);
+        }
         if args.paper_sgd {
             config = config.with_optimizer(OptimizerKind::Sgd {
                 lr: 0.001,
@@ -219,6 +217,15 @@ impl ExpCtx {
         }
     }
 
+    /// The pool repeated independent queries fan out over: `--threads` when
+    /// given, the process-wide default otherwise.
+    pub fn pool(&self) -> deeprest_tensor::Pool {
+        match self.args.threads {
+            Some(n) => deeprest_tensor::Pool::with_threads(n),
+            None => deeprest_tensor::Pool::global(),
+        }
+    }
+
     /// Generates query traffic with the learning mix but overridden knobs.
     pub fn query_workload(&self) -> WorkloadSpec {
         WorkloadSpec::new(self.args.users, self.app.default_mix())
@@ -253,9 +260,10 @@ impl ExpCtx {
             .iter()
             .filter(|k| k.resource.cumulative())
             .filter_map(|k| {
-                self.learn.metrics.get(k).map(|s| {
-                    (k.clone(), s.values().last().copied().unwrap_or(0.0))
-                })
+                self.learn
+                    .metrics
+                    .get(k)
+                    .map(|s| (k.clone(), s.values().last().copied().unwrap_or(0.0)))
             })
             .collect()
     }
@@ -302,14 +310,19 @@ impl ExpCtx {
 /// Focus components for the hotel reservation app (Fig. 17 discusses the
 /// FrontendService; we track the search path alongside it).
 fn hotel_focus_scope(app: &AppSpec) -> Vec<MetricKey> {
-    ["FrontendService", "SearchService", "ProfileService", "ReserveMongoDB"]
-        .iter()
-        .filter_map(|c| app.component(c).map(|spec| (c, spec.stateful)))
-        .flat_map(|(c, stateful)| {
-            ResourceKind::for_component(stateful)
-                .iter()
-                .map(|&r| MetricKey::new(*c, r))
-                .collect::<Vec<_>>()
-        })
-        .collect()
+    [
+        "FrontendService",
+        "SearchService",
+        "ProfileService",
+        "ReserveMongoDB",
+    ]
+    .iter()
+    .filter_map(|c| app.component(c).map(|spec| (c, spec.stateful)))
+    .flat_map(|(c, stateful)| {
+        ResourceKind::for_component(stateful)
+            .iter()
+            .map(|&r| MetricKey::new(*c, r))
+            .collect::<Vec<_>>()
+    })
+    .collect()
 }

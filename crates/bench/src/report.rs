@@ -28,12 +28,13 @@ pub fn curve(label: &str, series: &TimeSeries, width: usize) {
 /// Prints a MAPE comparison row set: one row per estimator.
 pub fn mape_rows(target: &str, rows: &[(String, f64)]) {
     println!("  {target}");
-    let best = rows
-        .iter()
-        .map(|(_, m)| *m)
-        .fold(f64::INFINITY, f64::min);
+    let best = rows.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
     for (name, mape) in rows {
-        let marker = if (*mape - best).abs() < 1e-9 { "  <-- best" } else { "" };
+        let marker = if (*mape - best).abs() < 1e-9 {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("    {name:<18} MAPE {mape:7.2}%{marker}");
     }
 }
@@ -59,8 +60,7 @@ pub fn dump_json<T: serde::Serialize>(out_dir: &str, id: &str, title: &str, resu
     let write = || -> std::io::Result<()> {
         std::fs::create_dir_all(out_dir)?;
         let mut f = std::fs::File::create(&path)?;
-        let json = serde_json::to_string_pretty(&record)
-            .map_err(std::io::Error::other)?;
+        let json = serde_json::to_string_pretty(&record).map_err(std::io::Error::other)?;
         f.write_all(json.as_bytes())
     };
     match write() {

@@ -65,6 +65,13 @@ pub struct DeepRestConfig {
     pub mask_l1: f32,
     /// Seed for parameter initialization and batch shuffling.
     pub seed: u64,
+    /// Worker threads for training and prediction. `None` (the default)
+    /// uses the process-wide pool — `DEEPREST_THREADS` when set, otherwise
+    /// the available hardware parallelism. Any setting produces bit-for-bit
+    /// identical models and estimates; this knob only trades wall-clock
+    /// time for cores.
+    #[serde(default)]
+    pub threads: Option<usize>,
     /// When set, only build experts for these `(component, resource)` pairs
     /// (the paper's discussion focuses on six components; restricting the
     /// expert swarm keeps CPU-only experiment runs fast). `None` builds one
@@ -87,6 +94,7 @@ impl Default for DeepRestConfig {
             linear_skip: true,
             mask_l1: 2e-3,
             seed: 7,
+            threads: None,
             scope: None,
         }
     }
@@ -134,6 +142,12 @@ impl DeepRestConfig {
     /// Builder: sets the optimizer.
     pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
         self.optimizer = optimizer;
+        self
+    }
+
+    /// Builder: pins the worker-thread count (`1` forces serial execution).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 }

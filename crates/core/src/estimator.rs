@@ -13,7 +13,7 @@ use std::time::Instant;
 use deeprest_metrics::{MetricKey, MetricsRegistry, MinMaxScaler, TimeSeries};
 use deeprest_nn::loss::quantiles_for;
 use deeprest_nn::{Adam, GruCell, Linear, Sgd};
-use deeprest_tensor::{Graph, ParamId, ParamStore, Tensor, Var};
+use deeprest_tensor::{GradBuffer, Graph, ParamId, ParamStore, Pool, Tensor, Var};
 use deeprest_trace::window::WindowedTraces;
 use deeprest_trace::Interner;
 use deeprest_workload::ApiTraffic;
@@ -359,12 +359,27 @@ impl DeepRest {
         (model, report)
     }
 
+    /// The worker pool this model fans training and prediction out over:
+    /// [`DeepRestConfig::threads`] when set, the process-wide pool otherwise.
+    fn pool(&self) -> Pool {
+        match self.config.threads {
+            Some(n) => Pool::with_threads(n),
+            None => Pool::global(),
+        }
+    }
+
     /// Joint training over all experts (quantile loss, Eq. 6).
+    ///
+    /// Batches fan out across the pool at subsequence granularity: each
+    /// subsequence builds its own graph and accumulates into a private
+    /// [`GradBuffer`]; the buffers are folded into the shared store in
+    /// subsequence order, so training is bit-identical at any thread count.
     fn train(&mut self, xs: &[Vec<f32>], targets: &[Vec<f32>]) -> Vec<f32> {
         let t = xs.len();
         let len = self.config.subseq_len.max(2);
         let starts: Vec<usize> = (0..t).step_by(len).collect();
         let quantiles = quantiles_for(self.config.delta);
+        let pool = self.pool();
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
 
         let mut sgd;
@@ -395,59 +410,61 @@ impl DeepRest {
 
             for batch in order.chunks(self.config.batch_size.max(1)) {
                 self.store.zero_grads();
-                let mut batch_terms = 0usize;
-                let mut batch_loss_times_terms = 0.0f32;
-                let mut graphs_losses: Vec<(Graph, Var)> = Vec::new();
-
-                for &start in batch {
-                    let end = (start + len).min(t);
-                    let mut g = Graph::with_capacity((end - start) * self.experts.len() * 24);
-                    let fwd = self.forward(&mut g, &xs_tensors[start..end]);
-                    let mut terms: Vec<Var> = Vec::new();
-                    for (step, row) in fwd.outputs.iter().enumerate() {
-                        for (e, &y_var) in row.iter().enumerate() {
-                            let y = targets[e][start + step];
-                            let target = Tensor::vector(vec![y, y, y]);
-                            terms.push(g.pinball(y_var, target, &quantiles));
+                // Forward + backward every subsequence concurrently, each
+                // into a private gradient buffer; workers reuse one tape
+                // arena across their subsequences.
+                let scale = 1.0 / batch.len() as f32;
+                let arena_cap = len * self.experts.len() * 24;
+                let this = &*self;
+                let results: Vec<(GradBuffer, f32, usize)> = pool.map_reuse(
+                    batch.len(),
+                    || Graph::with_capacity(arena_cap),
+                    |g, i| {
+                        g.reset();
+                        let start = batch[i];
+                        let end = (start + len).min(t);
+                        let fwd = this.forward(g, &xs_tensors[start..end]);
+                        let mut terms: Vec<Var> = Vec::new();
+                        for (step, row) in fwd.outputs.iter().enumerate() {
+                            for (e, &y_var) in row.iter().enumerate() {
+                                let y = targets[e][start + step];
+                                let target = Tensor::vector(vec![y, y, y]);
+                                terms.push(g.pinball(y_var, target, &quantiles));
+                            }
                         }
-                    }
-                    let n_terms = terms.len();
-                    let total = g.add_n(&terms);
-                    let mut loss = g.scale(total, 1.0 / n_terms as f32);
-                    if self.config.mask_l1 > 0.0 && self.config.api_mask {
-                        // L1 pressure on σ(m): suppress irrelevant paths.
-                        let dim = self.features.dim().max(1);
-                        let sums: Vec<Var> = fwd
-                            .mask_sig
-                            .iter()
-                            .map(|&m| g.sum_all(m))
-                            .collect();
-                        let mask_total = g.add_n(&sums);
-                        let penalty = g.scale(
-                            mask_total,
-                            self.config.mask_l1 / (dim * self.experts.len()) as f32,
-                        );
-                        loss = g.add(loss, penalty);
-                    }
-                    batch_loss_times_terms += g.value(loss).data()[0] * n_terms as f32;
-                    batch_terms += n_terms;
-                    graphs_losses.push((g, loss));
-                }
+                        let n_terms = terms.len();
+                        let total = g.add_n(&terms);
+                        let mut loss = g.scale(total, 1.0 / n_terms as f32);
+                        if this.config.mask_l1 > 0.0 && this.config.api_mask {
+                            // L1 pressure on σ(m): suppress irrelevant paths.
+                            let dim = this.features.dim().max(1);
+                            let sums: Vec<Var> =
+                                fwd.mask_sig.iter().map(|&m| g.sum_all(m)).collect();
+                            let mask_total = g.add_n(&sums);
+                            let penalty = g.scale(
+                                mask_total,
+                                this.config.mask_l1 / (dim * this.experts.len()) as f32,
+                            );
+                            loss = g.add(loss, penalty);
+                        }
+                        let scaled = g.scale(loss, scale);
+                        let mut buf = GradBuffer::zeros_like(&this.store);
+                        g.backward_into(scaled, &mut buf);
+                        (buf, g.value(loss).data()[0] * n_terms as f32, n_terms)
+                    },
+                );
 
-                // Backward every subsequence in the batch, then one step.
-                let scale = 1.0 / graphs_losses.len() as f32;
-                for (mut g, loss) in graphs_losses {
-                    let scaled = g.scale(loss, scale);
-                    g.backward(scaled, &mut self.store);
+                // Fold gradients in subsequence order, then one step.
+                for (buf, loss_times_terms, n_terms) in &results {
+                    self.store.absorb(buf);
+                    epoch_loss += loss_times_terms;
+                    epoch_terms += n_terms;
                 }
                 self.store.clip_grad_norm(self.config.grad_clip);
                 match &mut opt {
-                    Opt::S(o) => o.step(&mut self.store),
-                    Opt::A(o) => o.step(&mut self.store),
+                    Opt::S(o) => o.step_with(&mut self.store, &pool),
+                    Opt::A(o) => o.step_with(&mut self.store, &pool),
                 }
-
-                epoch_loss += batch_loss_times_terms;
-                epoch_terms += batch_terms;
             }
             epoch_losses.push(epoch_loss / epoch_terms.max(1) as f32);
         }
@@ -551,11 +568,7 @@ impl DeepRest {
     /// traces from any producer (or any simulator run) are accepted. Names
     /// never observed during application learning translate to unmatched
     /// sentinels and simply contribute no features.
-    pub fn estimate_from_traces(
-        &self,
-        traces: &WindowedTraces,
-        interner: &Interner,
-    ) -> Estimates {
+    pub fn estimate_from_traces(&self, traces: &WindowedTraces, interner: &Interner) -> Estimates {
         let translated = self.translate_traces(traces, interner);
         let xs = self.features.extract_all_normalized(&translated);
         self.predict(&xs)
@@ -597,10 +610,12 @@ impl DeepRest {
         for (t, window) in traces.windows.iter().enumerate() {
             out.windows[t] = window
                 .iter()
-                .map(|tr| deeprest_trace::Trace::new(
-                    self.interner.translate(from, tr.api),
-                    map_span(&tr.root, &self.interner, from),
-                ))
+                .map(|tr| {
+                    deeprest_trace::Trace::new(
+                        self.interner.translate(from, tr.api),
+                        map_span(&tr.root, &self.interner, from),
+                    )
+                })
                 .collect();
         }
         out
@@ -614,19 +629,39 @@ impl DeepRest {
         let len = self.config.subseq_len.max(2);
         let xs_tensors: Vec<Tensor> = xs.iter().map(|x| Tensor::vector(x.clone())).collect();
 
+        // Fan the independent subsequence chunks out across the pool;
+        // workers reuse one tape arena, and chunk outputs are concatenated
+        // in chunk order, so estimates are thread-count invariant.
+        let starts: Vec<usize> = (0..t).step_by(len).collect();
+        let arena_cap = len * self.experts.len() * 24;
+        let chunks: Vec<Vec<Vec<[f32; 3]>>> = self.pool().map_reuse(
+            starts.len(),
+            || Graph::with_capacity(arena_cap),
+            |g, i| {
+                g.reset();
+                let start = starts[i];
+                let end = (start + len).min(t);
+                let fwd = self.forward(g, &xs_tensors[start..end]);
+                fwd.outputs
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|&y_var| {
+                                let v = g.value(y_var).data();
+                                [v[0], v[1], v[2]]
+                            })
+                            .collect()
+                    })
+                    .collect()
+            },
+        );
         let mut raw: Vec<Vec<[f32; 3]>> = vec![Vec::with_capacity(t); self.experts.len()];
-        let mut start = 0;
-        while start < t {
-            let end = (start + len).min(t);
-            let mut g = Graph::with_capacity((end - start) * self.experts.len() * 24);
-            let fwd = self.forward(&mut g, &xs_tensors[start..end]);
-            for row in &fwd.outputs {
-                for (e, &y_var) in row.iter().enumerate() {
-                    let v = g.value(y_var).data();
-                    raw[e].push([v[0], v[1], v[2]]);
+        for chunk in &chunks {
+            for row in chunk {
+                for (e, v) in row.iter().enumerate() {
+                    raw[e].push(*v);
                 }
             }
-            start = end;
         }
 
         let mut map = BTreeMap::new();
@@ -742,6 +777,15 @@ impl DeepRest {
     /// Total trainable scalar parameters across all experts.
     pub fn parameter_count(&self) -> usize {
         self.store.scalar_count()
+    }
+
+    /// All trainable parameters as `(name, values)` pairs in registration
+    /// order — lets tests and diagnostics compare two models exactly.
+    pub fn parameters(&self) -> Vec<(&str, &[f32])> {
+        self.store
+            .ids()
+            .map(|id| (self.store.name(id), self.store.value(id).data()))
+            .collect()
     }
 
     /// Approximate in-memory model size in bytes (f32 parameters), the §6
@@ -963,7 +1007,9 @@ mod tests {
         let gru = model.gru_independent_params(&k).unwrap();
         assert_eq!(gru.len(), 3 * 12 * 12 + 3 * 12);
 
-        assert!(model.mask_weights(&MetricKey::new("Ghost", ResourceKind::Cpu)).is_none());
+        assert!(model
+            .mask_weights(&MetricKey::new("Ghost", ResourceKind::Cpu))
+            .is_none());
     }
 
     #[test]
@@ -976,7 +1022,10 @@ mod tests {
             acc += traces.window(t).len() as f64 * 0.1;
             disk.push(acc);
         }
-        metrics.insert(MetricKey::new("Frontend", ResourceKind::DiskUsage), disk.clone());
+        metrics.insert(
+            MetricKey::new("Frontend", ResourceKind::DiskUsage),
+            disk.clone(),
+        );
         let cfg = quick_config()
             .with_epochs(40)
             .with_scope(vec![MetricKey::new("Frontend", ResourceKind::DiskUsage)]);

@@ -116,7 +116,9 @@ impl FeatureSpace {
 
     /// Extracts the whole windowed series as raw count vectors.
     pub fn extract_all(&self, traces: &WindowedTraces) -> Vec<Vec<f32>> {
-        (0..traces.len()).map(|w| self.extract(traces.window(w))).collect()
+        (0..traces.len())
+            .map(|w| self.extract(traces.window(w)))
+            .collect()
     }
 
     /// Extracts the whole windowed series as normalized vectors.
@@ -194,7 +196,11 @@ mod tests {
 
         let mut w = WindowedTraces::with_windows(5.0, 3);
         w.windows[0] = vec![upload_trace.clone(), get_trace.clone()];
-        w.windows[1] = vec![upload_trace.clone(), upload_trace.clone(), get_trace.clone()];
+        w.windows[1] = vec![
+            upload_trace.clone(),
+            upload_trace.clone(),
+            get_trace.clone(),
+        ];
         w.windows[2] = vec![get_trace];
         (i, w)
     }
@@ -228,10 +234,7 @@ mod tests {
         // A brand-new path through an unseen component.
         let ghost = i.intern("GhostService");
         let op = i.intern("spook");
-        let unseen = Trace::new(
-            i.intern("/ghost"),
-            SpanNode::leaf(ghost, op),
-        );
+        let unseen = Trace::new(i.intern("/ghost"), SpanNode::leaf(ghost, op));
         let x = space.extract(&[unseen]);
         assert!(x.iter().all(|&v| v == 0.0));
     }
@@ -273,7 +276,9 @@ mod tests {
     fn describe_renders_path() {
         let (i, traces) = media_traces();
         let space = FeatureSpace::construct(&traces);
-        let all: Vec<String> = (0..space.dim()).map(|idx| space.describe(idx, &i)).collect();
+        let all: Vec<String> = (0..space.dim())
+            .map(|idx| space.describe(idx, &i))
+            .collect();
         assert!(all
             .iter()
             .any(|d| d == "Root -> MediaNGINX:uploadMedia -> MediaMongoDB:store"));

@@ -56,8 +56,9 @@ pub fn api_attribution(model: &DeepRest, key: &ExpertKey) -> Option<ApiAttributi
         }
         for (&api, &count) in apis {
             let share = count as f64 / total as f64;
-            *per_api.entry(interner.resolve(api).to_owned()).or_insert(0.0) +=
-                f64::from(w) * share;
+            *per_api
+                .entry(interner.resolve(api).to_owned())
+                .or_insert(0.0) += f64::from(w) * share;
         }
     }
 
@@ -68,10 +69,8 @@ pub fn api_attribution(model: &DeepRest, key: &ExpertKey) -> Option<ApiAttributi
             weights: Vec::new(),
         });
     }
-    let mut weights: Vec<(String, f64)> = per_api
-        .into_iter()
-        .map(|(api, w)| (api, w / max))
-        .collect();
+    let mut weights: Vec<(String, f64)> =
+        per_api.into_iter().map(|(api, w)| (api, w / max)).collect();
     weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     Some(ApiAttribution {
         key: key.clone(),
@@ -84,16 +83,15 @@ pub fn api_attribution(model: &DeepRest, key: &ExpertKey) -> Option<ApiAttributi
 pub fn top_paths(model: &DeepRest, key: &ExpertKey, n: usize) -> Option<Vec<(String, f32)>> {
     let mask = model.mask_weights(key)?;
     let mut idx: Vec<usize> = (0..mask.len()).collect();
-    idx.sort_by(|&a, &b| mask[b].partial_cmp(&mask[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        mask[b]
+            .partial_cmp(&mask[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Some(
         idx.into_iter()
             .take(n)
-            .map(|i| {
-                (
-                    model.feature_space().describe(i, model.interner()),
-                    mask[i],
-                )
-            })
+            .map(|i| (model.feature_space().describe(i, model.interner()), mask[i]))
             .collect(),
     )
 }

@@ -32,7 +32,7 @@ pub struct SanityConfig {
 impl Default for SanityConfig {
     fn default() -> Self {
         Self {
-            score_threshold: 0.02,
+            score_threshold: 0.01,
             min_event_windows: 3,
             finding_threshold_pct: 15.0,
         }
@@ -54,7 +54,11 @@ pub struct Finding {
 
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let dir = if self.deviation_pct >= 0.0 { "higher" } else { "lower" };
+        let dir = if self.deviation_pct >= 0.0 {
+            "higher"
+        } else {
+            "lower"
+        };
         write!(
             f,
             "{} {}: {:.1}% {} than expected",

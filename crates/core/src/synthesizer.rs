@@ -73,7 +73,14 @@ impl TraceSynthesizer {
                     keys.push(key);
                     counts.push(count);
                 }
-                (api, ApiDistribution { keys, counts, total })
+                (
+                    api,
+                    ApiDistribution {
+                        keys,
+                        counts,
+                        total,
+                    },
+                )
             })
             .collect();
         per_api.sort_by_key(|(api, _)| *api);
@@ -91,10 +98,7 @@ impl TraceSynthesizer {
     }
 
     fn distribution(&self, api: Sym) -> Option<&ApiDistribution> {
-        self.per_api
-            .iter()
-            .find(|(a, _)| *a == api)
-            .map(|(_, d)| d)
+        self.per_api.iter().find(|(a, _)| *a == api).map(|(_, d)| d)
     }
 
     /// Samples `n` synthetic traces for one API.
@@ -151,8 +155,7 @@ impl TraceSynthesizer {
                 // expectations are preserved on average.
                 let expected = traffic.window(t)[a];
                 let base = expected.floor();
-                let n = base as u64
-                    + u64::from(rng.gen_bool((expected - base).clamp(0.0, 1.0)));
+                let n = base as u64 + u64::from(rng.gen_bool((expected - base).clamp(0.0, 1.0)));
                 out.windows[t].extend(self.synthesize_api(api, n, &mut rng));
             }
         }

@@ -1,0 +1,97 @@
+//! Property test for the parallel execution engine: training and estimation
+//! must be **bit-for-bit identical** at every thread count.
+//!
+//! The engine's determinism is by construction — fixed chunking, per-item
+//! gradient buffers folded in item order, disjoint optimizer updates — and
+//! this test is the executable statement of that contract: a 1-thread fit
+//! and an N-thread fit of the same data produce identical trained parameters
+//! (compared through the serialized model) and identical `Estimates`.
+
+use deeprest_core::{DeepRest, DeepRestConfig, OptimizerKind};
+use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::{Interner, SpanNode, Trace};
+use proptest::prelude::*;
+
+/// One API driving two metric series on one component — the smallest
+/// workload that exercises masks, GRUs, cross-expert attention and heads.
+fn tiny_dataset(windows: usize) -> (Interner, WindowedTraces, MetricsRegistry) {
+    let mut i = Interner::new();
+    let f = i.intern("Frontend");
+    let read = i.intern("read");
+    let api = i.intern("/read");
+    let mut traces = WindowedTraces::with_windows(1.0, windows);
+    let mut cpu = TimeSeries::zeros(0);
+    let mut mem = TimeSeries::zeros(0);
+    for t in 0..windows {
+        let count = 2 + ((t % 12) as i32 - 6).unsigned_abs() as usize;
+        for _ in 0..count {
+            traces.windows[t].push(Trace::new(api, SpanNode::leaf(f, read)));
+        }
+        cpu.push(2.0 + 1.5 * count as f64);
+        mem.push(64.0 + 0.5 * count as f64);
+    }
+    let mut metrics = MetricsRegistry::new();
+    metrics.insert(MetricKey::new("Frontend", ResourceKind::Cpu), cpu);
+    metrics.insert(MetricKey::new("Frontend", ResourceKind::Memory), mem);
+    (i, traces, metrics)
+}
+
+fn config(seed: u64, threads: usize, adam: bool) -> DeepRestConfig {
+    let optimizer = if adam {
+        OptimizerKind::Adam { lr: 0.005 }
+    } else {
+        OptimizerKind::Sgd {
+            lr: 0.01,
+            momentum: 0.9,
+        }
+    };
+    DeepRestConfig {
+        hidden_dim: 8,
+        epochs: 3,
+        subseq_len: 12,
+        batch_size: 3,
+        ..DeepRestConfig::default()
+    }
+    .with_seed(seed)
+    .with_optimizer(optimizer)
+    .with_threads(threads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_fit_is_bitwise_identical_to_serial(
+        seed in 0u64..1000,
+        threads in 2usize..9,
+        adam in any::<bool>(),
+    ) {
+        let (i, traces, metrics) = tiny_dataset(48);
+        let (serial, rs) = DeepRest::fit(&traces, &metrics, &i, config(seed, 1, adam));
+        let (parallel, rp) = DeepRest::fit(&traces, &metrics, &i, config(seed, threads, adam));
+
+        // Identical training trajectory, not merely a similar end state.
+        prop_assert_eq!(&rs.epoch_losses, &rp.epoch_losses);
+
+        // Identical trained parameters — every tensor, every bit.
+        let ps = serial.parameters();
+        let pp = parallel.parameters();
+        prop_assert_eq!(ps.len(), pp.len());
+        for ((ns, vs), (np, vp)) in ps.iter().zip(pp.iter()) {
+            prop_assert_eq!(ns, np);
+            prop_assert_eq!(vs, vp, "parameter {} diverged", ns);
+        }
+
+        // Identical estimates, window for window, bit for bit.
+        let es = serial.estimate_from_traces(&traces, &i);
+        let ep = parallel.estimate_from_traces(&traces, &i);
+        prop_assert_eq!(es.len(), ep.len());
+        for ((ks, ps), (kp, pp)) in es.iter().zip(ep.iter()) {
+            prop_assert_eq!(ks, kp);
+            prop_assert_eq!(ps.expected.values(), pp.expected.values());
+            prop_assert_eq!(ps.lower.values(), pp.lower.values());
+            prop_assert_eq!(ps.upper.values(), pp.upper.values());
+        }
+    }
+}

@@ -73,8 +73,13 @@ fn learns_social_network_and_generalizes() {
 
     // Mode 1: estimate straight from traffic via the synthesizer.
     let est_syn = model.estimate_traffic(&query_traffic, 9);
-    let pred = est_syn.get_parts("FrontendNGINX", ResourceKind::Cpu).unwrap();
-    let act = actual.metrics.get_parts("FrontendNGINX", ResourceKind::Cpu).unwrap();
+    let pred = est_syn
+        .get_parts("FrontendNGINX", ResourceKind::Cpu)
+        .unwrap();
+    let act = actual
+        .metrics
+        .get_parts("FrontendNGINX", ResourceKind::Cpu)
+        .unwrap();
     let m = mape(act, &pred.expected);
     eprintln!("synthesized FrontendNGINX/cpu: MAPE {m:.1}%");
     assert!(m < 30.0, "synthesized MAPE {m:.1}%");
@@ -82,7 +87,12 @@ fn learns_social_network_and_generalizes() {
     // Sanity check: cryptojacking on the post store must be flagged; the
     // benign day must not drown in false alarms.
     let attack = CryptojackingAttack::new("PostStorageMongoDB", 48, 25.0);
-    let attacked = simulate_with(&app, &query_traffic, &cfg.clone().with_seed(777), &[&attack]);
+    let attacked = simulate_with(
+        &app,
+        &query_traffic,
+        &cfg.clone().with_seed(777),
+        &[&attack],
+    );
     let report = sanity::check(
         &model,
         &attacked.traces,
@@ -90,16 +100,25 @@ fn learns_social_network_and_generalizes() {
         &attacked.metrics,
         &sanity::SanityConfig::default(),
     );
-    let scores = &report
-        .per_resource[&MetricKey::new("PostStorageMongoDB", ResourceKind::Cpu)];
+    let scores = &report.per_resource[&MetricKey::new("PostStorageMongoDB", ResourceKind::Cpu)];
     let pre: f64 = scores.slice(0..48).mean();
     let post: f64 = scores.slice(48..96).mean();
     eprintln!("cryptojacking score pre {pre:.4} post {post:.4}");
-    assert!(post > 10.0 * (pre + 1e-6), "attack not separable: {pre} vs {post}");
+    assert!(
+        post > 10.0 * (pre + 1e-6),
+        "attack not separable: {pre} vs {post}"
+    );
     assert!(!report.events.is_empty(), "no anomalous event extracted");
     let ev = &report.events[report.events.len() - 1];
-    assert!(ev.start_window >= 40, "event starts too early: {}", ev.start_window);
-    assert!(ev.findings.iter().any(|f| f.component == "PostStorageMongoDB"
-        && f.resource == ResourceKind::Cpu
-        && f.deviation_pct > 0.0));
+    assert!(
+        ev.start_window >= 40,
+        "event starts too early: {}",
+        ev.start_window
+    );
+    assert!(ev
+        .findings
+        .iter()
+        .any(|f| f.component == "PostStorageMongoDB"
+            && f.resource == ResourceKind::Cpu
+            && f.deviation_pct > 0.0));
 }

@@ -94,8 +94,16 @@ pub fn mae(actual: &TimeSeries, estimated: &TimeSeries) -> f64 {
 ///
 /// Panics if the series lengths differ.
 pub fn interval_coverage(actual: &TimeSeries, lower: &TimeSeries, upper: &TimeSeries) -> f64 {
-    assert_eq!(actual.len(), lower.len(), "interval_coverage: length mismatch");
-    assert_eq!(actual.len(), upper.len(), "interval_coverage: length mismatch");
+    assert_eq!(
+        actual.len(),
+        lower.len(),
+        "interval_coverage: length mismatch"
+    );
+    assert_eq!(
+        actual.len(),
+        upper.len(),
+        "interval_coverage: length mismatch"
+    );
     if actual.is_empty() {
         return 1.0;
     }
@@ -122,8 +130,16 @@ pub fn interval_deviation(
     lower: &TimeSeries,
     upper: &TimeSeries,
 ) -> TimeSeries {
-    assert_eq!(actual.len(), lower.len(), "interval_deviation: length mismatch");
-    assert_eq!(actual.len(), upper.len(), "interval_deviation: length mismatch");
+    assert_eq!(
+        actual.len(),
+        lower.len(),
+        "interval_deviation: length mismatch"
+    );
+    assert_eq!(
+        actual.len(),
+        upper.len(),
+        "interval_deviation: length mismatch"
+    );
     let scale = (upper.max() - lower.min()).abs().max(1e-9);
     actual
         .values()
@@ -165,7 +181,11 @@ impl AnomalousRange {
 
 /// Extracts contiguous runs where `scores` exceeds `threshold`; runs shorter
 /// than `min_len` windows are dropped (debouncing isolated noisy windows).
-pub fn anomalous_ranges(scores: &TimeSeries, threshold: f64, min_len: usize) -> Vec<AnomalousRange> {
+pub fn anomalous_ranges(
+    scores: &TimeSeries,
+    threshold: f64,
+    min_len: usize,
+) -> Vec<AnomalousRange> {
     let mut out = Vec::new();
     let mut start = None::<usize>;
     for (t, &s) in scores.values().iter().enumerate() {

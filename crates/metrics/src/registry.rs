@@ -56,8 +56,7 @@ impl MetricsRegistry {
 
     /// Looks up a series by parts.
     pub fn get_parts(&self, component: &str, resource: ResourceKind) -> Option<&TimeSeries> {
-        self.series
-            .get(&MetricKey::new(component, resource))
+        self.series.get(&MetricKey::new(component, resource))
     }
 
     /// Mutable lookup, inserting an empty series when missing.
@@ -116,7 +115,9 @@ mod tests {
         assert!(r
             .get_parts("PostStorageMongoDB", ResourceKind::WriteIops)
             .is_some());
-        assert!(r.get_parts("PostStorageMongoDB", ResourceKind::Cpu).is_none());
+        assert!(r
+            .get_parts("PostStorageMongoDB", ResourceKind::Cpu)
+            .is_none());
     }
 
     #[test]
@@ -124,7 +125,10 @@ mod tests {
         let mut r = MetricsRegistry::new();
         r.insert(MetricKey::new("b", ResourceKind::Cpu), TimeSeries::zeros(1));
         r.insert(MetricKey::new("a", ResourceKind::Cpu), TimeSeries::zeros(1));
-        r.insert(MetricKey::new("a", ResourceKind::Memory), TimeSeries::zeros(1));
+        r.insert(
+            MetricKey::new("a", ResourceKind::Memory),
+            TimeSeries::zeros(1),
+        );
         let keys: Vec<String> = r.keys().map(|k| k.to_string()).collect();
         assert_eq!(keys, vec!["a/cpu", "a/memory", "b/cpu"]);
     }
@@ -148,6 +152,9 @@ mod tests {
     fn entry_creates_empty_series() {
         let mut r = MetricsRegistry::new();
         r.entry(MetricKey::new("x", ResourceKind::Memory)).push(9.0);
-        assert_eq!(r.get_parts("x", ResourceKind::Memory).unwrap().values(), &[9.0]);
+        assert_eq!(
+            r.get_parts("x", ResourceKind::Memory).unwrap().values(),
+            &[9.0]
+        );
     }
 }

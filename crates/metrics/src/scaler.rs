@@ -29,7 +29,10 @@ impl MinMaxScaler {
         }
         if (max - min).abs() < 1e-12 {
             // Degenerate range: scale as identity offset by min.
-            return Self { min, max: min + 1.0 };
+            return Self {
+                min,
+                max: min + 1.0,
+            };
         }
         Self { min, max }
     }

@@ -70,7 +70,10 @@ impl TimeSeries {
 
     /// Largest value (negative infinity for an empty series).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Smallest value (positive infinity for an empty series).
@@ -84,12 +87,8 @@ impl TimeSeries {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 
@@ -164,8 +163,7 @@ impl TimeSeries {
             // Average the bucket of windows this char covers.
             let start = i * self.values.len() / n;
             let end = ((i + 1) * self.values.len() / n).max(start + 1);
-            let avg =
-                self.values[start..end].iter().sum::<f64>() / (end - start) as f64;
+            let avg = self.values[start..end].iter().sum::<f64>() / (end - start) as f64;
             let tick = (((avg - lo) / span) * 7.0).round() as usize;
             out.push(TICKS[tick.min(7)]);
         }

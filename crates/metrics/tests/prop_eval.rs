@@ -8,8 +8,7 @@ use deeprest_metrics::{MinMaxScaler, TimeSeries};
 use proptest::prelude::*;
 
 fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = TimeSeries> {
-    proptest::collection::vec(0.0f64..100.0, len)
-        .prop_map(TimeSeries::from_values)
+    proptest::collection::vec(0.0f64..100.0, len).prop_map(TimeSeries::from_values)
 }
 
 proptest! {

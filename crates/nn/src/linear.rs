@@ -29,7 +29,10 @@ impl Linear {
         out_dim: usize,
         rng: &mut R,
     ) -> Self {
-        let w = store.add(format!("{name}.w"), init::xavier_uniform(out_dim, in_dim, rng));
+        let w = store.add(
+            format!("{name}.w"),
+            init::xavier_uniform(out_dim, in_dim, rng),
+        );
         let b = store.add(format!("{name}.b"), init::zeros(out_dim, 1));
         Self {
             w,

@@ -76,7 +76,9 @@ mod tests {
         let mut store = ParamStore::new();
         let p = store.add("p", Tensor::vector(vec![0.5, 0.5, 0.5]));
         let mut opt = crate::Sgd::new(0.05, 0.0);
-        let samples: Vec<f32> = (0..200).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let samples: Vec<f32> = (0..200)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         for _ in 0..200 {
             store.zero_grads();
             let mut g = Graph::new();

@@ -1,6 +1,6 @@
 //! First-order optimizers over a [`ParamStore`].
 
-use deeprest_tensor::{ParamStore, Tensor};
+use deeprest_tensor::{ParamStore, Pool, Tensor};
 
 /// Stochastic gradient descent with optional classical momentum.
 ///
@@ -29,18 +29,26 @@ impl Sgd {
     /// then leaves gradients untouched (call [`ParamStore::zero_grads`]
     /// before the next accumulation).
     pub fn step(&mut self, store: &mut ParamStore) {
+        self.step_with(store, &Pool::with_threads(1));
+    }
+
+    /// Like [`Sgd::step`], fanning the per-parameter updates out across
+    /// `pool`. Each parameter's update touches only its own tensors, so the
+    /// result is bit-identical to the serial [`Sgd::step`] at any width.
+    pub fn step_with(&mut self, store: &mut ParamStore, pool: &Pool) {
         self.ensure_state(store);
-        for id in store.ids().collect::<Vec<_>>() {
-            let grad = store.grad(id).clone();
-            let update = if self.momentum > 0.0 {
-                let v = &mut self.velocity[id.index()];
-                v.scale_assign(self.momentum);
-                v.add_assign(&grad);
-                v.clone()
-            } else {
-                grad
-            };
-            store.value_mut(id).axpy(-self.lr, &update);
+        let lr = self.lr;
+        if self.momentum > 0.0 {
+            let momentum = self.momentum;
+            let grads = store.grads();
+            pool.for_each_mut(&mut self.velocity, |i, v| {
+                v.scale_assign(momentum);
+                v.add_assign(&grads[i]);
+            });
+            let velocity = &self.velocity;
+            store.par_update(pool, |i, value, _| value.axpy(-lr, &velocity[i]));
+        } else {
+            store.par_update(pool, |_, value, grad| value.axpy(-lr, grad));
         }
     }
 
@@ -86,28 +94,40 @@ impl Adam {
 
     /// Applies one bias-corrected Adam update.
     pub fn step(&mut self, store: &mut ParamStore) {
+        self.step_with(store, &Pool::with_threads(1));
+    }
+
+    /// Like [`Adam::step`], fanning the per-parameter moment and value
+    /// updates out across `pool`. Updates are elementwise-independent, so
+    /// the result is bit-identical to the serial path at any width.
+    pub fn step_with(&mut self, store: &mut ParamStore, pool: &Pool) {
         self.ensure_state(store);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
-        for id in store.ids().collect::<Vec<_>>() {
-            let idx = id.index();
-            let grad = store.grad(id).clone();
-            let m = &mut self.m[idx];
-            m.scale_assign(self.beta1);
-            m.axpy(1.0 - self.beta1, &grad);
-            let v = &mut self.v[idx];
-            v.scale_assign(self.beta2);
-            let grad_sq = grad.mul(&grad);
-            v.axpy(1.0 - self.beta2, &grad_sq);
-
-            let value = store.value_mut(id);
-            for i in 0..value.len() {
-                let m_hat = self.m[idx].data()[i] / bc1;
-                let v_hat = self.v[idx].data()[i] / bc2;
-                value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        {
+            let grads = store.grads();
+            pool.for_each_mut(&mut self.m, |i, m| {
+                m.scale_assign(beta1);
+                m.axpy(1.0 - beta1, &grads[i]);
+            });
+            pool.for_each_mut(&mut self.v, |i, v| {
+                v.scale_assign(beta2);
+                let grad_sq = grads[i].mul(&grads[i]);
+                v.axpy(1.0 - beta2, &grad_sq);
+            });
         }
+        let (m, v) = (&self.m, &self.v);
+        let (lr, eps) = (self.lr, self.eps);
+        store.par_update(pool, |idx, value, _| {
+            let (m, v) = (&m[idx], &v[idx]);
+            for i in 0..value.len() {
+                let m_hat = m.data()[i] / bc1;
+                let v_hat = v.data()[i] / bc2;
+                value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
     }
 
     fn ensure_state(&mut self, store: &ParamStore) {
@@ -161,6 +181,41 @@ mod tests {
         let mut opt = Adam::new(0.05);
         let theta = converges(|s| opt.step(s));
         assert!((theta - 3.0).abs() < 1e-2, "got {theta}");
+    }
+
+    #[test]
+    fn parallel_step_matches_serial_bitwise() {
+        fn build() -> ParamStore {
+            let mut store = ParamStore::new();
+            for p in 0..9 {
+                let id = store.add(
+                    format!("p{p}"),
+                    Tensor::from_vec(3, 2, (0..6).map(|i| (p * 6 + i) as f32 * 0.17).collect()),
+                );
+                *store.grad_mut(id) =
+                    Tensor::from_vec(3, 2, (0..6).map(|i| ((p + i) as f32).sin()).collect());
+            }
+            store
+        }
+        let pool = Pool::with_threads(4);
+        for _ in 0..3 {
+            let (mut serial, mut parallel) = (build(), build());
+            let mut o1 = Sgd::new(0.05, 0.9);
+            let mut o2 = Sgd::new(0.05, 0.9);
+            o1.step(&mut serial);
+            o2.step_with(&mut parallel, &pool);
+            for id in serial.ids() {
+                assert_eq!(serial.value(id).data(), parallel.value(id).data());
+            }
+            let (mut serial, mut parallel) = (build(), build());
+            let mut o1 = Adam::new(0.01);
+            let mut o2 = Adam::new(0.01);
+            o1.step(&mut serial);
+            o2.step_with(&mut parallel, &pool);
+            for id in serial.ids() {
+                assert_eq!(serial.value(id).data(), parallel.value(id).data());
+            }
+        }
     }
 
     #[test]

@@ -96,9 +96,7 @@ impl Injector for RansomwareAttack {
             };
             return value * factor;
         }
-        if Some(component) == self.degraded_frontend.as_deref()
-            && resource == ResourceKind::Cpu
-        {
+        if Some(component) == self.degraded_frontend.as_deref() && resource == ResourceKind::Cpu {
             return value * self.frontend_cpu_factor;
         }
         value
@@ -135,9 +133,7 @@ impl Injector for CryptojackingAttack {
     }
 
     fn adjust(&self, window: usize, component: &str, resource: ResourceKind, value: f64) -> f64 {
-        if window >= self.start_window
-            && component == self.victim
-            && resource == ResourceKind::Cpu
+        if window >= self.start_window && component == self.victim && resource == ResourceKind::Cpu
         {
             value + self.cpu_add_pct
         } else {
@@ -198,8 +194,7 @@ mod tests {
         // During: amplified on the victim.
         assert!((attack.adjust(10, "Store", ResourceKind::Cpu, 10.0) - 26.3).abs() < 1e-9);
         assert!(
-            (attack.adjust(15, "Store", ResourceKind::WriteThroughput, 100.0) - 310.0).abs()
-                < 1e-9
+            (attack.adjust(15, "Store", ResourceKind::WriteThroughput, 100.0) - 310.0).abs() < 1e-9
         );
         // Frontend degrades.
         assert!(attack.adjust(15, "Frontend", ResourceKind::Cpu, 10.0) < 10.0);
@@ -208,7 +203,10 @@ mod tests {
         // After: untouched.
         assert_eq!(attack.adjust(20, "Store", ResourceKind::Cpu, 10.0), 10.0);
         // Disk usage is not directly multiplied.
-        assert_eq!(attack.adjust(15, "Store", ResourceKind::DiskUsage, 10.0), 10.0);
+        assert_eq!(
+            attack.adjust(15, "Store", ResourceKind::DiskUsage, 10.0),
+            10.0
+        );
     }
 
     #[test]

@@ -188,7 +188,8 @@ mod tests {
 
     #[test]
     fn visit_covers_all_nodes() {
-        let tree = CallNode::new("A", "a").child(CallNode::new("B", "b").child(CallNode::new("C", "c")));
+        let tree =
+            CallNode::new("A", "a").child(CallNode::new("B", "b").child(CallNode::new("C", "c")));
         let mut names = Vec::new();
         tree.visit(&mut |n| names.push(n.component.clone()));
         assert_eq!(names, vec!["A", "B", "C"]);
@@ -196,8 +197,8 @@ mod tests {
 
     #[test]
     fn api_spec_flags() {
-        let api = ApiSpec::new("/uploadMedia", 0.1, CallNode::new("MediaNGINX", "upload"))
-            .with_media();
+        let api =
+            ApiSpec::new("/uploadMedia", 0.1, CallNode::new("MediaNGINX", "upload")).with_media();
         assert!(api.carries_media);
         assert!(!api.carries_text);
         assert!(!api.uses_fanout);

@@ -64,39 +64,89 @@ fn register_costs(app: &mut AppSpec) {
     app.set_cost("FrontendService", "reserve", OperationCost::cpu(7.0));
     app.set_cost("FrontendService", "user", OperationCost::cpu(5.0));
 
-    app.set_cost("SearchService", "nearby", OperationCost::cpu(10.0).with_cache(0.01));
-    app.set_cost("GeoService", "nearby", OperationCost::cpu(7.0).with_cache(0.01));
-    app.set_cost("GeoMongoDB", "find", OperationCost::cpu(4.5).with_cache(0.02));
-    app.set_cost("RateService", "getRates", OperationCost::cpu(6.0).with_cache(0.01));
-    app.set_cost("RateMemcached", "get", OperationCost::cpu(0.8).with_cache(0.008));
-    app.set_cost("RateMongoDB", "find", OperationCost::cpu(4.5).with_cache(0.02));
+    app.set_cost(
+        "SearchService",
+        "nearby",
+        OperationCost::cpu(10.0).with_cache(0.01),
+    );
+    app.set_cost(
+        "GeoService",
+        "nearby",
+        OperationCost::cpu(7.0).with_cache(0.01),
+    );
+    app.set_cost(
+        "GeoMongoDB",
+        "find",
+        OperationCost::cpu(4.5).with_cache(0.02),
+    );
+    app.set_cost(
+        "RateService",
+        "getRates",
+        OperationCost::cpu(6.0).with_cache(0.01),
+    );
+    app.set_cost(
+        "RateMemcached",
+        "get",
+        OperationCost::cpu(0.8).with_cache(0.008),
+    );
+    app.set_cost(
+        "RateMongoDB",
+        "find",
+        OperationCost::cpu(4.5).with_cache(0.02),
+    );
     app.set_cost(
         "ProfileService",
         "getProfiles",
         OperationCost::cpu(6.5).with_cache(0.012),
     );
-    app.set_cost("ProfileMemcached", "get", OperationCost::cpu(0.9).with_cache(0.01));
-    app.set_cost("ProfileMongoDB", "find", OperationCost::cpu(5.0).with_cache(0.03));
+    app.set_cost(
+        "ProfileMemcached",
+        "get",
+        OperationCost::cpu(0.9).with_cache(0.01),
+    );
+    app.set_cost(
+        "ProfileMongoDB",
+        "find",
+        OperationCost::cpu(5.0).with_cache(0.03),
+    );
 
     app.set_cost(
         "RecommendService",
         "getRecommendations",
         OperationCost::cpu(8.0).with_cache(0.01),
     );
-    app.set_cost("RecommendMongoDB", "find", OperationCost::cpu(5.0).with_cache(0.02));
+    app.set_cost(
+        "RecommendMongoDB",
+        "find",
+        OperationCost::cpu(5.0).with_cache(0.02),
+    );
 
     app.set_cost("ReserveService", "makeReservation", OperationCost::cpu(9.0));
     app.set_cost(
         "ReserveMongoDB",
         "insert",
-        OperationCost::cpu(5.0).with_writes(3.0, 2.5).with_cache(0.015),
+        OperationCost::cpu(5.0)
+            .with_writes(3.0, 2.5)
+            .with_cache(0.015),
     );
-    app.set_cost("ReserveMemcached", "update", OperationCost::cpu(1.0).with_cache(0.008));
+    app.set_cost(
+        "ReserveMemcached",
+        "update",
+        OperationCost::cpu(1.0).with_cache(0.008),
+    );
 
     app.set_cost("UserService", "checkUser", OperationCost::cpu(5.0));
     app.set_cost("UserService", "login", OperationCost::cpu(6.0));
-    app.set_cost("UserMemcached", "get", OperationCost::cpu(0.8).with_cache(0.008));
-    app.set_cost("UserMongoDB", "find", OperationCost::cpu(4.0).with_cache(0.02));
+    app.set_cost(
+        "UserMemcached",
+        "get",
+        OperationCost::cpu(0.8).with_cache(0.008),
+    );
+    app.set_cost(
+        "UserMongoDB",
+        "find",
+        OperationCost::cpu(4.0).with_cache(0.02),
+    );
 }
 
 fn register_apis(app: &mut AppSpec) {
@@ -110,21 +160,17 @@ fn register_apis(app: &mut AppSpec) {
                 )
                 .child(
                     CallNode::new("RateService", "getRates").child(
-                        CallNode::new("RateMemcached", "get").child_if(
-                            Condition::Prob(0.4),
-                            CallNode::new("RateMongoDB", "find"),
-                        ),
+                        CallNode::new("RateMemcached", "get")
+                            .child_if(Condition::Prob(0.4), CallNode::new("RateMongoDB", "find")),
                     ),
                 ),
         )
-        .child(
-            CallNode::new("ProfileService", "getProfiles").child(
-                CallNode::new("ProfileMemcached", "get").child_if(
-                    Condition::Prob(0.35),
-                    CallNode::new("ProfileMongoDB", "find"),
-                ),
+        .child(CallNode::new("ProfileService", "getProfiles").child(
+            CallNode::new("ProfileMemcached", "get").child_if(
+                Condition::Prob(0.35),
+                CallNode::new("ProfileMongoDB", "find"),
             ),
-        );
+        ));
     app.add_api(ApiSpec::new("/search", 0.55, search));
 
     // /recommend.
@@ -133,14 +179,12 @@ fn register_apis(app: &mut AppSpec) {
             CallNode::new("RecommendService", "getRecommendations")
                 .child(CallNode::new("RecommendMongoDB", "find")),
         )
-        .child(
-            CallNode::new("ProfileService", "getProfiles").child(
-                CallNode::new("ProfileMemcached", "get").child_if(
-                    Condition::Prob(0.35),
-                    CallNode::new("ProfileMongoDB", "find"),
-                ),
+        .child(CallNode::new("ProfileService", "getProfiles").child(
+            CallNode::new("ProfileMemcached", "get").child_if(
+                Condition::Prob(0.35),
+                CallNode::new("ProfileMongoDB", "find"),
             ),
-        );
+        ));
     app.add_api(ApiSpec::new("/recommend", 0.18, recommend));
 
     // /reserve: the only write path.

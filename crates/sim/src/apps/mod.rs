@@ -43,7 +43,8 @@ mod tests {
     #[test]
     fn hotel_reservation_matches_paper_counts() {
         let app = hotel_reservation();
-        app.validate().expect("hotel reservation spec must validate");
+        app.validate()
+            .expect("hotel reservation spec must validate");
         assert_eq!(app.components.len(), 18, "12 stateless + 6 stateful");
         assert_eq!(app.components.iter().filter(|c| c.stateful).count(), 6);
         assert_eq!(app.apis.len(), 4, "4 API endpoints");
@@ -65,7 +66,11 @@ mod tests {
     fn default_mixes_are_normalizable() {
         for app in [social_network(), hotel_reservation()] {
             let total: f64 = app.default_mix().iter().map(|(_, w)| w).sum();
-            assert!((total - 1.0).abs() < 1e-6, "{} mix sums to {total}", app.name);
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "{} mix sums to {total}",
+                app.name
+            );
         }
     }
 

@@ -87,7 +87,11 @@ pub fn social_network() -> AppSpec {
 
 fn register_costs(app: &mut AppSpec) {
     // Entry points.
-    app.set_cost("FrontendNGINX", "composePost", OperationCost::cpu(9.0).per_text(0.5));
+    app.set_cost(
+        "FrontendNGINX",
+        "composePost",
+        OperationCost::cpu(9.0).per_text(0.5),
+    );
     app.set_cost("FrontendNGINX", "readUserTimeline", OperationCost::cpu(7.0));
     app.set_cost("FrontendNGINX", "readHomeTimeline", OperationCost::cpu(7.0));
     app.set_cost("FrontendNGINX", "login", OperationCost::cpu(5.0));
@@ -99,9 +103,15 @@ fn register_costs(app: &mut AppSpec) {
     app.set_cost(
         "MediaNGINX",
         "uploadMedia",
-        OperationCost::cpu(6.0).per_media_kib(0.012, 0.0).with_cache(0.01),
+        OperationCost::cpu(6.0)
+            .per_media_kib(0.012, 0.0)
+            .with_cache(0.01),
     );
-    app.set_cost("MediaNGINX", "getMedia", OperationCost::cpu(5.0).with_cache(0.02));
+    app.set_cost(
+        "MediaNGINX",
+        "getMedia",
+        OperationCost::cpu(5.0).with_cache(0.02),
+    );
 
     // Compose-post pipeline.
     app.set_cost(
@@ -109,16 +119,34 @@ fn register_costs(app: &mut AppSpec) {
         "composePost",
         OperationCost::cpu(14.0).per_text(1.2).with_cache(0.015),
     );
-    app.set_cost("ComposePostRedis", "append", OperationCost::cpu(1.2).with_cache(0.01));
-    app.set_cost("TextService", "processText", OperationCost::cpu(6.0).per_text(2.0));
-    app.set_cost("UserMentionService", "resolveMentions", OperationCost::cpu(5.0));
+    app.set_cost(
+        "ComposePostRedis",
+        "append",
+        OperationCost::cpu(1.2).with_cache(0.01),
+    );
+    app.set_cost(
+        "TextService",
+        "processText",
+        OperationCost::cpu(6.0).per_text(2.0),
+    );
+    app.set_cost(
+        "UserMentionService",
+        "resolveMentions",
+        OperationCost::cpu(5.0),
+    );
     app.set_cost("UniqueIDService", "generate", OperationCost::cpu(1.5));
     app.set_cost("URLShortenService", "shorten", OperationCost::cpu(4.0));
-    app.set_cost("URLShortenMemcached", "set", OperationCost::cpu(0.8).with_cache(0.008));
+    app.set_cost(
+        "URLShortenMemcached",
+        "set",
+        OperationCost::cpu(0.8).with_cache(0.008),
+    );
     app.set_cost(
         "URLShortenMongoDB",
         "insert",
-        OperationCost::cpu(3.0).with_writes(2.0, 1.5).with_cache(0.01),
+        OperationCost::cpu(3.0)
+            .with_writes(2.0, 1.5)
+            .with_cache(0.01),
     );
     app.set_cost("MediaService", "attachMedia", OperationCost::cpu(4.0));
     app.set_cost(
@@ -148,15 +176,25 @@ fn register_costs(app: &mut AppSpec) {
     app.set_cost(
         "UserTimelineMongoDB",
         "insert",
-        OperationCost::cpu(4.0).with_writes(2.0, 1.2).with_cache(0.012),
+        OperationCost::cpu(4.0)
+            .with_writes(2.0, 1.2)
+            .with_cache(0.012),
     );
-    app.set_cost("UserTimelineRedis", "update", OperationCost::cpu(1.0).with_cache(0.01));
+    app.set_cost(
+        "UserTimelineRedis",
+        "update",
+        OperationCost::cpu(1.0).with_cache(0.01),
+    );
     app.set_cost(
         "WriteHomeTimelineService",
         "fanoutWrite",
         OperationCost::cpu(4.0).per_fanout(0.25, 0.0, 0.0),
     );
-    app.set_cost("WriteHomeTimelineRabbitMQ", "enqueue", OperationCost::cpu(1.5));
+    app.set_cost(
+        "WriteHomeTimelineRabbitMQ",
+        "enqueue",
+        OperationCost::cpu(1.5),
+    );
     app.set_cost(
         "HomeTimelineRedis",
         "update",
@@ -169,7 +207,11 @@ fn register_costs(app: &mut AppSpec) {
         "readTimeline",
         OperationCost::cpu(9.0).with_cache(0.01),
     );
-    app.set_cost("UserTimelineRedis", "get", OperationCost::cpu(0.8).with_cache(0.006));
+    app.set_cost(
+        "UserTimelineRedis",
+        "get",
+        OperationCost::cpu(0.8).with_cache(0.006),
+    );
     app.set_cost(
         "UserTimelineMongoDB",
         "find",
@@ -180,13 +222,21 @@ fn register_costs(app: &mut AppSpec) {
         "readTimeline",
         OperationCost::cpu(8.0).with_cache(0.01),
     );
-    app.set_cost("HomeTimelineRedis", "get", OperationCost::cpu(0.8).with_cache(0.006));
+    app.set_cost(
+        "HomeTimelineRedis",
+        "get",
+        OperationCost::cpu(0.8).with_cache(0.006),
+    );
     app.set_cost(
         "PostStorageService",
         "getPosts",
         OperationCost::cpu(7.0).with_cache(0.015),
     );
-    app.set_cost("PostStorageMemcached", "get", OperationCost::cpu(0.9).with_cache(0.01));
+    app.set_cost(
+        "PostStorageMemcached",
+        "get",
+        OperationCost::cpu(0.9).with_cache(0.01),
+    );
     app.set_cost(
         "PostStorageMongoDB",
         "find",
@@ -207,27 +257,65 @@ fn register_costs(app: &mut AppSpec) {
             .with_writes(2.0, 4.0)
             .with_cache(0.03),
     );
-    app.set_cost("MediaService", "get", OperationCost::cpu(6.0).with_cache(0.02));
-    app.set_cost("MediaMemcached", "get", OperationCost::cpu(0.9).with_cache(0.015));
-    app.set_cost("MediaMongoDB", "find", OperationCost::cpu(5.5).with_cache(0.05));
+    app.set_cost(
+        "MediaService",
+        "get",
+        OperationCost::cpu(6.0).with_cache(0.02),
+    );
+    app.set_cost(
+        "MediaMemcached",
+        "get",
+        OperationCost::cpu(0.9).with_cache(0.015),
+    );
+    app.set_cost(
+        "MediaMongoDB",
+        "find",
+        OperationCost::cpu(5.5).with_cache(0.05),
+    );
 
     // Users and the social graph.
     app.set_cost("UserService", "login", OperationCost::cpu(7.0));
     app.set_cost("UserService", "register", OperationCost::cpu(9.0));
-    app.set_cost("UserMemcached", "get", OperationCost::cpu(0.8).with_cache(0.008));
-    app.set_cost("UserMongoDB", "find", OperationCost::cpu(4.5).with_cache(0.02));
+    app.set_cost(
+        "UserMemcached",
+        "get",
+        OperationCost::cpu(0.8).with_cache(0.008),
+    );
+    app.set_cost(
+        "UserMongoDB",
+        "find",
+        OperationCost::cpu(4.5).with_cache(0.02),
+    );
     app.set_cost(
         "UserMongoDB",
         "insert",
-        OperationCost::cpu(4.0).with_writes(2.0, 1.0).with_cache(0.01),
+        OperationCost::cpu(4.0)
+            .with_writes(2.0, 1.0)
+            .with_cache(0.01),
     );
-    app.set_cost("SocialGraphService", "getFollowers", OperationCost::cpu(5.5));
-    app.set_cost("SocialGraphService", "getFollowees", OperationCost::cpu(5.5));
+    app.set_cost(
+        "SocialGraphService",
+        "getFollowers",
+        OperationCost::cpu(5.5),
+    );
+    app.set_cost(
+        "SocialGraphService",
+        "getFollowees",
+        OperationCost::cpu(5.5),
+    );
     app.set_cost("SocialGraphService", "follow", OperationCost::cpu(6.0));
     app.set_cost("SocialGraphService", "unfollow", OperationCost::cpu(6.0));
     app.set_cost("SocialGraphService", "insertUser", OperationCost::cpu(5.0));
-    app.set_cost("SocialGraphRedis", "get", OperationCost::cpu(0.8).with_cache(0.01));
-    app.set_cost("SocialGraphRedis", "update", OperationCost::cpu(1.0).with_cache(0.008));
+    app.set_cost(
+        "SocialGraphRedis",
+        "get",
+        OperationCost::cpu(0.8).with_cache(0.01),
+    );
+    app.set_cost(
+        "SocialGraphRedis",
+        "update",
+        OperationCost::cpu(1.0).with_cache(0.008),
+    );
     app.set_cost(
         "SocialGraphMongoDB",
         "find",
@@ -236,12 +324,16 @@ fn register_costs(app: &mut AppSpec) {
     app.set_cost(
         "SocialGraphMongoDB",
         "update",
-        OperationCost::cpu(4.5).with_writes(1.5, 0.8).with_cache(0.01),
+        OperationCost::cpu(4.5)
+            .with_writes(1.5, 0.8)
+            .with_cache(0.01),
     );
     app.set_cost(
         "SocialGraphMongoDB",
         "insert",
-        OperationCost::cpu(4.0).with_writes(2.0, 0.9).with_cache(0.01),
+        OperationCost::cpu(4.0)
+            .with_writes(2.0, 0.9)
+            .with_cache(0.01),
     );
 }
 
@@ -251,7 +343,10 @@ fn register_apis(app: &mut AppSpec) {
     // user timeline, and a fan-out write to followers' home timelines.
     let compose = CallNode::new("FrontendNGINX", "composePost").child(
         CallNode::new("ComposePostService", "composePost")
-            .child_repeat(Repeat::Fixed(2), CallNode::new("ComposePostRedis", "append"))
+            .child_repeat(
+                Repeat::Fixed(2),
+                CallNode::new("ComposePostRedis", "append"),
+            )
             .child(
                 CallNode::new("TextService", "processText")
                     .child_if(
@@ -271,7 +366,10 @@ fn register_apis(app: &mut AppSpec) {
                     ),
             )
             .child(CallNode::new("UniqueIDService", "generate"))
-            .child_if(Condition::HasMedia, CallNode::new("MediaService", "attachMedia"))
+            .child_if(
+                Condition::HasMedia,
+                CallNode::new("MediaService", "attachMedia"),
+            )
             .child(
                 CallNode::new("PostStorageService", "storePost")
                     .child(CallNode::new("PostStorageMongoDB", "insert")),
@@ -284,14 +382,12 @@ fn register_apis(app: &mut AppSpec) {
             .child(
                 CallNode::new("WriteHomeTimelineService", "fanoutWrite")
                     .child(CallNode::new("WriteHomeTimelineRabbitMQ", "enqueue"))
-                    .child(
-                        CallNode::new("SocialGraphService", "getFollowers").child(
-                            CallNode::new("SocialGraphRedis", "get").child_if(
-                                Condition::Prob(0.2),
-                                CallNode::new("SocialGraphMongoDB", "find"),
-                            ),
+                    .child(CallNode::new("SocialGraphService", "getFollowers").child(
+                        CallNode::new("SocialGraphRedis", "get").child_if(
+                            Condition::Prob(0.2),
+                            CallNode::new("SocialGraphMongoDB", "find"),
                         ),
-                    )
+                    ))
                     .child_repeat(
                         Repeat::PerFanout {
                             scale: 0.12,
@@ -310,20 +406,16 @@ fn register_apis(app: &mut AppSpec) {
     // /readUserTimeline — the paper's "/readTimeline".
     let read_user = CallNode::new("FrontendNGINX", "readUserTimeline").child(
         CallNode::new("UserTimelineService", "readTimeline")
-            .child(
-                CallNode::new("UserTimelineRedis", "get").child_if(
-                    Condition::Prob(0.35),
-                    CallNode::new("UserTimelineMongoDB", "find"),
+            .child(CallNode::new("UserTimelineRedis", "get").child_if(
+                Condition::Prob(0.35),
+                CallNode::new("UserTimelineMongoDB", "find"),
+            ))
+            .child(CallNode::new("PostStorageService", "getPosts").child(
+                CallNode::new("PostStorageMemcached", "get").child_if(
+                    Condition::Prob(0.4),
+                    CallNode::new("PostStorageMongoDB", "find"),
                 ),
-            )
-            .child(
-                CallNode::new("PostStorageService", "getPosts").child(
-                    CallNode::new("PostStorageMemcached", "get").child_if(
-                        Condition::Prob(0.4),
-                        CallNode::new("PostStorageMongoDB", "find"),
-                    ),
-                ),
-            ),
+            )),
     );
     app.add_api(ApiSpec::new("/readUserTimeline", 0.33, read_user));
 
@@ -331,14 +423,12 @@ fn register_apis(app: &mut AppSpec) {
     let read_home = CallNode::new("FrontendNGINX", "readHomeTimeline").child(
         CallNode::new("HomeTimelineService", "readTimeline")
             .child(CallNode::new("HomeTimelineRedis", "get"))
-            .child(
-                CallNode::new("PostStorageService", "getPosts").child(
-                    CallNode::new("PostStorageMemcached", "get").child_if(
-                        Condition::Prob(0.4),
-                        CallNode::new("PostStorageMongoDB", "find"),
-                    ),
+            .child(CallNode::new("PostStorageService", "getPosts").child(
+                CallNode::new("PostStorageMemcached", "get").child_if(
+                    Condition::Prob(0.4),
+                    CallNode::new("PostStorageMongoDB", "find"),
                 ),
-            ),
+            )),
     );
     app.add_api(ApiSpec::new("/readHomeTimeline", 0.15, read_home));
 

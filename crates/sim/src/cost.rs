@@ -166,7 +166,9 @@ impl OperationCost {
 
     /// Returns `true` when any term can produce disk writes.
     pub fn has_writes(&self) -> bool {
-        self.terms.iter().any(|t| t.write_ops > 0.0 || t.write_kib > 0.0)
+        self.terms
+            .iter()
+            .any(|t| t.write_ops > 0.0 || t.write_kib > 0.0)
     }
 
     /// The declared terms.
@@ -190,7 +192,9 @@ mod tests {
 
     #[test]
     fn writes_and_cache() {
-        let c = OperationCost::cpu(1.0).with_writes(2.0, 8.0).with_cache(0.5);
+        let c = OperationCost::cpu(1.0)
+            .with_writes(2.0, 8.0)
+            .with_cache(0.5);
         let s = c.sample(&Payload::default());
         assert_eq!(s.write_ops, 2.0);
         assert_eq!(s.write_kib, 8.0);

@@ -198,18 +198,16 @@ pub fn simulate_with(
             let raw = comp.cpu_baseline_pct + busy_pct;
             let rho = (raw / 100.0).min(1.5);
             let amplified = raw * (1.0 + config.queue_gain * (rho - config.queue_knee).max(0.0));
-            let smoothed =
-                config.smoothing * amplified + (1.0 - config.smoothing) * cpu_prev[i];
+            let smoothed = config.smoothing * amplified + (1.0 - config.smoothing) * cpu_prev[i];
             cpu_prev[i] = smoothed;
             let mut cpu = (smoothed * noise_factor(&mut rng, config.noise)).clamp(0.0, 100.0);
 
             // Memory: baseline + decaying cache working set + transients.
-            cache_state[i] = (cache_state[i] * config.cache_decay + a.cache_mib)
-                .min(comp.mem_cache_max_mib);
-            let mut mem = (comp.mem_baseline_mib
-                + cache_state[i]
-                + config.transient_mem_factor * a.mem_mib)
-                * noise_factor(&mut rng, config.noise);
+            cache_state[i] =
+                (cache_state[i] * config.cache_decay + a.cache_mib).min(comp.mem_cache_max_mib);
+            let mut mem =
+                (comp.mem_baseline_mib + cache_state[i] + config.transient_mem_factor * a.mem_mib)
+                    * noise_factor(&mut rng, config.noise);
 
             let mut iops = a.write_ops / config.window_secs;
             let mut throughput = a.write_kib / config.window_secs;
@@ -240,7 +238,12 @@ pub fn simulate_with(
                     ResourceKind::WriteThroughput,
                     thr_noisy,
                 );
-                push(&mut series, &comp.name, ResourceKind::DiskUsage, disk_state[i]);
+                push(
+                    &mut series,
+                    &comp.name,
+                    ResourceKind::DiskUsage,
+                    disk_state[i],
+                );
             }
         }
     }
@@ -420,7 +423,9 @@ mod tests {
         app.set_cost(
             "Store",
             "insert",
-            OperationCost::cpu(3.0).with_writes(2.0, 16.0).with_cache(0.02),
+            OperationCost::cpu(3.0)
+                .with_writes(2.0, 16.0)
+                .with_cache(0.02),
         );
         app.set_cost("Store", "find", OperationCost::cpu(2.0).with_cache(0.05));
         app.add_api(ApiSpec::new(
@@ -438,13 +443,10 @@ mod tests {
     }
 
     fn tiny_traffic(days: usize) -> ApiTraffic {
-        WorkloadSpec::new(
-            120.0,
-            vec![("/read".into(), 0.7), ("/write".into(), 0.3)],
-        )
-        .with_days(days)
-        .with_windows_per_day(24)
-        .generate()
+        WorkloadSpec::new(120.0, vec![("/read".into(), 0.7), ("/write".into(), 0.3)])
+            .with_days(days)
+            .with_windows_per_day(24)
+            .generate()
     }
 
     #[test]
@@ -462,8 +464,14 @@ mod tests {
         let a = simulate(&tiny_app(), &tiny_traffic(1), &SimConfig::default());
         let b = simulate(&tiny_app(), &tiny_traffic(1), &SimConfig::default());
         assert_eq!(
-            a.metrics.get_parts("Store", ResourceKind::Cpu).unwrap().values(),
-            b.metrics.get_parts("Store", ResourceKind::Cpu).unwrap().values()
+            a.metrics
+                .get_parts("Store", ResourceKind::Cpu)
+                .unwrap()
+                .values(),
+            b.metrics
+                .get_parts("Store", ResourceKind::Cpu)
+                .unwrap()
+                .values()
         );
         assert_eq!(a.traces.trace_count(), b.traces.trace_count());
         let c = simulate(
@@ -472,23 +480,32 @@ mod tests {
             &SimConfig::default().with_seed(7),
         );
         assert_ne!(
-            a.metrics.get_parts("Store", ResourceKind::Cpu).unwrap().values(),
-            c.metrics.get_parts("Store", ResourceKind::Cpu).unwrap().values()
+            a.metrics
+                .get_parts("Store", ResourceKind::Cpu)
+                .unwrap()
+                .values(),
+            c.metrics
+                .get_parts("Store", ResourceKind::Cpu)
+                .unwrap()
+                .values()
         );
     }
 
     #[test]
     fn cpu_tracks_traffic_intensity() {
         let out = simulate(&tiny_app(), &tiny_traffic(1), &SimConfig::default());
-        let cpu = out.metrics.get_parts("Frontend", ResourceKind::Cpu).unwrap();
+        let cpu = out
+            .metrics
+            .get_parts("Frontend", ResourceKind::Cpu)
+            .unwrap();
         let traffic = tiny_traffic(1).total_series();
         // Peak window CPU should exceed trough CPU substantially.
-        let peak_w = (0..24).max_by(|&a, &b| {
-            traffic.get(a).partial_cmp(&traffic.get(b)).unwrap()
-        }).unwrap();
-        let trough_w = (0..24).min_by(|&a, &b| {
-            traffic.get(a).partial_cmp(&traffic.get(b)).unwrap()
-        }).unwrap();
+        let peak_w = (0..24)
+            .max_by(|&a, &b| traffic.get(a).partial_cmp(&traffic.get(b)).unwrap())
+            .unwrap();
+        let trough_w = (0..24)
+            .min_by(|&a, &b| traffic.get(a).partial_cmp(&traffic.get(b)).unwrap())
+            .unwrap();
         assert!(cpu.get(peak_w) > 1.5 * cpu.get(trough_w));
     }
 
@@ -511,7 +528,10 @@ mod tests {
             .with_windows_per_day(24)
             .generate();
         let out = simulate(&tiny_app(), &read_only, &SimConfig::default());
-        let iops = out.metrics.get_parts("Store", ResourceKind::WriteIops).unwrap();
+        let iops = out
+            .metrics
+            .get_parts("Store", ResourceKind::WriteIops)
+            .unwrap();
         assert!(iops.max() < 1e-9, "read-only traffic must not write");
     }
 
@@ -540,8 +560,16 @@ mod tests {
         let cfg = SimConfig::default();
         let out1 = simulate(&app, &base, &cfg);
         let out6 = simulate(&app, &heavy, &cfg);
-        let cpu1 = out1.metrics.get_parts("Frontend", ResourceKind::Cpu).unwrap().mean();
-        let cpu6 = out6.metrics.get_parts("Frontend", ResourceKind::Cpu).unwrap().mean();
+        let cpu1 = out1
+            .metrics
+            .get_parts("Frontend", ResourceKind::Cpu)
+            .unwrap()
+            .mean();
+        let cpu6 = out6
+            .metrics
+            .get_parts("Frontend", ResourceKind::Cpu)
+            .unwrap()
+            .mean();
         // Queueing amplification: 6x traffic → clearly more than 6x CPU
         // above baseline would exceed 100%, so check the amplified ratio on
         // the un-clamped region instead: mean CPU grows more than linearly

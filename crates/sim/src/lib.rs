@@ -117,7 +117,8 @@ impl AppSpec {
         operation: impl Into<String>,
         cost: OperationCost,
     ) -> &mut Self {
-        self.costs.insert((component.into(), operation.into()), cost);
+        self.costs
+            .insert((component.into(), operation.into()), cost);
         self
     }
 
@@ -193,11 +194,9 @@ impl AppSpec {
         let comp = self
             .component(&node.component)
             .ok_or_else(|| SpecError::UnknownComponent(node.component.clone()))?;
-        let cost = self
-            .cost(&node.component, &node.operation)
-            .ok_or_else(|| {
-                SpecError::MissingCost(node.component.clone(), node.operation.clone())
-            })?;
+        let cost = self.cost(&node.component, &node.operation).ok_or_else(|| {
+            SpecError::MissingCost(node.component.clone(), node.operation.clone())
+        })?;
         if !comp.stateful && cost.has_writes() {
             return Err(SpecError::StatelessWrites(
                 node.component.clone(),
@@ -220,12 +219,15 @@ mod tests {
         app.add_component(ComponentSpec::stateless("Frontend"));
         app.add_component(ComponentSpec::stateful("Store"));
         app.set_cost("Frontend", "serve", OperationCost::cpu(1.0));
-        app.set_cost("Store", "insert", OperationCost::cpu(0.5).with_writes(1.0, 4.0));
+        app.set_cost(
+            "Store",
+            "insert",
+            OperationCost::cpu(0.5).with_writes(1.0, 4.0),
+        );
         app.add_api(ApiSpec::new(
             "/write",
             0.5,
-            CallNode::new("Frontend", "serve")
-                .child(CallNode::new("Store", "insert")),
+            CallNode::new("Frontend", "serve").child(CallNode::new("Store", "insert")),
         ));
         app
     }
@@ -262,7 +264,11 @@ mod tests {
     #[test]
     fn stateless_writes_are_rejected() {
         let mut app = minimal_app();
-        app.set_cost("Frontend", "oops", OperationCost::cpu(1.0).with_writes(1.0, 1.0));
+        app.set_cost(
+            "Frontend",
+            "oops",
+            OperationCost::cpu(1.0).with_writes(1.0, 1.0),
+        );
         app.add_api(ApiSpec::new("/bad", 0.5, CallNode::new("Frontend", "oops")));
         assert_eq!(
             app.validate(),

@@ -8,7 +8,11 @@ use deeprest_sim::apps;
 use deeprest_sim::engine::{simulate, simulate_with, SimConfig};
 use deeprest_workload::WorkloadSpec;
 
-fn setup() -> (deeprest_sim::AppSpec, deeprest_workload::ApiTraffic, SimConfig) {
+fn setup() -> (
+    deeprest_sim::AppSpec,
+    deeprest_workload::ApiTraffic,
+    SimConfig,
+) {
     let app = apps::social_network();
     let traffic = WorkloadSpec::new(120.0, app.default_mix())
         .with_days(1)
@@ -44,7 +48,10 @@ fn ransomware_distorts_only_the_configured_interval_and_components() {
         );
     }
     let pre_ratio = hit_thr.slice(0..20).mean() / clean_thr.slice(0..20).mean();
-    assert!((0.8..1.2).contains(&pre_ratio), "pre-attack ratio {pre_ratio}");
+    assert!(
+        (0.8..1.2).contains(&pre_ratio),
+        "pre-attack ratio {pre_ratio}"
+    );
 
     // Frontend CPU degrades during the attack.
     let clean_cpu = clean
@@ -133,10 +140,26 @@ fn multiple_injectors_compose() {
     let leak = MemoryLeak::new("PostStorageMongoDB", 0, 1.0);
     let out = simulate_with(&app, &traffic, &cfg, &[&crypto, &leak]);
     let clean = simulate(&app, &traffic, &cfg);
-    let dc = out.metrics.get_parts("PostStorageMongoDB", ResourceKind::Cpu).unwrap().mean()
-        - clean.metrics.get_parts("PostStorageMongoDB", ResourceKind::Cpu).unwrap().mean();
-    let dm = out.metrics.get_parts("PostStorageMongoDB", ResourceKind::Memory).unwrap().mean()
-        - clean.metrics.get_parts("PostStorageMongoDB", ResourceKind::Memory).unwrap().mean();
+    let dc = out
+        .metrics
+        .get_parts("PostStorageMongoDB", ResourceKind::Cpu)
+        .unwrap()
+        .mean()
+        - clean
+            .metrics
+            .get_parts("PostStorageMongoDB", ResourceKind::Cpu)
+            .unwrap()
+            .mean();
+    let dm = out
+        .metrics
+        .get_parts("PostStorageMongoDB", ResourceKind::Memory)
+        .unwrap()
+        .mean()
+        - clean
+            .metrics
+            .get_parts("PostStorageMongoDB", ResourceKind::Memory)
+            .unwrap()
+            .mean();
     assert!(dc > 8.0, "CPU delta {dc}");
     assert!(dm > 15.0, "memory delta {dm}");
 }

@@ -22,8 +22,16 @@ fn social_network_magnitudes_are_sane() {
     // Every focus component's CPU is alive but unsaturated.
     for name in apps::FOCUS_COMPONENTS {
         let cpu = out.metrics.get_parts(name, ResourceKind::Cpu).unwrap();
-        assert!(cpu.mean() > 1.0, "{name} CPU mean {:.2} too idle", cpu.mean());
-        assert!(cpu.max() < 60.0, "{name} CPU max {:.2} saturated", cpu.max());
+        assert!(
+            cpu.mean() > 1.0,
+            "{name} CPU mean {:.2} too idle",
+            cpu.mean()
+        );
+        assert!(
+            cpu.max() < 60.0,
+            "{name} CPU max {:.2} saturated",
+            cpu.max()
+        );
         // Two-peak traffic leaves a clear intra-day dynamic range.
         assert!(
             cpu.max() > 1.4 * cpu.min(),

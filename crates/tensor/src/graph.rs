@@ -1,13 +1,15 @@
 //! Tape-based reverse-mode automatic differentiation.
 
-use crate::{ParamId, ParamStore, Tensor};
+use crate::{GradBuffer, ParamId, ParamStore, Tensor};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(usize);
 
-/// The recorded operation that produced a node.
-#[derive(Clone, Debug)]
+/// The recorded operation that produced a node. Deliberately not `Clone`:
+/// the backward sweep matches ops by reference, and nothing else may copy
+/// them.
+#[derive(Debug)]
 enum Op {
     /// Leaf without gradient (inputs, targets, masks of constants).
     Constant,
@@ -48,6 +50,19 @@ enum Op {
     MeanAll(Var),
     /// Elementwise sum of same-shaped vars.
     AddN(Vec<Var>),
+    /// Fused gate pre-activation + sigmoid: `σ(a + b + c)`.
+    GateSigmoid(Var, Var, Var),
+    /// Fused gate pre-activation + tanh: `tanh(a + b + c)`.
+    GateTanh(Var, Var, Var),
+    /// Fused convex mix `z ⊙ a + (1 - z) ⊙ b` (the GRU output gate).
+    Lerp {
+        /// Mixing gate in `(0, 1)`.
+        z: Var,
+        /// Branch weighted by `z`.
+        a: Var,
+        /// Branch weighted by `1 - z`.
+        b: Var,
+    },
     /// Pinball (quantile) loss summed over rows; see [`Graph::pinball`].
     Pinball {
         pred: Var,
@@ -246,6 +261,77 @@ impl Graph {
         self.push(v, Op::AddN(parts.to_vec()))
     }
 
+    /// Fused `σ(a + b + c)` in a single node — the GRU gate pre-activation
+    /// plus activation (Eq. 2) without the two intermediate `Add` nodes.
+    /// Values and gradients are bit-for-bit identical to the unfused
+    /// `sigmoid(add(add(a, b), c))` chain: the per-element sum associates
+    /// left, and the shared upstream term `g ⊙ y ⊙ (1 - y)` is what every
+    /// operand of the chain receives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn gate_sigmoid(&mut self, a: Var, b: Var, c: Var) -> Var {
+        let v = self.fused_gate(a, b, c, |s| 1.0 / (1.0 + (-s).exp()));
+        self.push(v, Op::GateSigmoid(a, b, c))
+    }
+
+    /// Fused `tanh(a + b + c)` in a single node; see [`Graph::gate_sigmoid`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn gate_tanh(&mut self, a: Var, b: Var, c: Var) -> Var {
+        let v = self.fused_gate(a, b, c, f32::tanh);
+        self.push(v, Op::GateTanh(a, b, c))
+    }
+
+    fn fused_gate(&self, a: Var, b: Var, c: Var, act: impl Fn(f32) -> f32) -> Tensor {
+        let (ta, tb, tc) = (self.value(a), self.value(b), self.value(c));
+        assert_eq!(
+            ta.shape(),
+            tb.shape(),
+            "Graph::fused gate: shape mismatch between summands"
+        );
+        assert_eq!(
+            ta.shape(),
+            tc.shape(),
+            "Graph::fused gate: shape mismatch between summands"
+        );
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data().iter())
+            .zip(tc.data().iter())
+            .map(|((&x, &y), &z)| act((x + y) + z))
+            .collect();
+        Tensor::from_vec(ta.rows(), ta.cols(), data)
+    }
+
+    /// Fused convex mix `z ⊙ a + (1 - z) ⊙ b` — the GRU output gate
+    /// (Eq. 2's `h_t = z_t ⊙ h_{t-1} + (1 - z_t) ⊙ h̃_t`) in one node
+    /// instead of four (`mul`, `one_minus`, `mul`, `add`). Per-element
+    /// arithmetic and the backward formulas reproduce the unfused chain's
+    /// operation order exactly, so results are bit-for-bit identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn lerp(&mut self, z: Var, a: Var, b: Var) -> Var {
+        let (tz, ta, tb) = (self.value(z), self.value(a), self.value(b));
+        assert_eq!(tz.shape(), ta.shape(), "Graph::lerp: shape mismatch");
+        assert_eq!(tz.shape(), tb.shape(), "Graph::lerp: shape mismatch");
+        let data = tz
+            .data()
+            .iter()
+            .zip(ta.data().iter())
+            .zip(tb.data().iter())
+            .map(|((&zi, &ai), &bi)| (zi * ai) + ((1.0 - zi) * bi))
+            .collect();
+        let v = Tensor::from_vec(tz.rows(), tz.cols(), data);
+        self.push(v, Op::Lerp { z, a, b })
+    }
+
     /// Pinball (quantile) loss summed over rows, in the standard orientation
     /// whose minimizer at quantile `q` is the `q`-th quantile of the targets.
     ///
@@ -296,14 +382,42 @@ impl Graph {
         )
     }
 
+    /// Clears the tape, keeping the node arena's allocation for reuse by the
+    /// next forward pass (training builds one graph per truncated-BPTT
+    /// subsequence; resetting avoids re-growing the arena every time).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
     /// Runs the reverse sweep from scalar node `loss`, accumulating parameter
     /// gradients into `store` (gradients are *added*; call
     /// [`ParamStore::zero_grads`] between optimizer steps).
     ///
+    /// Takes `&self`: the sweep records nothing on the tape and allocates no
+    /// graph nodes.
+    ///
     /// # Panics
     ///
     /// Panics if `loss` is not a `(1, 1)` tensor.
-    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        self.backward_with(loss, &mut |id, g| store.grad_mut(id).add_assign(g));
+    }
+
+    /// Like [`Graph::backward`], but accumulates into a detached
+    /// [`GradBuffer`] instead of the store — the building block of parallel
+    /// training, where each subsequence owns a private buffer and buffers
+    /// are reduced in subsequence order afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `(1, 1)` tensor.
+    pub fn backward_into(&self, loss: Var, buf: &mut GradBuffer) {
+        self.backward_with(loss, &mut |id, g| buf.add(id, g));
+    }
+
+    /// The reverse sweep, parameterized over the gradient sink. Matches ops
+    /// by reference — no per-node `Op` clone.
+    fn backward_with(&self, loss: Var, sink: &mut dyn FnMut(ParamId, &Tensor)) {
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),
@@ -314,62 +428,61 @@ impl Graph {
 
         for idx in (0..=loss.0).rev() {
             let Some(g) = grads[idx].take() else { continue };
-            // Split borrow: clone the op descriptor (cheap: Vars + small
-            // constants) so we can mutate `grads` while matching on it.
-            let op = self.nodes[idx].op.clone();
-            match op {
+            match &self.nodes[idx].op {
                 Op::Constant => {}
-                Op::Param(id) => store.grad_mut(id).add_assign(&g),
+                Op::Param(id) => sink(*id, &g),
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a, &g);
-                    accumulate(&mut grads, b, &g);
+                    accumulate(&mut grads, *a, &g);
+                    accumulate(&mut grads, *b, &g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, a, &g);
-                    accumulate_scaled(&mut grads, b, &g, -1.0);
+                    accumulate(&mut grads, *a, &g);
+                    accumulate_scaled(&mut grads, *b, &g, -1.0);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.mul(self.value(b));
-                    let gb = g.mul(self.value(a));
-                    accumulate(&mut grads, a, &ga);
-                    accumulate(&mut grads, b, &gb);
+                    let ga = g.mul(self.value(*b));
+                    let gb = g.mul(self.value(*a));
+                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *b, &gb);
                 }
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul(&self.value(b).transpose());
-                    let gb = self.value(a).transpose().matmul(&g);
-                    accumulate(&mut grads, a, &ga);
-                    accumulate(&mut grads, b, &gb);
+                    // Transposed-operand kernels: bit-identical to
+                    // materializing the transpose, without the copy.
+                    let ga = g.matmul_nt(self.value(*b));
+                    let gb = self.value(*a).matmul_tn(&g);
+                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *b, &gb);
                 }
                 Op::Sigmoid(a) => {
                     let y = &self.nodes[idx].value;
                     let ga = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
-                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, *a, &ga);
                 }
                 Op::Tanh(a) => {
                     let y = &self.nodes[idx].value;
                     let ga = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
-                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, *a, &ga);
                 }
                 Op::Relu(a) => {
-                    let x = self.value(a);
+                    let x = self.value(*a);
                     let ga = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, *a, &ga);
                 }
-                Op::OneMinus(a) => accumulate_scaled(&mut grads, a, &g, -1.0),
-                Op::Scale(a, c) => accumulate_scaled(&mut grads, a, &g, c),
-                Op::MulConst(a, ref c) => {
+                Op::OneMinus(a) => accumulate_scaled(&mut grads, *a, &g, -1.0),
+                Op::Scale(a, c) => accumulate_scaled(&mut grads, *a, &g, *c),
+                Op::MulConst(a, c) => {
                     let ga = g.mul(c);
-                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, *a, &ga);
                 }
-                Op::SubConst(a) => accumulate(&mut grads, a, &g),
+                Op::SubConst(a) => accumulate(&mut grads, *a, &g),
                 Op::Square(a) => {
-                    let x = self.value(a);
+                    let x = self.value(*a);
                     let ga = g.zip_map(x, |gi, xi| 2.0 * gi * xi);
-                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, *a, &ga);
                 }
                 Op::ConcatRows(parts) => {
                     let mut offset = 0;
-                    for p in parts {
+                    for &p in parts {
                         let rows = self.value(p).rows();
                         let slice = Tensor::vector(g.data()[offset..offset + rows].to_vec());
                         accumulate(&mut grads, p, &slice);
@@ -379,7 +492,7 @@ impl Graph {
                 Op::ConcatCols(parts) => {
                     let rows = self.nodes[idx].value.rows();
                     let cols = parts.len();
-                    for (c, p) in parts.into_iter().enumerate() {
+                    for (c, &p) in parts.iter().enumerate() {
                         let mut col = Tensor::zeros(rows, 1);
                         for r in 0..rows {
                             col.data_mut()[r] = g.data()[r * cols + c];
@@ -388,27 +501,59 @@ impl Graph {
                     }
                 }
                 Op::SumAll(a) => {
-                    let shape = self.value(a).shape();
+                    let shape = self.value(*a).shape();
                     let ga = Tensor::full(shape.0, shape.1, g.data()[0]);
-                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, *a, &ga);
                 }
                 Op::MeanAll(a) => {
-                    let shape = self.value(a).shape();
+                    let shape = self.value(*a).shape();
                     let n = (shape.0 * shape.1) as f32;
                     let ga = Tensor::full(shape.0, shape.1, g.data()[0] / n);
-                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, *a, &ga);
                 }
                 Op::AddN(parts) => {
-                    for p in parts {
+                    for &p in parts {
                         accumulate(&mut grads, p, &g);
                     }
                 }
+                Op::GateSigmoid(a, b, c) => {
+                    // Every summand of the fused pre-activation receives the
+                    // same σ' upstream term, exactly as the unfused chain.
+                    let y = &self.nodes[idx].value;
+                    let d = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, *a, &d);
+                    accumulate(&mut grads, *b, &d);
+                    accumulate(&mut grads, *c, &d);
+                }
+                Op::GateTanh(a, b, c) => {
+                    let y = &self.nodes[idx].value;
+                    let d = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate(&mut grads, *a, &d);
+                    accumulate(&mut grads, *b, &d);
+                    accumulate(&mut grads, *c, &d);
+                }
+                Op::Lerp { z, a, b } => {
+                    let zv = self.value(*z);
+                    let av = self.value(*a);
+                    let bv = self.value(*b);
+                    // dz = g ⊙ a - g ⊙ b, built from the two products the
+                    // unfused chain computes (sign flip is exact; addition
+                    // commutes bitwise), so fused == unfused to the bit.
+                    let mut dz = g.mul(bv);
+                    dz.scale_assign(-1.0);
+                    dz.add_assign(&g.mul(av));
+                    let da = g.mul(zv);
+                    let db = g.zip_map(zv, |gi, zi| gi * (1.0 - zi));
+                    accumulate(&mut grads, *z, &dz);
+                    accumulate(&mut grads, *a, &da);
+                    accumulate(&mut grads, *b, &db);
+                }
                 Op::Pinball {
                     pred,
-                    ref target,
-                    ref quantiles,
+                    target,
+                    quantiles,
                 } => {
-                    let p = self.value(pred);
+                    let p = self.value(*pred);
                     let mut gp = Tensor::zeros(p.rows(), 1);
                     for (i, ((&pi, &ti), &q)) in p
                         .data()
@@ -423,7 +568,7 @@ impl Graph {
                         let d = if u >= 0.0 { -q } else { 1.0 - q };
                         gp.data_mut()[i] = g.data()[0] * d;
                     }
-                    accumulate(&mut grads, pred, &gp);
+                    accumulate(&mut grads, *pred, &gp);
                 }
             }
         }
@@ -456,28 +601,25 @@ mod tests {
 
     fn store_with(values: &[(&str, Tensor)]) -> (ParamStore, Vec<ParamId>) {
         let mut s = ParamStore::new();
-        let ids = values
-            .iter()
-            .map(|(n, t)| s.add(*n, t.clone()))
-            .collect();
+        let ids = values.iter().map(|(n, t)| s.add(*n, t.clone())).collect();
         (s, ids)
     }
 
     /// Central finite-difference gradient of `f` w.r.t. parameter `id`.
-    fn numeric_grad(
-        store: &ParamStore,
-        id: ParamId,
-        f: impl Fn(&ParamStore) -> f32,
-    ) -> Tensor {
+    /// Perturbs one scratch store in place — no per-element store clones.
+    fn numeric_grad(store: &ParamStore, id: ParamId, f: impl Fn(&ParamStore) -> f32) -> Tensor {
         let eps = 1e-3;
-        let base = store.value(id).clone();
-        let mut out = Tensor::zeros(base.rows(), base.cols());
-        for i in 0..base.len() {
-            let mut plus = store.clone();
-            plus.value_mut(id).data_mut()[i] += eps;
-            let mut minus = store.clone();
-            minus.value_mut(id).data_mut()[i] -= eps;
-            out.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        let mut probe = store.clone();
+        let shape = store.value(id).shape();
+        let mut out = Tensor::zeros(shape.0, shape.1);
+        for i in 0..store.value(id).len() {
+            let orig = probe.value(id).data()[i];
+            probe.value_mut(id).data_mut()[i] = orig + eps;
+            let plus = f(&probe);
+            probe.value_mut(id).data_mut()[i] = orig - eps;
+            let minus = f(&probe);
+            probe.value_mut(id).data_mut()[i] = orig;
+            out.data_mut()[i] = (plus - minus) / (2.0 * eps);
         }
         out
     }
@@ -495,7 +637,10 @@ mod tests {
     #[test]
     fn matmul_gradients_match_finite_differences() {
         let (mut store, ids) = store_with(&[
-            ("w", Tensor::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.5, 0.7, -0.4])),
+            (
+                "w",
+                Tensor::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.5, 0.7, -0.4]),
+            ),
             ("x", Tensor::vector(vec![1.0, -1.5, 2.0])),
         ]);
         let f = |s: &ParamStore| {
@@ -645,6 +790,190 @@ mod tests {
         // d/da = relu'(a) - 1 + 3 = [1-1+3, 0-1+3] = [3, 2].
         assert_eq!(store.grad(ids[0]).data(), &[3.0, 2.0]);
         assert_eq!(g.value(n).data(), &[2.5, 0.0]);
+    }
+
+    #[test]
+    fn fused_gates_match_unfused_chain_bitwise() {
+        let (mut store, ids) = store_with(&[
+            ("a", Tensor::vector(vec![0.3, -1.2, 0.07])),
+            ("b", Tensor::vector(vec![-0.5, 0.9, 2.3])),
+            ("c", Tensor::vector(vec![0.01, -0.02, 0.4])),
+        ]);
+        let weight = Tensor::vector(vec![1.0, -2.0, 0.5]);
+
+        // Unfused reference: sigmoid(add(add(a, b), c)) weighted and summed.
+        let mut g1 = Graph::new();
+        let (a1, b1, c1) = (
+            g1.param(&store, ids[0]),
+            g1.param(&store, ids[1]),
+            g1.param(&store, ids[2]),
+        );
+        let s1 = g1.add(a1, b1);
+        let s2 = g1.add(s1, c1);
+        let sig = g1.sigmoid(s2);
+        let th = g1.tanh(s2);
+        let both = g1.add(sig, th);
+        let weighted = g1.mul_const(both, weight.clone());
+        let l1 = g1.sum_all(weighted);
+        g1.backward(l1, &mut store);
+        let reference_value = g1.value(both).clone();
+        let reference_grads: Vec<Tensor> = ids.iter().map(|&id| store.grad(id).clone()).collect();
+
+        // Fused path.
+        store.zero_grads();
+        let mut g2 = Graph::new();
+        let (a2, b2, c2) = (
+            g2.param(&store, ids[0]),
+            g2.param(&store, ids[1]),
+            g2.param(&store, ids[2]),
+        );
+        let sig = g2.gate_sigmoid(a2, b2, c2);
+        let th = g2.gate_tanh(a2, b2, c2);
+        let both = g2.add(sig, th);
+        let weighted = g2.mul_const(both, weight);
+        let l2 = g2.sum_all(weighted);
+        g2.backward(l2, &mut store);
+
+        assert_eq!(g2.value(both).data(), reference_value.data());
+        for (id, reference) in ids.iter().zip(reference_grads.iter()) {
+            assert_eq!(store.grad(*id).data(), reference.data());
+        }
+    }
+
+    #[test]
+    fn lerp_matches_unfused_chain_bitwise() {
+        let (mut store, ids) = store_with(&[
+            ("z", Tensor::vector(vec![0.2, 0.8, 0.5])),
+            ("a", Tensor::vector(vec![1.0, -2.0, 0.3])),
+            ("b", Tensor::vector(vec![-0.7, 0.4, 2.0])),
+        ]);
+        let weight = Tensor::vector(vec![0.5, -1.5, 3.0]);
+
+        // Unfused reference: z ⊙ a + (1 - z) ⊙ b.
+        let mut g1 = Graph::new();
+        let (z1, a1, b1) = (
+            g1.param(&store, ids[0]),
+            g1.param(&store, ids[1]),
+            g1.param(&store, ids[2]),
+        );
+        let keep = g1.mul(z1, a1);
+        let om = g1.one_minus(z1);
+        let new = g1.mul(om, b1);
+        let mix = g1.add(keep, new);
+        let weighted = g1.mul_const(mix, weight.clone());
+        let l1 = g1.sum_all(weighted);
+        g1.backward(l1, &mut store);
+        let reference_value = g1.value(mix).clone();
+        let reference_grads: Vec<Tensor> = ids.iter().map(|&id| store.grad(id).clone()).collect();
+
+        // Fused path.
+        store.zero_grads();
+        let mut g2 = Graph::new();
+        let (z2, a2, b2) = (
+            g2.param(&store, ids[0]),
+            g2.param(&store, ids[1]),
+            g2.param(&store, ids[2]),
+        );
+        let mix = g2.lerp(z2, a2, b2);
+        let weighted = g2.mul_const(mix, weight);
+        let l2 = g2.sum_all(weighted);
+        g2.backward(l2, &mut store);
+
+        assert_eq!(g2.value(mix).data(), reference_value.data());
+        for (id, reference) in ids.iter().zip(reference_grads.iter()) {
+            assert_eq!(store.grad(*id).data(), reference.data());
+        }
+    }
+
+    #[test]
+    fn fused_gate_gradients_match_finite_differences() {
+        let (mut store, ids) = store_with(&[
+            ("a", Tensor::vector(vec![0.3, -0.8])),
+            ("b", Tensor::vector(vec![0.1, 0.5])),
+            ("z", Tensor::vector(vec![0.4, 0.9])),
+        ]);
+        let f = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let a = g.param(s, ids[0]);
+            let b = g.param(s, ids[1]);
+            let z = g.param(s, ids[2]);
+            let gate = g.gate_sigmoid(a, b, z);
+            let cand = g.gate_tanh(b, z, a);
+            let mix = g.lerp(gate, cand, a);
+            let sq = g.square(mix);
+            let l = g.mean_all(sq);
+            g.value(l).data()[0]
+        };
+        let mut g = Graph::new();
+        let a = g.param(&store, ids[0]);
+        let b = g.param(&store, ids[1]);
+        let z = g.param(&store, ids[2]);
+        let gate = g.gate_sigmoid(a, b, z);
+        let cand = g.gate_tanh(b, z, a);
+        let mix = g.lerp(gate, cand, a);
+        let sq = g.square(mix);
+        let l = g.mean_all(sq);
+        g.backward(l, &mut store);
+
+        for &id in &ids {
+            assert_close(store.grad(id), &numeric_grad(&store, id, f), 2e-2);
+        }
+    }
+
+    #[test]
+    fn backward_allocates_no_graph_nodes() {
+        let (mut store, ids) = store_with(&[("a", Tensor::vector(vec![1.0, -2.0]))]);
+        let mut g = Graph::new();
+        let a = g.param(&store, ids[0]);
+        let sq = g.square(a);
+        let l = g.sum_all(sq);
+        let nodes_before = g.len();
+        g.backward(l, &mut store);
+        assert_eq!(g.len(), nodes_before, "backward must not grow the tape");
+    }
+
+    #[test]
+    fn reset_reuses_the_arena() {
+        let (mut store, ids) = store_with(&[("a", Tensor::scalar(2.0))]);
+        let mut g = Graph::new();
+        for expected in [4.0, 4.0] {
+            g.reset();
+            assert!(g.is_empty());
+            let a = g.param(&store, ids[0]);
+            let sq = g.square(a);
+            let l = g.sum_all(sq);
+            assert_eq!(g.value(sq).data(), &[expected]);
+            g.backward(l, &mut store);
+        }
+        // Two identical passes accumulate twice the gradient.
+        assert_eq!(store.grad(ids[0]).data(), &[8.0]);
+    }
+
+    #[test]
+    fn backward_into_buffer_then_absorb_matches_direct() {
+        let (mut store, ids) = store_with(&[("w", Tensor::vector(vec![0.5, -1.0]))]);
+        let build = |g: &mut Graph, s: &ParamStore| {
+            let w = g.param(s, ids[0]);
+            let sq = g.square(w);
+            g.sum_all(sq)
+        };
+
+        let mut g = Graph::new();
+        let l = build(&mut g, &store);
+        g.backward(l, &mut store);
+        let direct = store.grad(ids[0]).clone();
+
+        store.zero_grads();
+        let mut buf = GradBuffer::zeros_like(&store);
+        let mut g2 = Graph::new();
+        let l2 = build(&mut g2, &store);
+        g2.backward_into(l2, &mut buf);
+        assert_eq!(store.grad(ids[0]).data(), &[0.0, 0.0]);
+        store.absorb(&buf);
+        assert_eq!(store.grad(ids[0]).data(), direct.data());
+
+        buf.zero();
+        assert_eq!(buf.grad(ids[0]).data(), &[0.0, 0.0]);
     }
 
     #[test]

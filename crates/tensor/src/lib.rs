@@ -40,8 +40,10 @@
 mod graph;
 pub mod linalg;
 mod param;
+pub mod pool;
 mod tensor;
 
 pub use graph::{Graph, Var};
-pub use param::{ParamId, ParamStore};
+pub use param::{GradBuffer, ParamId, ParamStore};
+pub use pool::Pool;
 pub use tensor::Tensor;

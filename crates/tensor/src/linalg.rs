@@ -112,7 +112,10 @@ pub fn pca(samples: &[Vec<f32>], k: usize) -> Pca {
         samples.iter().all(|s| s.len() == d),
         "pca: inconsistent sample dimensionality"
     );
-    assert!(k <= n, "pca: cannot extract {k} components from {n} samples");
+    assert!(
+        k <= n,
+        "pca: cannot extract {k} components from {n} samples"
+    );
 
     // Center the data.
     let mut mean = vec![0.0f64; d];

@@ -134,6 +134,91 @@ impl Default for ParamStore {
     }
 }
 
+/// A detached, parameter-shaped gradient accumulator.
+///
+/// Parallel training runs backward passes for many subsequences
+/// concurrently; each pass writes into its own `GradBuffer` (no shared
+/// mutable state), and the buffers are then folded into the owning
+/// [`ParamStore`] in a fixed order via [`ParamStore::absorb`]. Because the
+/// reduction order is the subsequence order — not the thread schedule —
+/// accumulated gradients are bit-for-bit identical at any thread count.
+#[derive(Clone, Debug)]
+pub struct GradBuffer {
+    grads: Vec<Tensor>,
+}
+
+impl GradBuffer {
+    /// A zeroed buffer with one gradient slot per parameter of `store`.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        Self {
+            grads: store
+                .values
+                .iter()
+                .map(|v| Tensor::zeros(v.rows(), v.cols()))
+                .collect(),
+        }
+    }
+
+    /// Adds `g` into the slot for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the originating store or shapes
+    /// differ.
+    pub fn add(&mut self, id: ParamId, g: &Tensor) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    /// The accumulated gradient for `id`.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Resets every slot to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+}
+
+impl ParamStore {
+    /// All accumulated gradients, indexed by [`ParamId::index`].
+    pub fn grads(&self) -> &[Tensor] {
+        &self.grads
+    }
+
+    /// Applies `f(index, value, grad)` to every parameter, fanning the
+    /// disjoint per-parameter updates out across `pool`. Used by optimizers;
+    /// updates are elementwise-independent, so the result is identical at
+    /// any thread count.
+    pub fn par_update(
+        &mut self,
+        pool: &crate::pool::Pool,
+        f: impl Fn(usize, &mut Tensor, &Tensor) + Sync,
+    ) {
+        let grads = &self.grads;
+        pool.for_each_mut(&mut self.values, |i, v| f(i, v, &grads[i]));
+    }
+
+    /// Folds a [`GradBuffer`] into this store's accumulated gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was built from a store with a different parameter
+    /// layout.
+    pub fn absorb(&mut self, buf: &GradBuffer) {
+        assert_eq!(
+            self.grads.len(),
+            buf.grads.len(),
+            "ParamStore::absorb: buffer layout mismatch"
+        );
+        for (g, b) in self.grads.iter_mut().zip(buf.grads.iter()) {
+            g.add_assign(b);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,264 @@
+//! A deterministic scoped thread pool for data-parallel workloads.
+//!
+//! Training and inference fan work out over independent items (truncated-BPTT
+//! subsequences, expert forward passes, benchmark repeats). This module
+//! provides the one primitive all of them share: [`Pool::map`], which runs a
+//! pure-per-index function over `0..n` across a fixed number of threads and
+//! returns the results **in index order**.
+//!
+//! Determinism is by construction, not by luck:
+//!
+//! * the index range is split into contiguous chunks with a fixed rule
+//!   (`ceil(n / threads)`), so the assignment of indices to workers depends
+//!   only on `n` and the thread count — never on scheduling;
+//! * each worker writes its own results vector, and the chunks are
+//!   concatenated in index order after every worker joined;
+//! * callers that reduce (e.g. gradient accumulation) therefore see operands
+//!   in exactly the same order as a serial loop, so floating-point results
+//!   are bit-for-bit identical at any thread count.
+//!
+//! The pool is built on [`std::thread::scope`]: threads are spawned per call
+//! and joined before `map` returns, so borrowed data (parameter stores,
+//! feature matrices) can be captured by reference with no `'static` bound
+//! and no unsafe code.
+//!
+//! The global pool size comes from the `DEEPREST_THREADS` environment
+//! variable when set (a positive integer; `1` forces serial execution),
+//! falling back to [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// A fixed-width scoped thread pool. See the [module docs](self).
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// The process-wide pool: `DEEPREST_THREADS` when set, otherwise the
+    /// number of available hardware threads.
+    pub fn global() -> Pool {
+        *GLOBAL.get_or_init(|| Pool::with_threads(default_threads()))
+    }
+
+    /// A pool with exactly `threads` workers (`0` is treated as `1`).
+    pub fn with_threads(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every index in `0..n`, returning results in index
+    /// order. `f` must depend only on its index argument (and captured
+    /// shared state); under that contract the output — including the
+    /// floating-point bit patterns of any caller-side ordered reduction —
+    /// is identical at every thread count.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        // Fixed contiguous chunking: worker w owns [w*chunk, (w+1)*chunk).
+        let chunk = n.div_ceil(workers);
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let f = &f;
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("pool worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Like [`Pool::map`] for side-effecting jobs with no result.
+    pub fn for_each<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.map(n, f);
+    }
+
+    /// Like [`Pool::map`], but each worker first builds a reusable scratch
+    /// state with `init` (e.g. a tape arena) and threads it through every
+    /// index of its chunk. `f` must produce the same result for an index
+    /// regardless of the state's history — reset scratch state at the top
+    /// of `f` — so results stay thread-count invariant.
+    pub fn map_reuse<T, S, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return (0..n).map(|i| f(&mut state, i)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (init, f) = (&init, &f);
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        let mut state = init();
+                        (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("pool worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Applies `f` to every element of `items` in place, splitting the slice
+    /// into contiguous chunks across the pool. Each element is visited
+    /// exactly once with its global index; since elements are disjoint, the
+    /// result is identical at any thread count.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, slice) in items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, item) in slice.iter_mut().enumerate() {
+                        f(w * chunk + j, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+fn default_threads() -> usize {
+    match std::env::var("DEEPREST_THREADS") {
+        Ok(v) => parse_threads(&v).unwrap_or_else(available),
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn parse_threads(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        let pool = Pool::with_threads(4);
+        let out = pool.map(103, |i| i * i);
+        assert_eq!(out.len(), 103);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = Pool::with_threads(1).map(37, |i| (i as f32).sin());
+        for threads in [2, 3, 8, 64] {
+            let parallel = Pool::with_threads(threads).map(37, |i| (i as f32).sin());
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_ranges() {
+        let pool = Pool::with_threads(8);
+        assert!(pool.map(0, |i| i).is_empty());
+        assert_eq!(pool.map(1, |i| i + 10), vec![10]);
+        assert_eq!(pool.map(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn thread_count_parsing() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-1"), None);
+        assert_eq!(parse_threads("auto"), None);
+    }
+
+    #[test]
+    fn map_reuse_matches_map_at_any_width() {
+        let expected: Vec<usize> = (0..50).map(|i| i * 3).collect();
+        for threads in [1, 2, 7] {
+            let out = Pool::with_threads(threads).map_reuse(50, Vec::<usize>::new, |scratch, i| {
+                scratch.clear();
+                scratch.extend(0..3);
+                scratch.iter().sum::<usize>() * i
+            });
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_updates_disjoint_elements() {
+        let mut items: Vec<usize> = (0..101).collect();
+        Pool::with_threads(4).for_each_mut(&mut items, |i, v| *v += i);
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, 2 * i);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        Pool::with_threads(3).for_each(100, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+}

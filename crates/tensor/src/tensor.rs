@@ -139,7 +139,11 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Self::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Applies `f` elementwise to `self` and `other`.
@@ -233,7 +237,8 @@ impl Tensor {
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Self) -> Self {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "Tensor::matmul: inner dimensions differ ({:?} x {:?})",
             self.shape(),
             other.shape()
@@ -248,6 +253,93 @@ impl Tensor {
                     continue;
                 }
                 let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product with transposed right operand: `self * other^T`,
+    /// without materializing the transpose.
+    ///
+    /// Both operands are walked row-major (the contraction runs along rows
+    /// of both), so the inner loop is two sequential streams — the
+    /// cache-friendly layout for the backward pass's `g · B^T` products.
+    /// Accumulation order per output element (ascending `k`, zero operands
+    /// of `self` skipped) matches [`Tensor::matmul`] on a materialized
+    /// transpose exactly, so results are bit-for-bit identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "Tensor::matmul_nt: contraction dimensions differ ({:?} x {:?}^T)",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            // Hoist the zero check out of the dot products: on the common
+            // all-nonzero row the inner loop is a branch-free dot whose
+            // (ascending-k) accumulation order — and therefore bit pattern —
+            // matches the skipping loop exactly, because no term is skipped.
+            let has_zero = a_row.contains(&0.0);
+            for (o, b_row) in out_row.iter_mut().zip(other.data.chunks_exact(other.cols)) {
+                let mut acc = 0.0f32;
+                if has_zero {
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc += a * b;
+                    }
+                } else {
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix product with transposed left operand: `self^T * other`,
+    /// without materializing the transpose.
+    ///
+    /// The outer loop runs over the shared leading dimension, so all three
+    /// buffers are walked row-major. Accumulation order per output element
+    /// (ascending `k`, zero operands of `self` skipped) matches
+    /// [`Tensor::matmul`] on a materialized transpose exactly, so results
+    /// are bit-for-bit identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "Tensor::matmul_tn: contraction dimensions differ ({:?}^T x {:?})",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
@@ -318,7 +410,10 @@ impl Tensor {
     pub fn concat_rows(parts: &[&Tensor]) -> Self {
         let mut data = Vec::new();
         for p in parts {
-            assert_eq!(p.cols, 1, "Tensor::concat_rows: inputs must be column vectors");
+            assert_eq!(
+                p.cols, 1,
+                "Tensor::concat_rows: inputs must be column vectors"
+            );
             data.extend_from_slice(&p.data);
         }
         Tensor::vector(data)
@@ -407,6 +502,41 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose_bitwise() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (7, 5, 6), (16, 33, 9)] {
+            let mut a = Tensor::rand_uniform(m, k, -2.0, 2.0, &mut rng);
+            let b = Tensor::rand_uniform(n, k, -2.0, 2.0, &mut rng);
+            // Exercise the zero-skip branch too.
+            a.data_mut()[0] = 0.0;
+            let fused = a.matmul_nt(&b);
+            let reference = a.matmul(&b.transpose());
+            assert_eq!(fused.data(), reference.data(), "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose_bitwise() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for (m, k, n) in [(1, 1, 1), (3, 2, 4), (5, 7, 6), (33, 16, 9)] {
+            let mut a = Tensor::rand_uniform(k, m, -2.0, 2.0, &mut rng);
+            let b = Tensor::rand_uniform(k, n, -2.0, 2.0, &mut rng);
+            a.data_mut()[0] = 0.0;
+            let fused = a.matmul_tn(&b);
+            let reference = a.transpose().matmul(&b);
+            assert_eq!(fused.data(), reference.data(), "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contraction dimensions differ")]
+    fn matmul_nt_rejects_mismatch() {
+        let _ = Tensor::zeros(2, 3).matmul_nt(&Tensor::zeros(2, 4));
     }
 
     #[test]

@@ -77,8 +77,14 @@ mod tests {
 
     #[test]
     fn hash_is_deterministic_per_salt() {
-        assert_eq!(fnv1a64("PostStorageMongoDB", 42), fnv1a64("PostStorageMongoDB", 42));
-        assert_ne!(fnv1a64("PostStorageMongoDB", 42), fnv1a64("PostStorageMongoDB", 43));
+        assert_eq!(
+            fnv1a64("PostStorageMongoDB", 42),
+            fnv1a64("PostStorageMongoDB", 42)
+        );
+        assert_ne!(
+            fnv1a64("PostStorageMongoDB", 42),
+            fnv1a64("PostStorageMongoDB", 43)
+        );
         assert_ne!(fnv1a64("A", 42), fnv1a64("B", 42));
     }
 

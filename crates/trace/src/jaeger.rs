@@ -212,11 +212,7 @@ pub fn import(json: &str, interner: &mut Interner) -> Result<Vec<Trace>, ImportE
         let ids: std::collections::HashSet<&str> =
             jt.spans.iter().map(|s| s.span_id.as_str()).collect();
         for span in &jt.spans {
-            match span
-                .references
-                .iter()
-                .find(|r| r.ref_type == "CHILD_OF")
-            {
+            match span.references.iter().find(|r| r.ref_type == "CHILD_OF") {
                 Some(parent) => {
                     if !ids.contains(parent.span_id.as_str()) {
                         return Err(ImportError::DanglingParent(span.span_id.clone()));
@@ -241,16 +237,15 @@ pub fn import(json: &str, interner: &mut Interner) -> Result<Vec<Trace>, ImportE
         };
 
         // Endpoint convention: synthetic __api__ root or the root itself.
-        let (api_name, real_roots): (String, Vec<&JaegerSpan>) =
-            if service(root)? == "__api__" {
-                let kids = children
-                    .get(root.span_id.as_str())
-                    .cloned()
-                    .unwrap_or_default();
-                (root.operation_name.clone(), kids)
-            } else {
-                (root.operation_name.clone(), vec![root])
-            };
+        let (api_name, real_roots): (String, Vec<&JaegerSpan>) = if service(root)? == "__api__" {
+            let kids = children
+                .get(root.span_id.as_str())
+                .cloned()
+                .unwrap_or_default();
+            (root.operation_name.clone(), kids)
+        } else {
+            (root.operation_name.clone(), vec![root])
+        };
         let api = interner.intern(&api_name);
 
         let real_root = real_roots
@@ -380,6 +375,9 @@ mod tests {
     #[test]
     fn import_rejects_garbage() {
         let mut i = Interner::new();
-        assert!(matches!(import("not json", &mut i), Err(ImportError::Json(_))));
+        assert!(matches!(
+            import("not json", &mut i),
+            Err(ImportError::Json(_))
+        ));
     }
 }

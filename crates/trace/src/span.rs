@@ -47,17 +47,16 @@ impl SpanNode {
 
     /// Total number of spans in this subtree (including `self`).
     pub fn span_count(&self) -> usize {
-        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
     }
 
     /// Depth of the subtree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(SpanNode::depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(SpanNode::depth).max().unwrap_or(0)
     }
 
     /// Pre-order traversal visiting every span.
@@ -240,11 +239,8 @@ mod tests {
         let c = i.intern("C");
         let op = i.intern("op");
         // A → {B, C} vs A → B → C: same node multiset, different structure.
-        let wide = SpanNode::with_children(
-            a,
-            op,
-            vec![SpanNode::leaf(b, op), SpanNode::leaf(c, op)],
-        );
+        let wide =
+            SpanNode::with_children(a, op, vec![SpanNode::leaf(b, op), SpanNode::leaf(c, op)]);
         let deep = SpanNode::with_children(
             a,
             op,

@@ -216,7 +216,9 @@ mod tests {
         let mut i = Interner::new();
         let t = make_trace(&mut i, "/x", &[("A", "op"), ("B", "op"), ("C", "op")]);
         let topo = ExecutionTopology::from_traces([&t]);
-        let a = topo.find(i.get("A").unwrap(), i.get("op").unwrap()).unwrap();
+        let a = topo
+            .find(i.get("A").unwrap(), i.get("op").unwrap())
+            .unwrap();
         let kids = topo.children(a);
         assert_eq!(kids.len(), 1);
         let (comp, _) = topo.node(kids[0]);

@@ -127,12 +127,30 @@ mod tests {
         let mut i = Interner::new();
         let t = trace(&mut i);
         let stamped = vec![
-            TimestampedTrace { at_secs: 0.0, trace: t.clone() },
-            TimestampedTrace { at_secs: 4.9, trace: t.clone() },
-            TimestampedTrace { at_secs: 5.0, trace: t.clone() },
-            TimestampedTrace { at_secs: 14.9, trace: t.clone() },
-            TimestampedTrace { at_secs: 15.0, trace: t.clone() }, // out of range
-            TimestampedTrace { at_secs: -1.0, trace: t },         // invalid
+            TimestampedTrace {
+                at_secs: 0.0,
+                trace: t.clone(),
+            },
+            TimestampedTrace {
+                at_secs: 4.9,
+                trace: t.clone(),
+            },
+            TimestampedTrace {
+                at_secs: 5.0,
+                trace: t.clone(),
+            },
+            TimestampedTrace {
+                at_secs: 14.9,
+                trace: t.clone(),
+            },
+            TimestampedTrace {
+                at_secs: 15.0,
+                trace: t.clone(),
+            }, // out of range
+            TimestampedTrace {
+                at_secs: -1.0,
+                trace: t,
+            }, // invalid
         ];
         let w = partition(stamped, 5.0, 3);
         assert_eq!(w.len(), 3);

@@ -11,9 +11,8 @@ use proptest::prelude::*;
 fn arb_span(depth: u32) -> BoxedStrategy<SpanNode> {
     let leaf = (0u32..6, 0u32..4).prop_map(|(c, o)| SpanNode::leaf(sym(c), sym(o + 16)));
     leaf.prop_recursive(depth, 24, 3, |inner| {
-        (0u32..6, 0u32..4, proptest::collection::vec(inner, 0..3)).prop_map(
-            |(c, o, children)| SpanNode::with_children(sym(c), sym(o + 16), children),
-        )
+        (0u32..6, 0u32..4, proptest::collection::vec(inner, 0..3))
+            .prop_map(|(c, o, children)| SpanNode::with_children(sym(c), sym(o + 16), children))
     })
     .boxed()
 }

@@ -44,8 +44,7 @@ impl SocialGraph {
 
     /// Mean followee count.
     pub fn mean_followees(&self) -> f64 {
-        self.followees.iter().map(|&f| f64::from(f)).sum::<f64>()
-            / self.followees.len() as f64
+        self.followees.iter().map(|&f| f64::from(f)).sum::<f64>() / self.followees.len() as f64
     }
 
     /// Samples a random user's followee count (the fan-out a home-timeline

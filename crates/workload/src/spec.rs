@@ -204,7 +204,10 @@ mod tests {
         let peaky = spec().generate();
         let flat_cv = flat.total_series().std_dev() / flat.total_series().mean();
         let peaky_cv = peaky.total_series().std_dev() / peaky.total_series().mean();
-        assert!(flat_cv < 0.5 * peaky_cv, "flat {flat_cv} vs peaky {peaky_cv}");
+        assert!(
+            flat_cv < 0.5 * peaky_cv,
+            "flat {flat_cv} vs peaky {peaky_cv}"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl ApiTraffic {
     ///
     /// Panics if rows have inconsistent API arity or `windows_per_day` is 0.
     pub fn new(apis: Vec<String>, windows_per_day: usize, requests: Vec<Vec<f64>>) -> Self {
-        assert!(windows_per_day > 0, "ApiTraffic: windows_per_day must be > 0");
+        assert!(
+            windows_per_day > 0,
+            "ApiTraffic: windows_per_day must be > 0"
+        );
         assert!(
             requests.iter().all(|r| r.len() == apis.len()),
             "ApiTraffic: row arity must match API count"
@@ -151,7 +154,12 @@ mod tests {
         ApiTraffic::new(
             vec!["/composePost".into(), "/readTimeline".into()],
             2,
-            vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![0.0, 4.0], vec![1.0, 1.0]],
+            vec![
+                vec![1.0, 3.0],
+                vec![2.0, 2.0],
+                vec![0.0, 4.0],
+                vec![1.0, 1.0],
+            ],
         )
     }
 
@@ -161,7 +169,10 @@ mod tests {
         assert_eq!(t.window_count(), 4);
         assert_eq!(t.days(), 2);
         assert_eq!(t.total_at(0), 4.0);
-        assert_eq!(t.api_series("/readTimeline").values(), &[3.0, 2.0, 4.0, 1.0]);
+        assert_eq!(
+            t.api_series("/readTimeline").values(),
+            &[3.0, 2.0, 4.0, 1.0]
+        );
         assert_eq!(t.grand_total(), 14.0);
     }
 

@@ -15,11 +15,7 @@ fn arb_shape() -> impl Strategy<Value = TrafficShape> {
 fn spec(users: f64, seed: u64, shape: TrafficShape, days: usize) -> WorkloadSpec {
     WorkloadSpec::new(
         users,
-        vec![
-            ("/a".into(), 0.5),
-            ("/b".into(), 0.3),
-            ("/c".into(), 0.2),
-        ],
+        vec![("/a".into(), 0.5), ("/b".into(), 0.3), ("/c".into(), 0.2)],
     )
     .with_seed(seed)
     .with_days(days)

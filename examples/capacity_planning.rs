@@ -26,7 +26,10 @@ fn main() {
     let scope: Vec<MetricKey> = apps::FOCUS_COMPONENTS
         .iter()
         .map(|c| MetricKey::new(*c, ResourceKind::Cpu))
-        .chain([MetricKey::new("PostStorageMongoDB", ResourceKind::DiskUsage)])
+        .chain([MetricKey::new(
+            "PostStorageMongoDB",
+            ResourceKind::DiskUsage,
+        )])
         .collect();
     let mut metrics = MetricsRegistry::new();
     for key in &scope {
@@ -36,7 +39,9 @@ fn main() {
         &learn.traces,
         &metrics,
         &learn.interner,
-        DeepRestConfig::default().with_epochs(25).with_scope(scope.clone()),
+        DeepRestConfig::default()
+            .with_epochs(25)
+            .with_scope(scope.clone()),
     );
 
     // The expected holiday traffic: 3x users, read-heavy mix.
@@ -65,7 +70,11 @@ fn main() {
         // quantile head exists precisely so operators can provision for the
         // 95th percentile.
         let planned_peak = pred.upper.max();
-        let verdict = if planned_peak < 70.0 { "ok" } else { "SCALE UP" };
+        let verdict = if planned_peak < 70.0 {
+            "ok"
+        } else {
+            "SCALE UP"
+        };
         println!(
             "  {:<26} {today_peak:11.1}% {planned_peak:11.1}% {verdict:>12}",
             key.component
@@ -74,7 +83,14 @@ fn main() {
 
     // Disk: how much will the post store grow over the holiday day?
     let disk_key = MetricKey::new("PostStorageMongoDB", ResourceKind::DiskUsage);
-    let current = learn.metrics.get(&disk_key).unwrap().values().last().copied().unwrap();
+    let current = learn
+        .metrics
+        .get(&disk_key)
+        .unwrap()
+        .values()
+        .last()
+        .copied()
+        .unwrap();
     let growth = estimate
         .get(&disk_key)
         .expect("in scope")

@@ -39,7 +39,9 @@ fn main() {
         &learn.traces,
         &metrics,
         &learn.interner,
-        DeepRestConfig::default().with_epochs(25).with_scope(scope.clone()),
+        DeepRestConfig::default()
+            .with_epochs(25)
+            .with_scope(scope.clone()),
     );
     println!(
         "trained {} experts over {} invocation-path features",

@@ -32,7 +32,9 @@ fn main() {
         &learn.traces,
         &metrics,
         &learn.interner,
-        DeepRestConfig::default().with_epochs(30).with_scope(scope.clone()),
+        DeepRestConfig::default()
+            .with_epochs(30)
+            .with_scope(scope.clone()),
     );
 
     for key in &scope {
@@ -47,7 +49,9 @@ fn main() {
             println!("    ({w:.2}) {path}");
         }
     }
-    println!("\n(compare with Fig. 22: MediaMongoDB memory <- /uploadMedia; ComposePostService CPU");
+    println!(
+        "\n(compare with Fig. 22: MediaMongoDB memory <- /uploadMedia; ComposePostService CPU"
+    );
     println!(" and PostStorageMongoDB write IOps <- /composePost; PostStorageMongoDB CPU <- both");
     println!(" /composePost and the timeline reads)");
 }

@@ -46,7 +46,9 @@ fn main() {
         MetricKey::new("ComposePostService", ResourceKind::Cpu),
         MetricKey::new("PostStorageMongoDB", ResourceKind::WriteIops),
     ];
-    let config = DeepRestConfig::default().with_epochs(25).with_scope(scope.clone());
+    let config = DeepRestConfig::default()
+        .with_epochs(25)
+        .with_scope(scope.clone());
     let metrics = {
         // Filter the registry to the scope (the model only needs these).
         let mut filtered = deeprest::metrics::MetricsRegistry::new();

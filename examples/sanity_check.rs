@@ -64,7 +64,10 @@ fn main() {
 
     let cpu = MetricKey::new("PostStorageMongoDB", ResourceKind::Cpu);
     println!("PostStorageMongoDB CPU, actual vs expected:");
-    println!("  actual   {}", observed.metrics.get(&cpu).unwrap().sparkline(96));
+    println!(
+        "  actual   {}",
+        observed.metrics.get(&cpu).unwrap().sparkline(96)
+    );
     println!(
         "  expected {}",
         report.estimates.get(&cpu).unwrap().expected.sparkline(96)

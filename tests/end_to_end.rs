@@ -176,7 +176,11 @@ fn sanity_check_pinpoints_ransomware_window() {
     // The benign first day stays quiet.
     let early = report.overall.slice(0..96);
     let cfg = SanityConfig::default();
-    let noisy = early.values().iter().filter(|&&s| s > cfg.score_threshold).count();
+    let noisy = early
+        .values()
+        .iter()
+        .filter(|&&s| s > cfg.score_threshold)
+        .count();
     assert!(noisy <= 4, "benign day has {noisy} anomalous windows");
 }
 
@@ -245,8 +249,7 @@ fn privacy_hashed_traces_train_equally_well() {
             .collect();
     }
     // Metrics keys also hashed.
-    let hash_name =
-        |name: &str| deeprest::trace::hashing::opaque_name(name, salt);
+    let hash_name = |name: &str| deeprest::trace::hashing::opaque_name(name, salt);
     let key_plain = MetricKey::new("FrontendNGINX", ResourceKind::Cpu);
     let key_hashed = MetricKey::new(hash_name("FrontendNGINX"), ResourceKind::Cpu);
     let mut metrics = MetricsRegistry::new();
