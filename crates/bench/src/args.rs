@@ -24,6 +24,11 @@ pub struct Args {
     /// `None` defers to `DEEPREST_THREADS` / the available parallelism;
     /// any value yields bit-identical results (`1` forces serial runs).
     pub threads: Option<usize>,
+    /// Telemetry sink spec (`off`, `memory`, `jsonl`, `jsonl:<path>`).
+    /// `None` defers to the `DEEPREST_TELEMETRY` env var. The bare
+    /// `on`/`1`/`jsonl` forms resolve to `<out>/telemetry.jsonl` when
+    /// installed by [`Args::parse`].
+    pub telemetry: Option<String>,
     /// Output directory for JSON result dumps.
     pub out: String,
 }
@@ -40,15 +45,35 @@ impl Default for Args {
             full: false,
             paper_sgd: false,
             threads: None,
+            telemetry: None,
             out: "target/experiments".to_owned(),
         }
     }
 }
 
 impl Args {
-    /// Parses `std::env::args`, exiting with usage on malformed input.
+    /// Parses `std::env::args`, exiting with usage on malformed input, and
+    /// installs the telemetry sink when `--telemetry` was given (the bare
+    /// `on`/`1`/`jsonl` forms write to `<out>/telemetry.jsonl`).
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        let args = Self::parse_from(std::env::args().skip(1));
+        args.install_telemetry();
+        args
+    }
+
+    /// Resolves and installs the `--telemetry` spec, if any. Separate from
+    /// parsing so [`Args::parse_from`] stays side-effect free for tests.
+    pub fn install_telemetry(&self) {
+        let Some(spec) = &self.telemetry else { return };
+        // Route the bare "enable" spellings into the run's output directory
+        // so the JSONL lands next to the experiment dumps.
+        let resolved = match spec.trim() {
+            "1" | "on" | "true" | "jsonl" => format!("jsonl:{}/telemetry.jsonl", self.out),
+            other => other.to_owned(),
+        };
+        if let Err(err) = deeprest_telemetry::install(&resolved) {
+            panic!("--telemetry {spec}: {err}");
+        }
     }
 
     /// Parses an explicit iterator (testable).
@@ -80,6 +105,7 @@ impl Args {
                 "--threads" => {
                     out.threads = Some(value("--threads").parse().expect("--threads usize"));
                 }
+                "--telemetry" => out.telemetry = Some(value("--telemetry")),
                 "--out" => out.out = value("--out"),
                 other => panic!("unknown flag {other}; see crate docs for usage"),
             }
@@ -121,6 +147,15 @@ mod tests {
     fn parses_threads() {
         let a = Args::parse_from(strs(&["--threads", "4"]));
         assert_eq!(a.threads, Some(4));
+    }
+
+    #[test]
+    fn parses_telemetry_without_installing() {
+        let a = Args::parse_from(strs(&["--telemetry", "memory"]));
+        assert_eq!(a.telemetry.as_deref(), Some("memory"));
+        // parse_from has no side effects: the global sink is untouched.
+        let b = Args::parse_from(strs(&[]));
+        assert_eq!(b.telemetry, None);
     }
 
     #[test]

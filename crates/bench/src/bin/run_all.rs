@@ -8,8 +8,16 @@
 
 use deeprest_bench::experiments;
 use deeprest_bench::{Args, ExpCtx};
+use deeprest_telemetry as telemetry;
 use deeprest_tensor::Pool;
 use deeprest_workload::TrafficShape;
+
+/// Runs one experiment under a `bench.<id>` span, so an enabled JSONL sink
+/// yields a per-figure wall-clock manifest.
+fn spanned(id: &str, f: impl FnOnce()) {
+    let _span = telemetry::span(format!("bench.{id}"));
+    f();
+}
 
 fn main() {
     let args = Args::parse();
@@ -17,9 +25,9 @@ fn main() {
     let threads = args.threads.unwrap_or_else(|| Pool::global().threads());
 
     // Workload-only figures need no training.
-    experiments::fig09_learning_traffic::run(&args);
-    experiments::fig13_query_traffic::run(&args);
-    experiments::table1_synthesizer::run(&args);
+    spanned("fig09", || experiments::fig09_learning_traffic::run(&args));
+    spanned("fig13", || experiments::fig13_query_traffic::run(&args));
+    spanned("table1", || experiments::table1_synthesizer::run(&args));
 
     // The three learning phases (social two-peak, social flat for fig16b,
     // hotel for fig17) are independent, so they train concurrently; the
@@ -44,17 +52,37 @@ fn main() {
             ctx.estimators.report.feature_dim,
             ctx.estimators.report.train_seconds
         );
-        experiments::fig10_compose_dominated::run_with(&args, &ctx);
-        experiments::fig11_read_dominated::run_with(&args, &ctx);
-        experiments::fig12_heatmap::run_with(&args, &ctx);
-        experiments::fig14_unseen_scale::run_with(&args, &ctx);
-        experiments::fig15_unseen_composition::run_with(&args, &ctx);
-        experiments::fig16_unseen_shape::run_with(&args, &ctx);
-        experiments::fig18_shape_examples::run_with(&args, &ctx);
-        experiments::fig19_ransomware::run_with(&args, &ctx);
-        experiments::fig20_cryptojacking::run_with(&args, &ctx);
-        experiments::fig22_masks::run_with(&args, &ctx);
-        experiments::ablations::run_with(&args, &ctx);
+        spanned("fig10", || {
+            experiments::fig10_compose_dominated::run_with(&args, &ctx)
+        });
+        spanned("fig11", || {
+            experiments::fig11_read_dominated::run_with(&args, &ctx)
+        });
+        spanned("fig12", || {
+            experiments::fig12_heatmap::run_with(&args, &ctx)
+        });
+        spanned("fig14", || {
+            experiments::fig14_unseen_scale::run_with(&args, &ctx)
+        });
+        spanned("fig15", || {
+            experiments::fig15_unseen_composition::run_with(&args, &ctx)
+        });
+        spanned("fig16", || {
+            experiments::fig16_unseen_shape::run_with(&args, &ctx)
+        });
+        spanned("fig18", || {
+            experiments::fig18_shape_examples::run_with(&args, &ctx)
+        });
+        spanned("fig19", || {
+            experiments::fig19_ransomware::run_with(&args, &ctx)
+        });
+        spanned("fig20", || {
+            experiments::fig20_cryptojacking::run_with(&args, &ctx)
+        });
+        spanned("fig22", || experiments::fig22_masks::run_with(&args, &ctx));
+        spanned("ablations", || {
+            experiments::ablations::run_with(&args, &ctx)
+        });
 
         // The flat-learning direction of Fig. 16 needs its own context.
         let flat_ctx = match flat_task {
@@ -64,7 +92,9 @@ fn main() {
                 ExpCtx::social_shaped(&args, TrafficShape::Flat)
             }
         };
-        experiments::fig16_unseen_shape::run_reverse_with(&args, &flat_ctx);
+        spanned("fig16b", || {
+            experiments::fig16_unseen_shape::run_reverse_with(&args, &flat_ctx)
+        });
 
         // Hotel reservation (Fig. 17).
         let hotel_ctx = match hotel_task {
@@ -74,14 +104,19 @@ fn main() {
                 ExpCtx::hotel(&args)
             }
         };
-        experiments::fig17_hotel_3x::run_with(&args, &hotel_ctx);
+        spanned("fig17", || {
+            experiments::fig17_hotel_3x::run_with(&args, &hotel_ctx)
+        });
     });
 
     // Wider-swarm, transfer and synthetic-dimension studies train their own
     // models.
-    experiments::fig21_expert_pca::run(&args);
-    experiments::transfer::run(&args);
-    experiments::scalability::run(&args);
+    spanned("fig21", || experiments::fig21_expert_pca::run(&args));
+    spanned("transfer", || experiments::transfer::run(&args));
+    spanned("scalability", || experiments::scalability::run(&args));
+
+    // Drain buffered telemetry (the JSONL sink) before reporting completion.
+    telemetry::flush();
 
     println!(
         "\nall experiments completed in {:.1} minutes; JSON dumps in {}",

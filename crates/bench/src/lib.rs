@@ -17,6 +17,11 @@
 //! --epochs N           training epochs                    (default 30)
 //! --full               full expert swarm (all resources, slower)
 //! --paper-sgd          the paper's SGD optimizer instead of Adam
+//! --threads N          worker threads (default DEEPREST_THREADS / all cores;
+//!                      results are bit-identical at any setting)
+//! --telemetry SPEC     telemetry sink: off | memory | jsonl | jsonl:<path>
+//!                      (bare "jsonl"/"on"/"1" writes <out>/telemetry.jsonl;
+//!                      default: the DEEPREST_TELEMETRY env var)
 //! --out PATH           JSON result dump directory (default target/experiments)
 //! ```
 

@@ -64,7 +64,10 @@ pub fn dump_json<T: serde::Serialize>(out_dir: &str, id: &str, title: &str, resu
         f.write_all(json.as_bytes())
     };
     match write() {
-        Ok(()) => println!("  [results written to {}]", path.display()),
+        Ok(()) => {
+            deeprest_telemetry::counter("bench.figure_dumps", 1);
+            println!("  [results written to {}]", path.display());
+        }
         Err(e) => eprintln!("  [warning: could not write {}: {e}]", path.display()),
     }
 }

@@ -72,6 +72,14 @@ pub struct DeepRestConfig {
     /// time for cores.
     #[serde(default)]
     pub threads: Option<usize>,
+    /// Telemetry sink spec, applied when `fit`/`fit_transferred` starts:
+    /// `"memory"`, `"jsonl:<path>"`, `"1"`/`"on"`/`"jsonl"` (JSONL at
+    /// `telemetry.jsonl`), or `"off"`/`"0"`/`"none"` to force-disable.
+    /// `None` (the default) leaves the process-wide choice — the
+    /// `DEEPREST_TELEMETRY` env var or an explicit
+    /// `deeprest_telemetry::set_sink` — untouched.
+    #[serde(default)]
+    pub telemetry: Option<String>,
     /// When set, only build experts for these `(component, resource)` pairs
     /// (the paper's discussion focuses on six components; restricting the
     /// expert swarm keeps CPU-only experiment runs fast). `None` builds one
@@ -95,6 +103,7 @@ impl Default for DeepRestConfig {
             mask_l1: 2e-3,
             seed: 7,
             threads: None,
+            telemetry: None,
             scope: None,
         }
     }
@@ -148,6 +157,13 @@ impl DeepRestConfig {
     /// Builder: pins the worker-thread count (`1` forces serial execution).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Builder: selects the telemetry sink for training/inference runs
+    /// (see [`DeepRestConfig::telemetry`] for the accepted specs).
+    pub fn with_telemetry(mut self, spec: impl Into<String>) -> Self {
+        self.telemetry = Some(spec.into());
         self
     }
 }

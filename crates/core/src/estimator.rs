@@ -13,6 +13,7 @@ use std::time::Instant;
 use deeprest_metrics::{MetricKey, MetricsRegistry, MinMaxScaler, TimeSeries};
 use deeprest_nn::loss::quantiles_for;
 use deeprest_nn::{Adam, GruCell, Linear, Sgd};
+use deeprest_telemetry as telemetry;
 use deeprest_tensor::{GradBuffer, Graph, ParamId, ParamStore, Pool, Tensor, Var};
 use deeprest_trace::window::WindowedTraces;
 use deeprest_trace::Interner;
@@ -134,11 +135,35 @@ impl Estimates {
     }
 }
 
+/// Wall-clock seconds spent in each phase of [`DeepRest::fit`], in
+/// pipeline order: Alg. 1+2 feature-space construction → trace-synthesizer
+/// learning → per-window feature extraction → expert registration →
+/// joint truncated-BPTT training (which includes the attention and output
+/// heads of Eq. 3–4).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseSeconds {
+    /// Feature-space construction over the learning traces (Alg. 1).
+    pub feature_space: f64,
+    /// Trace-synthesizer learning (§4.1).
+    pub synthesis: f64,
+    /// Per-window count-vector extraction + normalization (Alg. 2).
+    pub feature_extraction: f64,
+    /// Parameter registration and optional transfer warm start.
+    pub expert_init: f64,
+    /// Joint quantile-regression training (Eq. 6, truncated BPTT).
+    pub training: f64,
+}
+
 /// What `fit` reports about a training run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainReport {
     /// Mean training loss per epoch (should be non-increasing overall).
     pub epoch_losses: Vec<f32>,
+    /// Mean training loss per epoch split by expert, keyed by the expert's
+    /// `component/resource` display name. Every value has
+    /// `epoch_losses.len()` entries.
+    #[serde(default)]
+    pub expert_losses: BTreeMap<String, Vec<f32>>,
     /// Number of experts trained.
     pub expert_count: usize,
     /// Feature-space dimensionality.
@@ -147,6 +172,9 @@ pub struct TrainReport {
     pub windows: usize,
     /// Wall-clock training time in seconds.
     pub train_seconds: f64,
+    /// Per-phase wall-clock breakdown of `train_seconds`.
+    #[serde(default)]
+    pub phase_seconds: PhaseSeconds,
 }
 
 /// The trained DeepRest model: feature space, trace synthesizer and the
@@ -224,120 +252,137 @@ impl DeepRest {
             "fit: traces and metrics must cover the same windows"
         );
 
-        let features = FeatureSpace::construct(traces);
-        let synthesizer = TraceSynthesizer::learn(traces);
-        let xs = features.extract_all_normalized(traces);
-
-        // Select expert keys.
-        let keys: Vec<ExpertKey> = match &config.scope {
-            Some(scope) => scope.clone(),
-            None => metrics.keys().cloned().collect(),
-        };
-        let expert_count = keys.len();
-        assert!(expert_count > 0, "fit: no experts to train");
-
-        // Build normalized targets (delta-encode cumulative resources).
-        let mut targets: Vec<Vec<f32>> = Vec::with_capacity(expert_count);
-        let mut scalers = Vec::with_capacity(expert_count);
-        let mut deltas = Vec::with_capacity(expert_count);
-        for key in &keys {
-            let series = metrics
-                .get(key)
-                .unwrap_or_else(|| panic!("fit: no metric series for {key}"));
-            let is_delta = key.resource.cumulative();
-            let raw: Vec<f64> = if is_delta {
-                delta_encode(series.values())
-            } else {
-                series.values().to_vec()
-            };
-            let scaler = MinMaxScaler::fit(&raw);
-            targets.push(raw.iter().map(|&v| scaler.transform(v) as f32).collect());
-            scalers.push(scaler);
-            deltas.push(is_delta);
-        }
-
-        // Register parameters.
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut store = ParamStore::new();
-        let dim = features.dim();
-        let mut experts: Vec<Expert> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, key)| {
-                let name = format!("{key}");
-                let mask = store.add(
-                    format!("{name}.mask"),
-                    deeprest_nn::init::mask_logits(dim, &mut rng),
-                );
-                let gru = GruCell::new(&mut store, &name, dim, config.hidden_dim, &mut rng);
-                let alpha = store.add(
-                    format!("{name}.alpha"),
-                    Tensor::rand_uniform(expert_count, 1, 0.0, 0.02, &mut rng),
-                );
-                let head = Linear::new(
-                    &mut store,
-                    &format!("{name}.head"),
-                    2 * config.hidden_dim,
-                    3,
-                    &mut rng,
-                );
-                let skip = config
-                    .linear_skip
-                    .then(|| Linear::new(&mut store, &format!("{name}.skip"), dim, 3, &mut rng));
-                let gru_init = gru
-                    .application_independent_params()
-                    .iter()
-                    .flat_map(|&p| store.value(p).data().iter().copied())
-                    .collect();
-                Expert {
-                    key: key.clone(),
-                    mask,
-                    gru,
-                    alpha,
-                    head,
-                    skip,
-                    gru_init,
-                    scaler: scalers[i],
-                    is_delta: deltas[i],
-                }
-            })
-            .collect();
-
-        // Warm start: copy averaged application-independent GRU parameters
-        // from the source model's same-resource experts.
-        if let Some(source) = source {
-            for expert in &mut experts {
-                let donors: Vec<Vec<f32>> = source
-                    .experts
-                    .iter()
-                    .filter(|se| se.key.resource == expert.key.resource)
-                    .filter_map(|se| source.gru_independent_params(&se.key))
-                    .collect();
-                if donors.is_empty() {
-                    continue;
-                }
-                let len = donors[0].len();
-                let mut avg = vec![0.0f32; len];
-                for d in &donors {
-                    for (a, v) in avg.iter_mut().zip(d.iter()) {
-                        *a += v;
-                    }
-                }
-                for a in &mut avg {
-                    *a /= donors.len() as f32;
-                }
-                let mut offset = 0;
-                for id in expert.gru.application_independent_params() {
-                    let t = store.value_mut(id);
-                    let n = t.len();
-                    t.data_mut().copy_from_slice(&avg[offset..offset + n]);
-                    offset += n;
-                }
-                // Re-snapshot so the Fig. 21 analysis measures the update
-                // relative to the transferred starting point.
-                expert.gru_init = avg;
+        // A sink spec on the config takes effect for this run (and, being
+        // process-global, anything after it). Invalid specs are reported
+        // and ignored: telemetry must never fail a fit.
+        if let Some(spec) = &config.telemetry {
+            if let Err(err) = telemetry::install(spec) {
+                eprintln!("deeprest: ignoring telemetry spec {spec:?}: {err}");
             }
         }
+
+        let (features, feature_space_secs) =
+            telemetry::timed("fit.feature_space", || FeatureSpace::construct(traces));
+        let (synthesizer, synthesis_secs) =
+            telemetry::timed("fit.synthesis", || TraceSynthesizer::learn(traces));
+        let (xs, feature_extraction_secs) = telemetry::timed("fit.feature_extraction", || {
+            features.extract_all_normalized(traces)
+        });
+        let dim = features.dim();
+
+        let ((expert_count, targets, experts, store), expert_init_secs) =
+            telemetry::timed("fit.expert_init", || {
+                // Select expert keys.
+                let keys: Vec<ExpertKey> = match &config.scope {
+                    Some(scope) => scope.clone(),
+                    None => metrics.keys().cloned().collect(),
+                };
+                let expert_count = keys.len();
+                assert!(expert_count > 0, "fit: no experts to train");
+
+                // Build normalized targets (delta-encode cumulative resources).
+                let mut targets: Vec<Vec<f32>> = Vec::with_capacity(expert_count);
+                let mut scalers = Vec::with_capacity(expert_count);
+                let mut deltas = Vec::with_capacity(expert_count);
+                for key in &keys {
+                    let series = metrics
+                        .get(key)
+                        .unwrap_or_else(|| panic!("fit: no metric series for {key}"));
+                    let is_delta = key.resource.cumulative();
+                    let raw: Vec<f64> = if is_delta {
+                        delta_encode(series.values())
+                    } else {
+                        series.values().to_vec()
+                    };
+                    let scaler = MinMaxScaler::fit(&raw);
+                    targets.push(raw.iter().map(|&v| scaler.transform(v) as f32).collect());
+                    scalers.push(scaler);
+                    deltas.push(is_delta);
+                }
+
+                // Register parameters.
+                let mut rng = StdRng::seed_from_u64(config.seed);
+                let mut store = ParamStore::new();
+                let mut experts: Vec<Expert> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(i, key)| {
+                        let name = format!("{key}");
+                        let mask = store.add(
+                            format!("{name}.mask"),
+                            deeprest_nn::init::mask_logits(dim, &mut rng),
+                        );
+                        let gru = GruCell::new(&mut store, &name, dim, config.hidden_dim, &mut rng);
+                        let alpha = store.add(
+                            format!("{name}.alpha"),
+                            Tensor::rand_uniform(expert_count, 1, 0.0, 0.02, &mut rng),
+                        );
+                        let head = Linear::new(
+                            &mut store,
+                            &format!("{name}.head"),
+                            2 * config.hidden_dim,
+                            3,
+                            &mut rng,
+                        );
+                        let skip = config.linear_skip.then(|| {
+                            Linear::new(&mut store, &format!("{name}.skip"), dim, 3, &mut rng)
+                        });
+                        let gru_init = gru
+                            .application_independent_params()
+                            .iter()
+                            .flat_map(|&p| store.value(p).data().iter().copied())
+                            .collect();
+                        Expert {
+                            key: key.clone(),
+                            mask,
+                            gru,
+                            alpha,
+                            head,
+                            skip,
+                            gru_init,
+                            scaler: scalers[i],
+                            is_delta: deltas[i],
+                        }
+                    })
+                    .collect();
+
+                // Warm start: copy averaged application-independent GRU
+                // parameters from the source model's same-resource experts.
+                if let Some(source) = source {
+                    for expert in &mut experts {
+                        let donors: Vec<Vec<f32>> = source
+                            .experts
+                            .iter()
+                            .filter(|se| se.key.resource == expert.key.resource)
+                            .filter_map(|se| source.gru_independent_params(&se.key))
+                            .collect();
+                        if donors.is_empty() {
+                            continue;
+                        }
+                        let len = donors[0].len();
+                        let mut avg = vec![0.0f32; len];
+                        for d in &donors {
+                            for (a, v) in avg.iter_mut().zip(d.iter()) {
+                                *a += v;
+                            }
+                        }
+                        for a in &mut avg {
+                            *a /= donors.len() as f32;
+                        }
+                        let mut offset = 0;
+                        for id in expert.gru.application_independent_params() {
+                            let t = store.value_mut(id);
+                            let n = t.len();
+                            t.data_mut().copy_from_slice(&avg[offset..offset + n]);
+                            offset += n;
+                        }
+                        // Re-snapshot so the Fig. 21 analysis measures the
+                        // update relative to the transferred starting point.
+                        expert.gru_init = avg;
+                    }
+                }
+                (expert_count, targets, experts, store)
+            });
 
         let mut model = Self {
             config,
@@ -347,14 +392,23 @@ impl DeepRest {
             experts,
             store,
         };
-        let epoch_losses = model.train(&xs, &targets);
+        let ((epoch_losses, expert_losses), training_secs) =
+            telemetry::timed("fit.train", || model.train(&xs, &targets));
 
         let report = TrainReport {
             epoch_losses,
+            expert_losses,
             expert_count,
             feature_dim: dim,
             windows,
             train_seconds: t_start.elapsed().as_secs_f64(),
+            phase_seconds: PhaseSeconds {
+                feature_space: feature_space_secs,
+                synthesis: synthesis_secs,
+                feature_extraction: feature_extraction_secs,
+                expert_init: expert_init_secs,
+                training: training_secs,
+            },
         };
         (model, report)
     }
@@ -368,13 +422,19 @@ impl DeepRest {
         }
     }
 
-    /// Joint training over all experts (quantile loss, Eq. 6).
+    /// Joint training over all experts (quantile loss, Eq. 6). Returns the
+    /// per-epoch mean loss plus the same series split by expert (keyed by
+    /// the expert's display name).
     ///
     /// Batches fan out across the pool at subsequence granularity: each
     /// subsequence builds its own graph and accumulates into a private
     /// [`GradBuffer`]; the buffers are folded into the shared store in
     /// subsequence order, so training is bit-identical at any thread count.
-    fn train(&mut self, xs: &[Vec<f32>], targets: &[Vec<f32>]) -> Vec<f32> {
+    fn train(
+        &mut self,
+        xs: &[Vec<f32>],
+        targets: &[Vec<f32>],
+    ) -> (Vec<f32>, BTreeMap<String, Vec<f32>>) {
         let t = xs.len();
         let len = self.config.subseq_len.max(2);
         let starts: Vec<usize> = (0..t).step_by(len).collect();
@@ -401,12 +461,17 @@ impl DeepRest {
 
         let xs_tensors: Vec<Tensor> = xs.iter().map(|x| Tensor::vector(x.clone())).collect();
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let e_count = self.experts.len();
+        let expert_names: Vec<String> = self.experts.iter().map(|e| format!("{}", e.key)).collect();
+        let mut expert_epoch_losses: Vec<Vec<f32>> =
+            vec![Vec::with_capacity(self.config.epochs); e_count];
 
         for _epoch in 0..self.config.epochs {
             let mut order = starts.clone();
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f32;
             let mut epoch_terms = 0usize;
+            let mut epoch_expert_sums = vec![0.0f32; e_count];
 
             for batch in order.chunks(self.config.batch_size.max(1)) {
                 self.store.zero_grads();
@@ -416,7 +481,7 @@ impl DeepRest {
                 let scale = 1.0 / batch.len() as f32;
                 let arena_cap = len * self.experts.len() * 24;
                 let this = &*self;
-                let results: Vec<(GradBuffer, f32, usize)> = pool.map_reuse(
+                let results: Vec<(GradBuffer, f32, usize, Vec<f32>)> = pool.map_reuse(
                     batch.len(),
                     || Graph::with_capacity(arena_cap),
                     |g, i| {
@@ -425,11 +490,14 @@ impl DeepRest {
                         let end = (start + len).min(t);
                         let fwd = this.forward(g, &xs_tensors[start..end]);
                         let mut terms: Vec<Var> = Vec::new();
+                        let mut expert_sums = vec![0.0f32; this.experts.len()];
                         for (step, row) in fwd.outputs.iter().enumerate() {
                             for (e, &y_var) in row.iter().enumerate() {
                                 let y = targets[e][start + step];
                                 let target = Tensor::vector(vec![y, y, y]);
-                                terms.push(g.pinball(y_var, target, &quantiles));
+                                let term = g.pinball(y_var, target, &quantiles);
+                                expert_sums[e] += g.value(term).data()[0];
+                                terms.push(term);
                             }
                         }
                         let n_terms = terms.len();
@@ -450,15 +518,23 @@ impl DeepRest {
                         let scaled = g.scale(loss, scale);
                         let mut buf = GradBuffer::zeros_like(&this.store);
                         g.backward_into(scaled, &mut buf);
-                        (buf, g.value(loss).data()[0] * n_terms as f32, n_terms)
+                        (
+                            buf,
+                            g.value(loss).data()[0] * n_terms as f32,
+                            n_terms,
+                            expert_sums,
+                        )
                     },
                 );
 
                 // Fold gradients in subsequence order, then one step.
-                for (buf, loss_times_terms, n_terms) in &results {
+                for (buf, loss_times_terms, n_terms, expert_sums) in &results {
                     self.store.absorb(buf);
                     epoch_loss += loss_times_terms;
                     epoch_terms += n_terms;
+                    for (acc, s) in epoch_expert_sums.iter_mut().zip(expert_sums.iter()) {
+                        *acc += s;
+                    }
                 }
                 self.store.clip_grad_norm(self.config.grad_clip);
                 match &mut opt {
@@ -467,8 +543,25 @@ impl DeepRest {
                 }
             }
             epoch_losses.push(epoch_loss / epoch_terms.max(1) as f32);
+            // Each training step contributes exactly one pinball term per
+            // expert, so every expert saw `epoch_terms / e_count` terms.
+            let per_expert_terms = (epoch_terms / e_count.max(1)).max(1) as f32;
+            for (e, sum) in epoch_expert_sums.iter().enumerate() {
+                expert_epoch_losses[e].push(sum / per_expert_terms);
+            }
+            if telemetry::enabled() {
+                telemetry::counter("train.epochs", 1);
+                telemetry::gauge("train.epoch_loss", f64::from(*epoch_losses.last().unwrap()));
+                for (name, series) in expert_names.iter().zip(expert_epoch_losses.iter()) {
+                    telemetry::gauge(
+                        format!("train.loss.{name}"),
+                        f64::from(*series.last().unwrap()),
+                    );
+                }
+            }
         }
-        epoch_losses
+        let expert_losses = expert_names.into_iter().zip(expert_epoch_losses).collect();
+        (epoch_losses, expert_losses)
     }
 
     /// Unrolls all experts in lockstep over `xs`. `outputs[t][e]` is the
@@ -625,6 +718,7 @@ impl DeepRest {
     /// chunked into training-length subsequences with fresh hidden state —
     /// the same regime the model was trained under.
     fn predict(&self, xs: &[Vec<f32>]) -> Estimates {
+        let _span = telemetry::span("estimate.predict");
         let t = xs.len();
         let len = self.config.subseq_len.max(2);
         let xs_tensors: Vec<Tensor> = xs.iter().map(|x| Tensor::vector(x.clone())).collect();

@@ -44,6 +44,6 @@ pub mod sanity;
 mod synthesizer;
 
 pub use config::{DeepRestConfig, OptimizerKind};
-pub use estimator::{DeepRest, Estimates, ExpertKey, PredictedSeries, TrainReport};
+pub use estimator::{DeepRest, Estimates, ExpertKey, PhaseSeconds, PredictedSeries, TrainReport};
 pub use features::FeatureSpace;
 pub use synthesizer::TraceSynthesizer;

@@ -1,10 +1,11 @@
-//! Property-based tests for the DeepRest core pipeline pieces that do not
-//! require training: feature extraction (Alg. 1-2) and the trace
-//! synthesizer.
+//! Property-based tests for the DeepRest core pipeline: feature extraction
+//! (Alg. 1-2), the trace synthesizer, and model serialization.
 
-use deeprest_core::{FeatureSpace, TraceSynthesizer};
+use deeprest_core::{DeepRest, DeepRestConfig, FeatureSpace, OptimizerKind, TraceSynthesizer};
+use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
 use deeprest_trace::window::WindowedTraces;
 use deeprest_trace::{Interner, SpanNode, Trace};
+use deeprest_workload::ApiTraffic;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,6 +52,90 @@ fn windows_from(choices: &[usize], per_window: usize) -> (Interner, WindowedTrac
         w.windows[k / per_window.max(1)].push(family[c % family.len()].clone());
     }
     (i, w)
+}
+
+/// Fits a miniature one-API model (one component, CPU + memory metrics).
+fn tiny_fit(hidden: usize, epochs: usize, seed: u64, adam: bool) -> DeepRest {
+    let mut i = Interner::new();
+    let f = i.intern("Frontend");
+    let read = i.intern("read");
+    let api = i.intern("/read");
+    let windows = 24;
+    let mut traces = WindowedTraces::with_windows(1.0, windows);
+    let mut cpu = TimeSeries::zeros(0);
+    let mut mem = TimeSeries::zeros(0);
+    for t in 0..windows {
+        let count = 2 + ((t % 8) as i32 - 4).unsigned_abs() as usize;
+        for _ in 0..count {
+            traces.windows[t].push(Trace::new(api, SpanNode::leaf(f, read)));
+        }
+        cpu.push(2.0 + 1.5 * count as f64);
+        mem.push(64.0 + 0.5 * count as f64);
+    }
+    let mut metrics = MetricsRegistry::new();
+    metrics.insert(MetricKey::new("Frontend", ResourceKind::Cpu), cpu);
+    metrics.insert(MetricKey::new("Frontend", ResourceKind::Memory), mem);
+    let config = DeepRestConfig {
+        hidden_dim: hidden,
+        epochs,
+        subseq_len: 8,
+        batch_size: 2,
+        ..DeepRestConfig::default()
+    }
+    .with_seed(seed)
+    .with_optimizer(if adam {
+        OptimizerKind::Adam { lr: 0.005 }
+    } else {
+        OptimizerKind::Sgd {
+            lr: 0.01,
+            momentum: 0.9,
+        }
+    });
+    DeepRest::fit(&traces, &metrics, &i, config).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn json_round_trip_preserves_the_model_bit_for_bit(
+        hidden in 2usize..6,
+        epochs in 1usize..4,
+        seed in 0u64..1000,
+        adam in any::<bool>(),
+    ) {
+        let model = tiny_fit(hidden, epochs, seed, adam);
+        let json = model.to_json().expect("serialize");
+        let restored = DeepRest::from_json(&json).expect("deserialize");
+
+        // Every parameter tensor survives the round trip bitwise.
+        let before = model.parameters();
+        let after = restored.parameters();
+        prop_assert_eq!(before.len(), after.len());
+        for ((bn, bv), (an, av)) in before.iter().zip(after.iter()) {
+            prop_assert_eq!(bn, an);
+            prop_assert_eq!(bv.len(), av.len(), "parameter {} changed shape", bn);
+            for (x, y) in bv.iter().zip(av.iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "parameter {} bit-diverged", bn);
+            }
+        }
+
+        // And the restored model answers what-if queries identically.
+        let traffic = ApiTraffic::new(
+            vec!["/read".into()],
+            6,
+            (0..6).map(|t| vec![2.0 + f64::from(t)]).collect(),
+        );
+        let es = model.estimate_traffic(&traffic, 7);
+        let er = restored.estimate_traffic(&traffic, 7);
+        prop_assert_eq!(es.len(), er.len());
+        for ((ks, ps), (kr, pr)) in es.iter().zip(er.iter()) {
+            prop_assert_eq!(ks, kr);
+            prop_assert_eq!(ps.expected.values(), pr.expected.values());
+            prop_assert_eq!(ps.lower.values(), pr.lower.values());
+            prop_assert_eq!(ps.upper.values(), pr.upper.values());
+        }
+    }
 }
 
 proptest! {

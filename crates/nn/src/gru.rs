@@ -1,5 +1,6 @@
 //! Gated recurrent unit following Eq. 2 of the paper.
 
+use deeprest_telemetry as telemetry;
 use deeprest_tensor::{Graph, ParamId, ParamStore, Var};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -148,6 +149,7 @@ impl BoundGruCell {
         // Fused gate nodes (`gate_sigmoid`/`gate_tanh`/`lerp`) shrink the
         // tape from 19 to 11 nodes per step with bit-identical values and
         // gradients versus the unfused add/activation chain.
+        let tape_before = g.len();
         let z = {
             let wx = g.matmul(self.wz, x);
             let uh = g.matmul(self.uz, h_prev);
@@ -164,7 +166,12 @@ impl BoundGruCell {
             let uh = g.matmul(self.uh, gated);
             g.gate_tanh(wx, uh, self.bh)
         };
-        g.lerp(z, h_prev, h_tilde)
+        let h = g.lerp(z, h_prev, h_tilde);
+        if telemetry::enabled() {
+            telemetry::counter("gru.steps", 1);
+            telemetry::counter("gru.step.tape_nodes", (g.len() - tape_before) as u64);
+        }
+        h
     }
 }
 

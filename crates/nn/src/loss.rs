@@ -98,6 +98,80 @@ mod tests {
     }
 
     #[test]
+    fn crossed_quantile_heads_get_uncrossing_gradients() {
+        // A crossed prediction: the lower head (q05) sits above the target
+        // while the upper head (q95) sits below it. The pinball gradients
+        // must push the lower head down and the upper head up — i.e.
+        // training uncrosses the interval rather than locking the crossing.
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::vector(vec![0.5, 0.9, 0.1]));
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let l = expert_quantile_loss(&mut g, pv, 0.5, 0.90);
+        // Median head: u = 0 → 0. Lower: u = -0.4 → (0.05-1)(-0.4) = 0.38.
+        // Upper: u = 0.4 → 0.95·0.4 = 0.38.
+        assert!((g.value(l).data()[0] - 0.76).abs() < 1e-6);
+        g.backward(l, &mut store);
+        let grad = store.grad(p).data();
+        assert!(grad[1] > 0.0, "lower head must be pushed down: {}", grad[1]);
+        assert!(grad[2] < 0.0, "upper head must be pushed up: {}", grad[2]);
+        assert!((grad[1] - 0.95).abs() < 1e-6);
+        assert!((grad[2] + 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vanishing_delta_collapses_to_the_median() {
+        // As δ → 0 the interval has zero width: all three quantiles are the
+        // median, and the loss degenerates to the symmetric |u|/2 for every
+        // head.
+        let q = quantiles_for(f32::EPSILON);
+        for &qi in &q {
+            assert!((qi - 0.5).abs() < 1e-6, "expected collapsed median, {qi}");
+        }
+        assert!((pinball_value(0.8, q[1]) - 0.4).abs() < 1e-6);
+        assert!((pinball_value(-0.8, q[2]) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_zero_targets_use_the_upper_subgradient() {
+        // pred == target == 0 everywhere: loss is exactly zero, and the
+        // u = 0 tie breaks to the u ≥ 0 branch, giving d/dpred = -q per row.
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::vector(vec![0.0, 0.0, 0.0]));
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let l = expert_quantile_loss(&mut g, pv, 0.0, 0.90);
+        assert_eq!(g.value(l).data()[0], 0.0);
+        g.backward(l, &mut store);
+        // Expected −q per row, with q as the f32 arithmetic of
+        // `quantiles_for` produces it (e.g. (1−0.9)/2 ≠ 0.05 exactly).
+        for (grad, q) in store.grad(p).data().iter().zip(quantiles_for(0.90)) {
+            assert!((grad + q).abs() < 1e-6, "grad {grad} for quantile {q}");
+        }
+    }
+
+    #[test]
+    fn gradient_sign_is_correct_for_every_quantile() {
+        // Below the target (u > 0) the gradient is -q (pull the prediction
+        // up); above it (u < 0) the gradient is 1-q (push it down). The
+        // asymmetry ratio is what makes each head estimate its quantile.
+        for &q in &[0.05f32, 0.5, 0.95] {
+            let mut store = ParamStore::new();
+            let under = store.add("under", Tensor::vector(vec![-1.0]));
+            let over = store.add("over", Tensor::vector(vec![1.0]));
+            let mut g = Graph::new();
+            let pu = g.param(&store, under);
+            let po = g.param(&store, over);
+            let lu = g.pinball(pu, Tensor::vector(vec![0.0]), &[q]);
+            let lo = g.pinball(po, Tensor::vector(vec![0.0]), &[q]);
+            let total = g.add(lu, lo);
+            g.backward(total, &mut store);
+            assert_eq!(store.grad(under).data(), &[-q]);
+            assert_eq!(store.grad(over).data(), &[1.0 - q]);
+        }
+    }
+
+    #[test]
     fn mse_loss_matches_hand_computation() {
         let mut store = ParamStore::new();
         let p = store.add("p", Tensor::vector(vec![1.0, 3.0]));

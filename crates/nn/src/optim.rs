@@ -1,6 +1,17 @@
 //! First-order optimizers over a [`ParamStore`].
 
+use deeprest_telemetry as telemetry;
 use deeprest_tensor::{ParamStore, Pool, Tensor};
+
+/// Emits the per-step telemetry shared by all optimizers. The gradient
+/// norm is a full pass over every gradient tensor, so it is only computed
+/// when a sink is installed.
+fn record_step(store: &ParamStore) {
+    if telemetry::enabled() {
+        telemetry::counter("optim.steps", 1);
+        telemetry::gauge("optim.grad_norm", f64::from(store.grad_norm()));
+    }
+}
 
 /// Stochastic gradient descent with optional classical momentum.
 ///
@@ -37,6 +48,7 @@ impl Sgd {
     /// result is bit-identical to the serial [`Sgd::step`] at any width.
     pub fn step_with(&mut self, store: &mut ParamStore, pool: &Pool) {
         self.ensure_state(store);
+        record_step(store);
         let lr = self.lr;
         if self.momentum > 0.0 {
             let momentum = self.momentum;
@@ -102,6 +114,7 @@ impl Adam {
     /// the result is bit-identical to the serial path at any width.
     pub fn step_with(&mut self, store: &mut ParamStore, pool: &Pool) {
         self.ensure_state(store);
+        record_step(store);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);

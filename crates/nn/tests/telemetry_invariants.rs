@@ -1,0 +1,70 @@
+//! Telemetry-backed invariants of the neural layers: the fused GRU step's
+//! tape budget and the optimizer's step accounting, asserted through the
+//! in-memory sink.
+
+use std::sync::Arc;
+
+use deeprest_nn::{GruCell, Sgd};
+use deeprest_telemetry::{self as telemetry, MemorySink};
+use deeprest_tensor::{Graph, ParamStore, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PR 1's fused-kernel contract: one GRU step records exactly 11 tape nodes
+/// (3 gate matmuls ×2 inputs = 6, one reset-gate Hadamard, three fused gate
+/// activations, one fused lerp). A regression here silently inflates every
+/// truncated-BPTT subsequence.
+const GRU_STEP_TAPE_NODES: u64 = 11;
+
+#[test]
+fn gru_step_records_exactly_eleven_tape_nodes() {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let cell = GruCell::new(&mut store, "g", 4, 6, &mut rng);
+
+    let steps = 7u64;
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        let mut g = Graph::new();
+        let bound = cell.bind(&mut g, &store);
+        let mut h = g.constant(Tensor::zeros(6, 1));
+        for t in 0..steps {
+            let x = g.constant(Tensor::vector(vec![t as f32, 1.0, -1.0, 0.5]));
+            h = bound.step(&mut g, x, h);
+        }
+        assert_eq!(g.value(h).data().len(), 6);
+    });
+    assert_eq!(sink.counter("gru.steps"), steps);
+    assert_eq!(
+        sink.counter("gru.step.tape_nodes"),
+        steps * GRU_STEP_TAPE_NODES,
+        "the fused GRU step must stay at {GRU_STEP_TAPE_NODES} tape nodes"
+    );
+}
+
+#[test]
+fn optimizer_steps_are_counted_with_grad_norms() {
+    let mut store = ParamStore::new();
+    let id = store.add("theta", Tensor::scalar(0.0));
+    let mut opt = Sgd::new(0.1, 0.0);
+
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        for _ in 0..3 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let theta = g.param(&store, id);
+            let delta = g.sub_const(theta, Tensor::scalar(1.0));
+            let sq = g.square(delta);
+            let l = g.sum_all(sq);
+            g.backward(l, &mut store);
+            opt.step(&mut store);
+        }
+    });
+    assert_eq!(sink.counter("optim.steps"), 3);
+    let norms = sink.gauges("optim.grad_norm");
+    assert_eq!(norms.len(), 3);
+    // Gradient of (θ-1)² shrinks as θ converges toward 1.
+    assert!(norms.windows(2).all(|w| w[1] < w[0]), "norms {norms:?}");
+    assert!(norms.iter().all(|&n| n > 0.0));
+}

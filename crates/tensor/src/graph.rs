@@ -1,5 +1,7 @@
 //! Tape-based reverse-mode automatic differentiation.
 
+use deeprest_telemetry as telemetry;
+
 use crate::{GradBuffer, ParamId, ParamStore, Tensor};
 
 /// Handle to a node in a [`Graph`].
@@ -117,6 +119,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
+        if self.nodes.len() == self.nodes.capacity() && telemetry::enabled() {
+            // This push is about to reallocate the arena — in steady state
+            // (warm reuse via `reset`) the counter stays flat.
+            telemetry::counter("graph.arena_grow", 1);
+        }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
@@ -386,6 +393,9 @@ impl Graph {
     /// next forward pass (training builds one graph per truncated-BPTT
     /// subsequence; resetting avoids re-growing the arena every time).
     pub fn reset(&mut self) {
+        if self.nodes.capacity() > 0 && telemetry::enabled() {
+            telemetry::counter("graph.arena_reuse", 1);
+        }
         self.nodes.clear();
     }
 
@@ -423,6 +433,10 @@ impl Graph {
             (1, 1),
             "Graph::backward: loss must be scalar"
         );
+        if telemetry::enabled() {
+            telemetry::counter("graph.backward.runs", 1);
+            telemetry::gauge("graph.backward.tape_nodes", self.nodes.len() as f64);
+        }
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
 

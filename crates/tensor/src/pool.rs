@@ -29,6 +29,8 @@
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
 
+use deeprest_telemetry as telemetry;
+
 /// A fixed-width scoped thread pool. See the [module docs](self).
 #[derive(Clone, Copy, Debug)]
 pub struct Pool {
@@ -56,6 +58,16 @@ impl Pool {
         self.threads
     }
 
+    /// Records one fan-out: how many worker jobs were spawned and the
+    /// chunk width they each own. Telemetry-gated so the disabled path
+    /// costs a single atomic load.
+    fn record_dispatch(workers: usize, chunk: usize) {
+        if telemetry::enabled() {
+            telemetry::counter("pool.tasks", workers as u64);
+            telemetry::gauge("pool.chunk_size", chunk as f64);
+        }
+    }
+
     /// Applies `f` to every index in `0..n`, returning results in index
     /// order. `f` must depend only on its index argument (and captured
     /// shared state); under that contract the output — including the
@@ -72,6 +84,7 @@ impl Pool {
         }
         // Fixed contiguous chunking: worker w owns [w*chunk, (w+1)*chunk).
         let chunk = n.div_ceil(workers);
+        Self::record_dispatch(workers, chunk);
         let mut out = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -79,7 +92,10 @@ impl Pool {
                     let f = &f;
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n);
-                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                    scope.spawn(move || {
+                        let _busy = telemetry::span("pool.worker_busy");
+                        (lo..hi).map(f).collect::<Vec<T>>()
+                    })
                 })
                 .collect();
             for handle in handles {
@@ -114,6 +130,7 @@ impl Pool {
             return (0..n).map(|i| f(&mut state, i)).collect();
         }
         let chunk = n.div_ceil(workers);
+        Self::record_dispatch(workers, chunk);
         let mut out = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -122,6 +139,7 @@ impl Pool {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n);
                     scope.spawn(move || {
+                        let _busy = telemetry::span("pool.worker_busy");
                         let mut state = init();
                         (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
                     })
@@ -152,10 +170,12 @@ impl Pool {
             return;
         }
         let chunk = n.div_ceil(workers);
+        Self::record_dispatch(n.div_ceil(chunk), chunk);
         std::thread::scope(|scope| {
             for (w, slice) in items.chunks_mut(chunk).enumerate() {
                 let f = &f;
                 scope.spawn(move || {
+                    let _busy = telemetry::span("pool.worker_busy");
                     for (j, item) in slice.iter_mut().enumerate() {
                         f(w * chunk + j, item);
                     }

@@ -1,0 +1,109 @@
+//! Telemetry-backed invariants of the execution engine: behavior that used
+//! to be invisible (arena reuse, pool fan-out) asserted through the
+//! in-memory sink.
+
+use std::sync::Arc;
+
+use deeprest_telemetry::{self as telemetry, MemorySink};
+use deeprest_tensor::{Graph, ParamStore, Pool, Tensor};
+
+#[test]
+fn pool_dispatch_counts_workers_and_chunks() {
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        // 8 items over 4 threads: 4 worker jobs of chunk 2.
+        let out = Pool::with_threads(4).map(8, |i| i * 2);
+        assert_eq!(out.len(), 8);
+    });
+    assert_eq!(sink.counter("pool.tasks"), 4);
+    assert_eq!(sink.gauges("pool.chunk_size"), vec![2.0]);
+    assert_eq!(sink.span_count("pool.worker_busy"), 4);
+}
+
+#[test]
+fn serial_pool_dispatches_nothing() {
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        let out = Pool::with_threads(1).map(8, |i| i + 1);
+        assert_eq!(out.len(), 8);
+    });
+    // The serial fast path spawns no workers, so no fan-out events.
+    assert_eq!(sink.counter("pool.tasks"), 0);
+    assert_eq!(sink.span_count("pool.worker_busy"), 0);
+}
+
+#[test]
+fn map_reuse_dispatch_matches_ceil_rule() {
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        // 12 items over 3 threads: 3 worker jobs of chunk 4.
+        let out = Pool::with_threads(3).map_reuse(
+            12,
+            || 0usize,
+            |s, i| {
+                *s += 1;
+                i
+            },
+        );
+        assert_eq!(out.len(), 12);
+    });
+    assert_eq!(sink.counter("pool.tasks"), 3);
+    assert_eq!(sink.gauges("pool.chunk_size"), vec![4.0]);
+}
+
+/// Builds a small forward pass on `g` and returns the scalar loss var.
+fn forward(
+    g: &mut Graph,
+    store: &ParamStore,
+    id: deeprest_tensor::ParamId,
+) -> deeprest_tensor::Var {
+    let w = g.param(store, id);
+    let x = g.constant(Tensor::vector(vec![0.4, -0.7]));
+    let prod = g.mul(w, x);
+    let sq = g.square(prod);
+    g.sum_all(sq)
+}
+
+#[test]
+fn reused_arena_never_regrows() {
+    let mut store = ParamStore::new();
+    let id = store.add("w", Tensor::vector(vec![1.0, -2.0]));
+
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        // Pre-size the arena like the training loop does, then run many
+        // forward/backward passes through `reset`.
+        let mut g = Graph::with_capacity(16);
+        for _ in 0..10 {
+            g.reset();
+            let loss = forward(&mut g, &store, id);
+            g.backward(loss, &mut store);
+        }
+    });
+    assert_eq!(
+        sink.counter("graph.arena_grow"),
+        0,
+        "a pre-sized, reset arena must never reallocate"
+    );
+    assert_eq!(sink.counter("graph.arena_reuse"), 10);
+    assert_eq!(sink.counter("graph.backward.runs"), 10);
+    // Every pass records the same tape length.
+    let nodes = sink.gauges("graph.backward.tape_nodes");
+    assert_eq!(nodes.len(), 10);
+    assert!(nodes.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn undersized_arena_growth_is_visible() {
+    let mut store = ParamStore::new();
+    let id = store.add("w", Tensor::vector(vec![1.0, -2.0]));
+
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        // Zero-capacity arena: the first pass must grow at least once.
+        let mut g = Graph::new();
+        let loss = forward(&mut g, &store, id);
+        g.backward(loss, &mut store);
+    });
+    assert!(sink.counter("graph.arena_grow") >= 1);
+}
