@@ -11,6 +11,10 @@
 //! written as `BENCH_perf.json` (override the path with the
 //! `BENCH_PERF_OUT` environment variable) when `criterion_main!` exits,
 //! so the perf trajectory is machine-trackable across PRs.
+//!
+//! Setting `BENCH_FILTER` to a comma-separated list of substrings runs
+//! only the benchmarks whose id contains one of them (e.g.
+//! `BENCH_FILTER=matmul,gemv` for a CI kernel smoke run).
 
 #![forbid(unsafe_code)]
 
@@ -174,7 +178,25 @@ impl Bencher {
     }
 }
 
+/// Returns `true` when `id` passes the `BENCH_FILTER` environment variable:
+/// unset runs everything; otherwise the id must contain one of the
+/// comma-separated substrings. Lets CI smoke runs restrict a bench binary
+/// to its fast kernel groups without a recompile.
+fn passes_filter(id: &str) -> bool {
+    match std::env::var("BENCH_FILTER") {
+        Ok(filter) if !filter.trim().is_empty() => filter
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .any(|p| id.contains(p)),
+        _ => true,
+    }
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, sample_size: usize, mut f: F) {
+    if !passes_filter(&id) {
+        return;
+    }
     let mut bencher = Bencher {
         iters_per_sample: 1,
         sample_ns: Vec::new(),

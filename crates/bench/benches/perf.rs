@@ -124,6 +124,57 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemv");
+    group.sample_size(30);
+    // The forward pass is GEMV-dominated: W·x gate products and the
+    // attention contraction H·α. Sweep square shapes plus the sparse
+    // dispatch case (a mostly-zero masked input vector).
+    for &n in &[32usize, 64, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
+        let x = Tensor::rand_uniform(n, 1, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&x));
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(12);
+    let a = Tensor::rand_uniform(128, 128, -1.0, 1.0, &mut rng);
+    let mut xv = vec![0.0f32; 128];
+    for (i, v) in xv.iter_mut().enumerate().take(16) {
+        // Blocky sparsity, as ablation masks produce: the first two 8-wide
+        // chunks live, the remaining 14/16 entirely zero — above the 3/4
+        // chunk dispatch threshold.
+        *v = 1.0 + i as f32 * 0.1;
+    }
+    let x = Tensor::vector(xv);
+    group.bench_with_input(BenchmarkId::new("sparse", 128), &128, |bench, _| {
+        bench.iter(|| a.matmul(&x));
+    });
+    group.finish();
+}
+
+fn bench_matmul_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_into");
+    group.sample_size(30);
+    // The allocation-free variant the graph runs in steady state: output
+    // written into a reused buffer.
+    for &(m, k, n) in &[(128usize, 128usize, 1usize), (64, 64, 64)] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Tensor::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b_mat = Tensor::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+        let id = format!("{m}x{k}x{n}");
+        group.bench_with_input(BenchmarkId::new("nn", &id), &id, |bench, _| {
+            let mut out = Tensor::zeros(m, n);
+            bench.iter(|| {
+                a.matmul_into(&b_mat, &mut out);
+                out.data()[0]
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_joint_training_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("joint_training_epoch");
     group.sample_size(10);
@@ -224,6 +275,8 @@ criterion_group!(
     bench_feature_extraction,
     bench_trace_synthesis,
     bench_matmul,
+    bench_gemv,
+    bench_matmul_into,
     bench_expert_training_epoch,
     bench_joint_training_epoch,
     bench_expert_inference,

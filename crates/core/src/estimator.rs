@@ -427,9 +427,11 @@ impl DeepRest {
     /// the expert's display name).
     ///
     /// Batches fan out across the pool at subsequence granularity: each
-    /// subsequence builds its own graph and accumulates into a private
-    /// [`GradBuffer`]; the buffers are folded into the shared store in
-    /// subsequence order, so training is bit-identical at any thread count.
+    /// batch position owns a persistent [`JobSlot`] whose graph arena and
+    /// [`GradBuffer`] are reused every batch; the buffers are folded into
+    /// the shared store in subsequence order, so training is bit-identical
+    /// at any thread count, and after warm-up each step performs zero
+    /// kernel allocations.
     fn train(
         &mut self,
         xs: &[Vec<f32>],
@@ -466,8 +468,29 @@ impl DeepRest {
         let mut expert_epoch_losses: Vec<Vec<f32>> =
             vec![Vec::with_capacity(self.config.epochs); e_count];
 
+        // One persistent slot per batch position: each slot owns a tape
+        // arena (with its recycled scratch pool), a private gradient buffer
+        // and the per-subsequence reduction state. Slots live across batches
+        // and epochs, so after the shapes have been seen once the whole
+        // forward + backward of a subsequence performs zero kernel
+        // allocations — every buffer is drawn from the slot's pool.
+        let arena_cap = len * e_count * 24;
+        let mut slots: Vec<JobSlot> = (0..self.config.batch_size.max(1).min(starts.len()))
+            .map(|_| JobSlot {
+                graph: Graph::with_capacity(arena_cap),
+                buf: GradBuffer::zeros_like(&self.store),
+                terms: Vec::new(),
+                mask_sums: Vec::new(),
+                expert_sums: vec![0.0f32; e_count],
+                loss_sum: 0.0,
+                n_terms: 0,
+            })
+            .collect();
+        let mut order = Vec::with_capacity(starts.len());
+
         for _epoch in 0..self.config.epochs {
-            let mut order = starts.clone();
+            order.clear();
+            order.extend_from_slice(&starts);
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f32;
             let mut epoch_terms = 0usize;
@@ -476,63 +499,53 @@ impl DeepRest {
             for batch in order.chunks(self.config.batch_size.max(1)) {
                 self.store.zero_grads();
                 // Forward + backward every subsequence concurrently, each
-                // into a private gradient buffer; workers reuse one tape
-                // arena across their subsequences.
+                // into its slot's private gradient buffer.
                 let scale = 1.0 / batch.len() as f32;
-                let arena_cap = len * self.experts.len() * 24;
                 let this = &*self;
-                let results: Vec<(GradBuffer, f32, usize, Vec<f32>)> = pool.map_reuse(
-                    batch.len(),
-                    || Graph::with_capacity(arena_cap),
-                    |g, i| {
-                        g.reset();
-                        let start = batch[i];
-                        let end = (start + len).min(t);
-                        let fwd = this.forward(g, &xs_tensors[start..end]);
-                        let mut terms: Vec<Var> = Vec::new();
-                        let mut expert_sums = vec![0.0f32; this.experts.len()];
-                        for (step, row) in fwd.outputs.iter().enumerate() {
-                            for (e, &y_var) in row.iter().enumerate() {
-                                let y = targets[e][start + step];
-                                let target = Tensor::vector(vec![y, y, y]);
-                                let term = g.pinball(y_var, target, &quantiles);
-                                expert_sums[e] += g.value(term).data()[0];
-                                terms.push(term);
-                            }
+                pool.for_each_mut(&mut slots[..batch.len()], |i, slot| {
+                    let g = &mut slot.graph;
+                    g.reset();
+                    slot.buf.zero();
+                    slot.terms.clear();
+                    slot.mask_sums.clear();
+                    slot.expert_sums.fill(0.0);
+                    let start = batch[i];
+                    let end = (start + len).min(t);
+                    let fwd = this.forward(g, &xs_tensors[start..end]);
+                    for (step, row) in fwd.outputs.iter().enumerate() {
+                        for (e, &y_var) in row.iter().enumerate() {
+                            let y = targets[e][start + step];
+                            let term = g.pinball_fill(y_var, y, &quantiles);
+                            slot.expert_sums[e] += g.value(term).data()[0];
+                            slot.terms.push(term);
                         }
-                        let n_terms = terms.len();
-                        let total = g.add_n(&terms);
-                        let mut loss = g.scale(total, 1.0 / n_terms as f32);
-                        if this.config.mask_l1 > 0.0 && this.config.api_mask {
-                            // L1 pressure on σ(m): suppress irrelevant paths.
-                            let dim = this.features.dim().max(1);
-                            let sums: Vec<Var> =
-                                fwd.mask_sig.iter().map(|&m| g.sum_all(m)).collect();
-                            let mask_total = g.add_n(&sums);
-                            let penalty = g.scale(
-                                mask_total,
-                                this.config.mask_l1 / (dim * this.experts.len()) as f32,
-                            );
-                            loss = g.add(loss, penalty);
-                        }
-                        let scaled = g.scale(loss, scale);
-                        let mut buf = GradBuffer::zeros_like(&this.store);
-                        g.backward_into(scaled, &mut buf);
-                        (
-                            buf,
-                            g.value(loss).data()[0] * n_terms as f32,
-                            n_terms,
-                            expert_sums,
-                        )
-                    },
-                );
+                    }
+                    slot.n_terms = slot.terms.len();
+                    let total = g.add_n(&slot.terms);
+                    let mut loss = g.scale(total, 1.0 / slot.n_terms as f32);
+                    if this.config.mask_l1 > 0.0 && this.config.api_mask {
+                        // L1 pressure on σ(m): suppress irrelevant paths.
+                        let dim = this.features.dim().max(1);
+                        slot.mask_sums
+                            .extend(fwd.mask_sig.iter().map(|&m| g.sum_all(m)));
+                        let mask_total = g.add_n(&slot.mask_sums);
+                        let penalty = g.scale(
+                            mask_total,
+                            this.config.mask_l1 / (dim * this.experts.len()) as f32,
+                        );
+                        loss = g.add(loss, penalty);
+                    }
+                    let scaled = g.scale(loss, scale);
+                    slot.loss_sum = g.value(loss).data()[0] * slot.n_terms as f32;
+                    g.backward_into(scaled, &mut slot.buf);
+                });
 
                 // Fold gradients in subsequence order, then one step.
-                for (buf, loss_times_terms, n_terms, expert_sums) in &results {
-                    self.store.absorb(buf);
-                    epoch_loss += loss_times_terms;
-                    epoch_terms += n_terms;
-                    for (acc, s) in epoch_expert_sums.iter_mut().zip(expert_sums.iter()) {
+                for slot in &slots[..batch.len()] {
+                    self.store.absorb(&slot.buf);
+                    epoch_loss += slot.loss_sum;
+                    epoch_terms += slot.n_terms;
+                    for (acc, s) in epoch_expert_sums.iter_mut().zip(slot.expert_sums.iter()) {
                         *acc += s;
                     }
                 }
@@ -581,7 +594,7 @@ impl DeepRest {
                     g.sigmoid(m)
                 } else {
                     // Ablation: an all-ones mask (features pass unchanged).
-                    g.constant(Tensor::ones(self.features.dim(), 1))
+                    g.constant_fill(self.features.dim(), 1, 1.0)
                 }
             })
             .collect();
@@ -597,9 +610,7 @@ impl DeepRest {
             .map(|(i, ex)| {
                 let a = g.param(&self.store, ex.alpha);
                 // Zero out the self entry: Eq. 3 sums over (c',r') ≠ (c,r).
-                let mut self_mask = Tensor::ones(e_count, 1);
-                self_mask.set(i, 0, 0.0);
-                g.mul_const(a, self_mask)
+                g.mask_out(a, i)
             })
             .collect();
         let head_bound: Vec<_> = self
@@ -613,14 +624,12 @@ impl DeepRest {
             .map(|ex| ex.skip.as_ref().map(|s| s.bind(g, &self.store)))
             .collect();
 
-        let mut h: Vec<Var> = (0..e_count)
-            .map(|_| g.constant(Tensor::zeros(hidden, 1)))
-            .collect();
+        let mut h: Vec<Var> = (0..e_count).map(|_| g.constant_zeros(hidden, 1)).collect();
         let mut outputs = Vec::with_capacity(xs.len());
 
         let mut masked_x: Vec<Var> = Vec::with_capacity(e_count);
         for x in xs {
-            let xv = g.constant(x.clone());
+            let xv = g.constant_copy(x);
             masked_x.clear();
             for e in 0..e_count {
                 let masked = g.mul(mask_sig[e], xv);
@@ -635,7 +644,7 @@ impl DeepRest {
                         g.matmul(hmat, alpha_masked[e])
                     } else {
                         // Ablation: no cross-expert information flow.
-                        g.constant(Tensor::zeros(hidden, 1))
+                        g.constant_zeros(hidden, 1)
                     };
                     let cat = g.concat_rows(&[att, h[e]]);
                     let y = head_bound[e].forward(g, cat);
@@ -911,6 +920,21 @@ impl DeepRest {
     fn expert(&self, key: &ExpertKey) -> Option<&Expert> {
         self.experts.iter().find(|e| &e.key == key)
     }
+}
+
+/// Persistent per-batch-position training state: one tape arena (owning a
+/// recycled scratch pool), one private gradient buffer, and the reusable
+/// reduction vectors for one subsequence. Slots survive across batches and
+/// epochs so steady-state training draws every tensor from recycled
+/// capacity.
+struct JobSlot {
+    graph: Graph,
+    buf: GradBuffer,
+    terms: Vec<Var>,
+    mask_sums: Vec<Var>,
+    expert_sums: Vec<f32>,
+    loss_sum: f32,
+    n_terms: usize,
 }
 
 /// The result of one unrolled forward pass.

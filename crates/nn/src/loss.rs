@@ -19,10 +19,11 @@ pub fn quantiles_for(delta: f32) -> [f32; 3] {
 
 /// Records the per-time-step expert loss of Eq. 6: the pinball loss of the
 /// three-row prediction `(expected, lower, upper)` against the scalar ground
-/// truth `y`, at the quantiles of [`quantiles_for`].
+/// truth `y`, at the quantiles of [`quantiles_for`]. The target column is
+/// drawn from the graph's recycled scratch pool, so per-step loss terms are
+/// allocation-free in steady state.
 pub fn expert_quantile_loss(g: &mut Graph, pred: Var, y: f32, delta: f32) -> Var {
-    let target = Tensor::vector(vec![y, y, y]);
-    g.pinball(pred, target, &quantiles_for(delta))
+    g.pinball_fill(pred, y, &quantiles_for(delta))
 }
 
 /// Records a mean-squared-error loss against a constant target (used by the

@@ -2,7 +2,7 @@
 
 use deeprest_telemetry as telemetry;
 
-use crate::{GradBuffer, ParamId, ParamStore, Tensor};
+use crate::{scratch::BufferPool, GradBuffer, ParamId, ParamStore, Tensor};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +40,9 @@ enum Op {
     /// `a - c` for a constant tensor `c` (e.g. regression targets); only
     /// the operand var is needed for the backward pass.
     SubConst(Var),
+    /// Copy of `a` with one row-major element forced to `+0.0` — the
+    /// attention self-exclusion mask without materializing a ones tensor.
+    MaskOut(Var, usize),
     /// Elementwise square `a ⊙ a`.
     Square(Var),
     /// Vertical stack of column vectors.
@@ -84,22 +87,43 @@ struct Node {
 /// the tape in reverse, accumulating parameter gradients into the
 /// [`ParamStore`] the parameters were read from.
 ///
-/// A graph is intended to be short-lived: build one per forward/backward pass
-/// (per truncated-BPTT subsequence during training) and drop it afterwards.
+/// A graph is intended to be long-lived: build one per forward/backward pass
+/// (per truncated-BPTT subsequence during training), [`Graph::reset`] it and
+/// build the next. Node values, backward-pass gradients, and op payloads are
+/// drawn from an internal [`BufferPool`] and recycled on reset, so a reused
+/// graph running a fixed shape sequence performs **zero** heap allocations
+/// after its first couple of passes (the `kernel.alloc` telemetry counter
+/// makes this observable, and `crates/core/tests/zero_alloc.rs` asserts it).
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Recycled `f32` buffers backing node values, gradients, and constant
+    /// op payloads.
+    scratch: BufferPool,
+    /// Backward-pass gradient slots, one per node; kept as a field so the
+    /// allocation survives across [`Graph::backward`] calls.
+    grad_slots: Vec<Option<Tensor>>,
+    /// Recycled operand lists for `ConcatRows`/`ConcatCols`/`AddN` payloads.
+    var_pool: Vec<Vec<Var>>,
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            scratch: BufferPool::new(),
+            grad_slots: Vec::new(),
+            var_pool: Vec::new(),
+        }
     }
 
     /// Creates an empty tape with room for `capacity` nodes.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             nodes: Vec::with_capacity(capacity),
+            scratch: BufferPool::new(),
+            grad_slots: Vec::new(),
+            var_pool: Vec::new(),
         }
     }
 
@@ -128,69 +152,130 @@ impl Graph {
         Var(self.nodes.len() - 1)
     }
 
-    /// Records a gradient-less leaf (model input, target, fixed mask).
+    /// Takes a zeroed pooled tensor shaped like node `v`.
+    fn take_like(&mut self, v: Var) -> Tensor {
+        let (rows, cols) = self.nodes[v.0].value.shape();
+        self.scratch.take_tensor(rows, cols)
+    }
+
+    /// Takes a pooled copy of node `v`'s value.
+    fn take_copy_of(&mut self, v: Var) -> Tensor {
+        let mut out = self.take_like(v);
+        out.copy_from(&self.nodes[v.0].value);
+        out
+    }
+
+    /// Takes a recycled operand list holding a copy of `parts`.
+    fn take_vars(&mut self, parts: &[Var]) -> Vec<Var> {
+        let mut vars = self.var_pool.pop().unwrap_or_default();
+        vars.clear();
+        vars.extend_from_slice(parts);
+        vars
+    }
+
+    /// Records a gradient-less leaf (model input, target, fixed mask),
+    /// taking ownership of `t`. Prefer [`Graph::constant_copy`] in hot loops
+    /// — an owned tensor was necessarily allocated by the caller.
     pub fn constant(&mut self, t: Tensor) -> Var {
         self.push(t, Op::Constant)
     }
 
+    /// Records a gradient-less leaf by copying `t` into pooled scratch —
+    /// the zero-allocation (steady-state) form of [`Graph::constant`].
+    pub fn constant_copy(&mut self, t: &Tensor) -> Var {
+        let c = self.scratch.take_copy(t);
+        self.push(c, Op::Constant)
+    }
+
+    /// Records an all-zero gradient-less leaf from pooled scratch (initial
+    /// hidden states, disabled-attention placeholders).
+    pub fn constant_zeros(&mut self, rows: usize, cols: usize) -> Var {
+        let c = self.scratch.take_tensor(rows, cols);
+        self.push(c, Op::Constant)
+    }
+
+    /// Records a gradient-less leaf filled with `value` from pooled scratch.
+    pub fn constant_fill(&mut self, rows: usize, cols: usize, value: f32) -> Var {
+        let mut c = self.scratch.take_tensor(rows, cols);
+        c.data_mut().fill(value);
+        self.push(c, Op::Constant)
+    }
+
     /// Records a trainable parameter leaf by copying its current value from
-    /// `store`. Gradients accumulate back into `store` on [`Graph::backward`].
+    /// `store` into pooled scratch. Gradients accumulate back into `store`
+    /// on [`Graph::backward`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let v = self.scratch.take_copy(store.value(id));
+        self.push(v, Op::Param(id))
     }
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v, Op::Add(a, b))
+        let mut out = self.take_like(a);
+        self.value(a)
+            .zip_map_into(self.value(b), &mut out, |x, y| x + y);
+        self.push(out, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v, Op::Sub(a, b))
+        let mut out = self.take_like(a);
+        self.value(a)
+            .zip_map_into(self.value(b), &mut out, |x, y| x - y);
+        self.push(out, Op::Sub(a, b))
     }
 
     /// Hadamard product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v, Op::Mul(a, b))
+        let mut out = self.take_like(a);
+        self.value(a)
+            .zip_map_into(self.value(b), &mut out, |x, y| x * y);
+        self.push(out, Op::Mul(a, b))
     }
 
-    /// Matrix product.
+    /// Matrix product, on the lane-blocked kernels of [`crate::kernel`]
+    /// (GEMV dispatch for vector right operands included).
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::MatMul(a, b))
+        let (rows, cols) = (self.value(a).rows(), self.value(b).cols());
+        let mut out = self.scratch.take_tensor(rows, cols);
+        self.value(a).matmul_into(self.value(b), &mut out);
+        self.push(out, Op::MatMul(a, b))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v, Op::Sigmoid(a))
+        let mut out = self.take_like(a);
+        self.value(a)
+            .map_into(&mut out, |x| 1.0 / (1.0 + (-x).exp()));
+        self.push(out, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
-        self.push(v, Op::Tanh(a))
+        let mut out = self.take_like(a);
+        self.value(a).map_into(&mut out, f32::tanh);
+        self.push(out, Op::Tanh(a))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a))
+        let mut out = self.take_like(a);
+        self.value(a).map_into(&mut out, |x| x.max(0.0));
+        self.push(out, Op::Relu(a))
     }
 
     /// `1 - a` elementwise (used for the GRU update gate mix).
     pub fn one_minus(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 - x);
-        self.push(v, Op::OneMinus(a))
+        let mut out = self.take_like(a);
+        self.value(a).map_into(&mut out, |x| 1.0 - x);
+        self.push(out, Op::OneMinus(a))
     }
 
     /// Scalar scaling `c * a`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).scale(c);
-        self.push(v, Op::Scale(a, c))
+        let mut out = self.take_like(a);
+        self.value(a).map_into(&mut out, |x| x * c);
+        self.push(out, Op::Scale(a, c))
     }
 
     /// Elementwise product with a constant tensor.
@@ -199,8 +284,28 @@ impl Graph {
     ///
     /// Panics if the shapes differ.
     pub fn mul_const(&mut self, a: Var, c: Tensor) -> Var {
-        let v = self.value(a).mul(&c);
-        self.push(v, Op::MulConst(a, c))
+        let mut out = self.take_like(a);
+        self.value(a).zip_map_into(&c, &mut out, |x, y| x * y);
+        self.push(out, Op::MulConst(a, c))
+    }
+
+    /// Copy of `a` with the row-major element at `index` forced to `+0.0` —
+    /// the cross-component attention self-exclusion mask (Eq. 4's
+    /// `α_{i,i} = 0`) without materializing a ones-with-a-hole mask tensor.
+    /// The gradient copies through everywhere except `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds for `a`.
+    pub fn mask_out(&mut self, a: Var, index: usize) -> Var {
+        assert!(
+            index < self.value(a).len(),
+            "Graph::mask_out: index {index} out of bounds for {} elements",
+            self.value(a).len()
+        );
+        let mut out = self.take_copy_of(a);
+        out.data_mut()[index] = 0.0;
+        self.push(out, Op::MaskOut(a, index))
     }
 
     /// Elementwise difference with a constant tensor.
@@ -209,14 +314,19 @@ impl Graph {
     ///
     /// Panics if the shapes differ.
     pub fn sub_const(&mut self, a: Var, c: Tensor) -> Var {
-        let v = self.value(a).sub(&c);
-        self.push(v, Op::SubConst(a))
+        let mut out = self.take_like(a);
+        self.value(a).zip_map_into(&c, &mut out, |x, y| x - y);
+        // Only the operand var is needed for the backward pass; recycle the
+        // constant's buffer immediately.
+        self.scratch.put_tensor(c);
+        self.push(out, Op::SubConst(a))
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x * x);
-        self.push(v, Op::Square(a))
+        let mut out = self.take_like(a);
+        self.value(a).map_into(&mut out, |x| x * x);
+        self.push(out, Op::Square(a))
     }
 
     /// Vertically stacks column vectors (the paper's `a || h` concatenation).
@@ -225,9 +335,24 @@ impl Graph {
     ///
     /// Panics if any input is not a column vector.
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_rows(&tensors);
-        self.push(v, Op::ConcatRows(parts.to_vec()))
+        let mut total = 0;
+        for &p in parts {
+            assert_eq!(
+                self.value(p).cols(),
+                1,
+                "Graph::concat_rows: inputs must be column vectors"
+            );
+            total += self.value(p).rows();
+        }
+        let mut out = self.scratch.take_tensor(total, 1);
+        let mut offset = 0;
+        for &p in parts {
+            let d = self.value(p).data();
+            out.data_mut()[offset..offset + d.len()].copy_from_slice(d);
+            offset += d.len();
+        }
+        let vars = self.take_vars(parts);
+        self.push(out, Op::ConcatRows(vars))
     }
 
     /// Stacks column vectors side by side into a matrix, enabling the
@@ -237,21 +362,37 @@ impl Graph {
     ///
     /// Panics if inputs are not identically sized column vectors.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_cols(&tensors);
-        self.push(v, Op::ConcatCols(parts.to_vec()))
+        assert!(!parts.is_empty(), "Graph::concat_cols: no inputs");
+        let rows = self.value(parts[0]).rows();
+        let cols = parts.len();
+        let mut out = self.scratch.take_tensor(rows, cols);
+        for (c, &p) in parts.iter().enumerate() {
+            assert_eq!(
+                self.value(p).shape(),
+                (rows, 1),
+                "Graph::concat_cols: inputs must be ({rows}, 1) column vectors"
+            );
+            let src = self.value(p).data();
+            for (r, &v) in src.iter().enumerate() {
+                out.data_mut()[r * cols + c] = v;
+            }
+        }
+        let vars = self.take_vars(parts);
+        self.push(out, Op::ConcatCols(vars))
     }
 
     /// Sum of all elements, yielding a scalar node.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).sum());
-        self.push(v, Op::SumAll(a))
+        let mut out = self.scratch.take_tensor(1, 1);
+        out.data_mut()[0] = self.value(a).sum();
+        self.push(out, Op::SumAll(a))
     }
 
     /// Mean of all elements, yielding a scalar node.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).mean());
-        self.push(v, Op::MeanAll(a))
+        let mut out = self.scratch.take_tensor(1, 1);
+        out.data_mut()[0] = self.value(a).mean();
+        self.push(out, Op::MeanAll(a))
     }
 
     /// Elementwise sum of several same-shaped vars in one node.
@@ -261,11 +402,12 @@ impl Graph {
     /// Panics if `parts` is empty or shapes differ.
     pub fn add_n(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "Graph::add_n: no inputs");
-        let mut v = self.value(parts[0]).clone();
+        let mut out = self.take_copy_of(parts[0]);
         for &p in &parts[1..] {
-            v.add_assign(self.value(p));
+            out.add_assign(self.value(p));
         }
-        self.push(v, Op::AddN(parts.to_vec()))
+        let vars = self.take_vars(parts);
+        self.push(out, Op::AddN(vars))
     }
 
     /// Fused `σ(a + b + c)` in a single node — the GRU gate pre-activation
@@ -279,8 +421,9 @@ impl Graph {
     ///
     /// Panics if the shapes differ.
     pub fn gate_sigmoid(&mut self, a: Var, b: Var, c: Var) -> Var {
-        let v = self.fused_gate(a, b, c, |s| 1.0 / (1.0 + (-s).exp()));
-        self.push(v, Op::GateSigmoid(a, b, c))
+        let mut out = self.take_like(a);
+        self.fused_gate_into(a, b, c, &mut out, |s| 1.0 / (1.0 + (-s).exp()));
+        self.push(out, Op::GateSigmoid(a, b, c))
     }
 
     /// Fused `tanh(a + b + c)` in a single node; see [`Graph::gate_sigmoid`].
@@ -289,11 +432,12 @@ impl Graph {
     ///
     /// Panics if the shapes differ.
     pub fn gate_tanh(&mut self, a: Var, b: Var, c: Var) -> Var {
-        let v = self.fused_gate(a, b, c, f32::tanh);
-        self.push(v, Op::GateTanh(a, b, c))
+        let mut out = self.take_like(a);
+        self.fused_gate_into(a, b, c, &mut out, f32::tanh);
+        self.push(out, Op::GateTanh(a, b, c))
     }
 
-    fn fused_gate(&self, a: Var, b: Var, c: Var, act: impl Fn(f32) -> f32) -> Tensor {
+    fn fused_gate_into(&self, a: Var, b: Var, c: Var, out: &mut Tensor, act: impl Fn(f32) -> f32) {
         let (ta, tb, tc) = (self.value(a), self.value(b), self.value(c));
         assert_eq!(
             ta.shape(),
@@ -305,14 +449,14 @@ impl Graph {
             tc.shape(),
             "Graph::fused gate: shape mismatch between summands"
         );
-        let data = ta
-            .data()
-            .iter()
-            .zip(tb.data().iter())
-            .zip(tc.data().iter())
-            .map(|((&x, &y), &z)| act((x + y) + z))
-            .collect();
-        Tensor::from_vec(ta.rows(), ta.cols(), data)
+        out.reshape_to(ta.rows(), ta.cols());
+        for (o, ((&x, &y), &z)) in out
+            .data_mut()
+            .iter_mut()
+            .zip(ta.data().iter().zip(tb.data().iter()).zip(tc.data().iter()))
+        {
+            *o = act((x + y) + z);
+        }
     }
 
     /// Fused convex mix `z ⊙ a + (1 - z) ⊙ b` — the GRU output gate
@@ -325,18 +469,20 @@ impl Graph {
     ///
     /// Panics if the shapes differ.
     pub fn lerp(&mut self, z: Var, a: Var, b: Var) -> Var {
-        let (tz, ta, tb) = (self.value(z), self.value(a), self.value(b));
-        assert_eq!(tz.shape(), ta.shape(), "Graph::lerp: shape mismatch");
-        assert_eq!(tz.shape(), tb.shape(), "Graph::lerp: shape mismatch");
-        let data = tz
-            .data()
-            .iter()
-            .zip(ta.data().iter())
-            .zip(tb.data().iter())
-            .map(|((&zi, &ai), &bi)| (zi * ai) + ((1.0 - zi) * bi))
-            .collect();
-        let v = Tensor::from_vec(tz.rows(), tz.cols(), data);
-        self.push(v, Op::Lerp { z, a, b })
+        let mut out = self.take_like(z);
+        {
+            let (tz, ta, tb) = (self.value(z), self.value(a), self.value(b));
+            assert_eq!(tz.shape(), ta.shape(), "Graph::lerp: shape mismatch");
+            assert_eq!(tz.shape(), tb.shape(), "Graph::lerp: shape mismatch");
+            for (o, ((&zi, &ai), &bi)) in out
+                .data_mut()
+                .iter_mut()
+                .zip(tz.data().iter().zip(ta.data().iter()).zip(tb.data().iter()))
+            {
+                *o = (zi * ai) + ((1.0 - zi) * bi);
+            }
+        }
+        self.push(out, Op::Lerp { z, a, b })
     }
 
     /// Pinball (quantile) loss summed over rows, in the standard orientation
@@ -357,6 +503,31 @@ impl Graph {
     /// Panics if `pred`, `target` and `quantiles` disagree on length, or if
     /// `pred` is not a column vector.
     pub fn pinball(&mut self, pred: Var, target: Tensor, quantiles: &[f32]) -> Var {
+        let mut qs = self.scratch.take(quantiles.len());
+        qs.copy_from_slice(quantiles);
+        self.pinball_owned(pred, target, qs)
+    }
+
+    /// [`Graph::pinball`] against a uniform target: every row of `pred` is
+    /// scored against the same scalar `y`. The estimator's Eq. 6 loss scores
+    /// the three quantile heads against one ground-truth value per step;
+    /// this form builds the target column from pooled scratch instead of a
+    /// caller-allocated tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` is not a column vector matching `quantiles` in
+    /// length.
+    pub fn pinball_fill(&mut self, pred: Var, y: f32, quantiles: &[f32]) -> Var {
+        let rows = self.value(pred).rows();
+        let mut target = self.scratch.take_tensor(rows, 1);
+        target.data_mut().fill(y);
+        let mut qs = self.scratch.take(quantiles.len());
+        qs.copy_from_slice(quantiles);
+        self.pinball_owned(pred, target, qs)
+    }
+
+    fn pinball_owned(&mut self, pred: Var, target: Tensor, quantiles: Vec<f32>) -> Var {
         let p = self.value(pred);
         assert_eq!(p.cols(), 1, "Graph::pinball: pred must be a column vector");
         assert_eq!(
@@ -379,37 +550,62 @@ impl Graph {
             let u = ti - pi;
             loss += if u >= 0.0 { q * u } else { (q - 1.0) * u };
         }
+        let mut value = self.scratch.take_tensor(1, 1);
+        value.data_mut()[0] = loss;
         self.push(
-            Tensor::scalar(loss),
+            value,
             Op::Pinball {
                 pred,
                 target,
-                quantiles: quantiles.to_vec(),
+                quantiles,
             },
         )
     }
 
-    /// Clears the tape, keeping the node arena's allocation for reuse by the
-    /// next forward pass (training builds one graph per truncated-BPTT
-    /// subsequence; resetting avoids re-growing the arena every time).
+    /// Clears the tape, keeping the node arena's allocation and recycling
+    /// every node's value buffer (plus constant op payloads and operand
+    /// lists) into the internal [`BufferPool`] for reuse by the next forward
+    /// pass. Training builds one graph per truncated-BPTT subsequence; after
+    /// a couple of warm-up passes over a fixed shape sequence, resetting and
+    /// rebuilding performs zero heap allocations.
     pub fn reset(&mut self) {
         if self.nodes.capacity() > 0 && telemetry::enabled() {
             telemetry::counter("graph.arena_reuse", 1);
         }
-        self.nodes.clear();
+        let Self {
+            nodes,
+            scratch,
+            var_pool,
+            ..
+        } = self;
+        for node in nodes.drain(..) {
+            scratch.put_tensor(node.value);
+            match node.op {
+                Op::MulConst(_, c) => scratch.put_tensor(c),
+                Op::Pinball {
+                    target, quantiles, ..
+                } => {
+                    scratch.put_tensor(target);
+                    scratch.put(quantiles);
+                }
+                Op::ConcatRows(v) | Op::ConcatCols(v) | Op::AddN(v) => var_pool.push(v),
+                _ => {}
+            }
+        }
     }
 
     /// Runs the reverse sweep from scalar node `loss`, accumulating parameter
     /// gradients into `store` (gradients are *added*; call
     /// [`ParamStore::zero_grads`] between optimizer steps).
     ///
-    /// Takes `&self`: the sweep records nothing on the tape and allocates no
-    /// graph nodes.
+    /// Records nothing on the tape; `&mut self` only so gradient temporaries
+    /// can be drawn from (and returned to) the graph's scratch pool —
+    /// steady-state backward passes are allocation-free.
     ///
     /// # Panics
     ///
     /// Panics if `loss` is not a `(1, 1)` tensor.
-    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
         self.backward_with(loss, &mut |id, g| store.grad_mut(id).add_assign(g));
     }
 
@@ -421,13 +617,14 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `loss` is not a `(1, 1)` tensor.
-    pub fn backward_into(&self, loss: Var, buf: &mut GradBuffer) {
+    pub fn backward_into(&mut self, loss: Var, buf: &mut GradBuffer) {
         self.backward_with(loss, &mut |id, g| buf.add(id, g));
     }
 
     /// The reverse sweep, parameterized over the gradient sink. Matches ops
-    /// by reference — no per-node `Op` clone.
-    fn backward_with(&self, loss: Var, sink: &mut dyn FnMut(ParamId, &Tensor)) {
+    /// by reference — no per-node `Op` clone; every gradient temporary comes
+    /// from the scratch pool and goes back once consumed.
+    fn backward_with(&mut self, loss: Var, sink: &mut dyn FnMut(ParamId, &Tensor)) {
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),
@@ -437,139 +634,175 @@ impl Graph {
             telemetry::counter("graph.backward.runs", 1);
             telemetry::gauge("graph.backward.tape_nodes", self.nodes.len() as f64);
         }
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Tensor::scalar(1.0));
+        let Self {
+            nodes,
+            scratch,
+            grad_slots: slots,
+            ..
+        } = self;
+        slots.clear();
+        slots.resize_with(nodes.len(), || None);
+        let mut seed = scratch.take_tensor(1, 1);
+        seed.data_mut()[0] = 1.0;
+        slots[loss.0] = Some(seed);
+
+        // Local shorthand: `val!(v)` is node v's forward value.
+        macro_rules! val {
+            ($v:expr) => {
+                &nodes[$v.0].value
+            };
+        }
 
         for idx in (0..=loss.0).rev() {
-            let Some(g) = grads[idx].take() else { continue };
-            match &self.nodes[idx].op {
+            let Some(g) = slots[idx].take() else { continue };
+            match &nodes[idx].op {
                 Op::Constant => {}
                 Op::Param(id) => sink(*id, &g),
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, &g);
-                    accumulate(&mut grads, *b, &g);
+                    acc_ref(scratch, slots, *a, &g);
+                    acc_ref(scratch, slots, *b, &g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, &g);
-                    accumulate_scaled(&mut grads, *b, &g, -1.0);
+                    acc_ref(scratch, slots, *a, &g);
+                    acc_scaled(scratch, slots, *b, &g, -1.0);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.mul(self.value(*b));
-                    let gb = g.mul(self.value(*a));
-                    accumulate(&mut grads, *a, &ga);
-                    accumulate(&mut grads, *b, &gb);
+                    let mut ga = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(val!(b), &mut ga, |gi, bi| gi * bi);
+                    let mut gb = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(val!(a), &mut gb, |gi, ai| gi * ai);
+                    acc_owned(scratch, slots, *a, ga);
+                    acc_owned(scratch, slots, *b, gb);
                 }
                 Op::MatMul(a, b) => {
                     // Transposed-operand kernels: bit-identical to
                     // materializing the transpose, without the copy.
-                    let ga = g.matmul_nt(self.value(*b));
-                    let gb = self.value(*a).matmul_tn(&g);
-                    accumulate(&mut grads, *a, &ga);
-                    accumulate(&mut grads, *b, &gb);
+                    let mut ga = scratch.take_tensor(g.rows(), val!(b).rows());
+                    g.matmul_nt_into(val!(b), &mut ga);
+                    let mut gb = scratch.take_tensor(val!(a).cols(), g.cols());
+                    val!(a).matmul_tn_into(&g, &mut gb);
+                    acc_owned(scratch, slots, *a, ga);
+                    acc_owned(scratch, slots, *b, gb);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[idx].value;
-                    let ga = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
-                    accumulate(&mut grads, *a, &ga);
+                    let mut ga = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[idx].value, &mut ga, |gi, yi| gi * yi * (1.0 - yi));
+                    acc_owned(scratch, slots, *a, ga);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[idx].value;
-                    let ga = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
-                    accumulate(&mut grads, *a, &ga);
+                    let mut ga = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[idx].value, &mut ga, |gi, yi| gi * (1.0 - yi * yi));
+                    acc_owned(scratch, slots, *a, ga);
                 }
                 Op::Relu(a) => {
-                    let x = self.value(*a);
-                    let ga = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    accumulate(&mut grads, *a, &ga);
+                    let mut ga = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(val!(a), &mut ga, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    acc_owned(scratch, slots, *a, ga);
                 }
-                Op::OneMinus(a) => accumulate_scaled(&mut grads, *a, &g, -1.0),
-                Op::Scale(a, c) => accumulate_scaled(&mut grads, *a, &g, *c),
+                Op::OneMinus(a) => acc_scaled(scratch, slots, *a, &g, -1.0),
+                Op::Scale(a, c) => acc_scaled(scratch, slots, *a, &g, *c),
                 Op::MulConst(a, c) => {
-                    let ga = g.mul(c);
-                    accumulate(&mut grads, *a, &ga);
+                    let mut ga = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(c, &mut ga, |gi, ci| gi * ci);
+                    acc_owned(scratch, slots, *a, ga);
                 }
-                Op::SubConst(a) => accumulate(&mut grads, *a, &g),
+                Op::MaskOut(a, index) => {
+                    let mut ga = scratch.take_tensor(g.rows(), g.cols());
+                    ga.copy_from(&g);
+                    ga.data_mut()[*index] = 0.0;
+                    acc_owned(scratch, slots, *a, ga);
+                }
+                Op::SubConst(a) => acc_ref(scratch, slots, *a, &g),
                 Op::Square(a) => {
-                    let x = self.value(*a);
-                    let ga = g.zip_map(x, |gi, xi| 2.0 * gi * xi);
-                    accumulate(&mut grads, *a, &ga);
+                    let mut ga = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(val!(a), &mut ga, |gi, xi| 2.0 * gi * xi);
+                    acc_owned(scratch, slots, *a, ga);
                 }
                 Op::ConcatRows(parts) => {
                     let mut offset = 0;
                     for &p in parts {
-                        let rows = self.value(p).rows();
-                        let slice = Tensor::vector(g.data()[offset..offset + rows].to_vec());
-                        accumulate(&mut grads, p, &slice);
+                        let rows = nodes[p.0].value.rows();
+                        let mut slice = scratch.take_tensor(rows, 1);
+                        slice
+                            .data_mut()
+                            .copy_from_slice(&g.data()[offset..offset + rows]);
+                        acc_owned(scratch, slots, p, slice);
                         offset += rows;
                     }
                 }
                 Op::ConcatCols(parts) => {
-                    let rows = self.nodes[idx].value.rows();
+                    let rows = nodes[idx].value.rows();
                     let cols = parts.len();
                     for (c, &p) in parts.iter().enumerate() {
-                        let mut col = Tensor::zeros(rows, 1);
+                        let mut col = scratch.take_tensor(rows, 1);
                         for r in 0..rows {
                             col.data_mut()[r] = g.data()[r * cols + c];
                         }
-                        accumulate(&mut grads, p, &col);
+                        acc_owned(scratch, slots, p, col);
                     }
                 }
                 Op::SumAll(a) => {
-                    let shape = self.value(*a).shape();
-                    let ga = Tensor::full(shape.0, shape.1, g.data()[0]);
-                    accumulate(&mut grads, *a, &ga);
+                    let (rows, cols) = val!(a).shape();
+                    let mut ga = scratch.take_tensor(rows, cols);
+                    ga.data_mut().fill(g.data()[0]);
+                    acc_owned(scratch, slots, *a, ga);
                 }
                 Op::MeanAll(a) => {
-                    let shape = self.value(*a).shape();
-                    let n = (shape.0 * shape.1) as f32;
-                    let ga = Tensor::full(shape.0, shape.1, g.data()[0] / n);
-                    accumulate(&mut grads, *a, &ga);
+                    let (rows, cols) = val!(a).shape();
+                    let n = (rows * cols) as f32;
+                    let mut ga = scratch.take_tensor(rows, cols);
+                    ga.data_mut().fill(g.data()[0] / n);
+                    acc_owned(scratch, slots, *a, ga);
                 }
                 Op::AddN(parts) => {
                     for &p in parts {
-                        accumulate(&mut grads, p, &g);
+                        acc_ref(scratch, slots, p, &g);
                     }
                 }
                 Op::GateSigmoid(a, b, c) => {
                     // Every summand of the fused pre-activation receives the
                     // same σ' upstream term, exactly as the unfused chain.
-                    let y = &self.nodes[idx].value;
-                    let d = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
-                    accumulate(&mut grads, *a, &d);
-                    accumulate(&mut grads, *b, &d);
-                    accumulate(&mut grads, *c, &d);
+                    let mut d = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[idx].value, &mut d, |gi, yi| gi * yi * (1.0 - yi));
+                    acc_ref(scratch, slots, *a, &d);
+                    acc_ref(scratch, slots, *b, &d);
+                    acc_ref(scratch, slots, *c, &d);
+                    scratch.put_tensor(d);
                 }
                 Op::GateTanh(a, b, c) => {
-                    let y = &self.nodes[idx].value;
-                    let d = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
-                    accumulate(&mut grads, *a, &d);
-                    accumulate(&mut grads, *b, &d);
-                    accumulate(&mut grads, *c, &d);
+                    let mut d = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[idx].value, &mut d, |gi, yi| gi * (1.0 - yi * yi));
+                    acc_ref(scratch, slots, *a, &d);
+                    acc_ref(scratch, slots, *b, &d);
+                    acc_ref(scratch, slots, *c, &d);
+                    scratch.put_tensor(d);
                 }
                 Op::Lerp { z, a, b } => {
-                    let zv = self.value(*z);
-                    let av = self.value(*a);
-                    let bv = self.value(*b);
                     // dz = g ⊙ a - g ⊙ b, built from the two products the
                     // unfused chain computes (sign flip is exact; addition
                     // commutes bitwise), so fused == unfused to the bit.
-                    let mut dz = g.mul(bv);
+                    let mut dz = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(val!(b), &mut dz, |gi, bi| gi * bi);
                     dz.scale_assign(-1.0);
-                    dz.add_assign(&g.mul(av));
-                    let da = g.mul(zv);
-                    let db = g.zip_map(zv, |gi, zi| gi * (1.0 - zi));
-                    accumulate(&mut grads, *z, &dz);
-                    accumulate(&mut grads, *a, &da);
-                    accumulate(&mut grads, *b, &db);
+                    let mut tmp = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(val!(a), &mut tmp, |gi, ai| gi * ai);
+                    dz.add_assign(&tmp);
+                    // Reuse the temporary for da = g ⊙ z.
+                    g.zip_map_into(val!(z), &mut tmp, |gi, zi| gi * zi);
+                    let mut db = scratch.take_tensor(g.rows(), g.cols());
+                    g.zip_map_into(val!(z), &mut db, |gi, zi| gi * (1.0 - zi));
+                    acc_owned(scratch, slots, *z, dz);
+                    acc_owned(scratch, slots, *a, tmp);
+                    acc_owned(scratch, slots, *b, db);
                 }
                 Op::Pinball {
                     pred,
                     target,
                     quantiles,
                 } => {
-                    let p = self.value(*pred);
-                    let mut gp = Tensor::zeros(p.rows(), 1);
-                    for (i, ((&pi, &ti), &q)) in p
+                    let rows = val!(pred).rows();
+                    let mut gp = scratch.take_tensor(rows, 1);
+                    for (i, ((&pi, &ti), &q)) in val!(pred)
                         .data()
                         .iter()
                         .zip(target.data().iter())
@@ -582,9 +815,10 @@ impl Graph {
                         let d = if u >= 0.0 { -q } else { 1.0 - q };
                         gp.data_mut()[i] = g.data()[0] * d;
                     }
-                    accumulate(&mut grads, *pred, &gp);
+                    acc_owned(scratch, slots, *pred, gp);
                 }
             }
+            scratch.put_tensor(g);
         }
     }
 }
@@ -595,17 +829,42 @@ impl Default for Graph {
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: &Tensor) {
-    match &mut grads[v.0] {
+/// Adds `g` into the slot for `v`, drawing a pooled copy when the slot is
+/// empty.
+fn acc_ref(scratch: &mut BufferPool, slots: &mut [Option<Tensor>], v: Var, g: &Tensor) {
+    match &mut slots[v.0] {
         Some(existing) => existing.add_assign(g),
-        slot @ None => *slot = Some(g.clone()),
+        slot @ None => *slot = Some(scratch.take_copy(g)),
     }
 }
 
-fn accumulate_scaled(grads: &mut [Option<Tensor>], v: Var, g: &Tensor, scale: f32) {
-    match &mut grads[v.0] {
+/// Adds an owned (pooled) gradient into the slot for `v`; the tensor either
+/// becomes the slot or is recycled after being added.
+fn acc_owned(scratch: &mut BufferPool, slots: &mut [Option<Tensor>], v: Var, g: Tensor) {
+    match &mut slots[v.0] {
+        Some(existing) => {
+            existing.add_assign(&g);
+            scratch.put_tensor(g);
+        }
+        slot @ None => *slot = Some(g),
+    }
+}
+
+/// Adds `scale * g` into the slot for `v`.
+fn acc_scaled(
+    scratch: &mut BufferPool,
+    slots: &mut [Option<Tensor>],
+    v: Var,
+    g: &Tensor,
+    scale: f32,
+) {
+    match &mut slots[v.0] {
         Some(existing) => existing.axpy(scale, g),
-        slot @ None => *slot = Some(g.scale(scale)),
+        slot @ None => {
+            let mut t = scratch.take_tensor(g.rows(), g.cols());
+            g.map_into(&mut t, |x| x * scale);
+            *slot = Some(t);
+        }
     }
 }
 

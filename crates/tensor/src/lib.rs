@@ -34,16 +34,21 @@
 //! assert_eq!(store.grad(w).data(), &[2.0, 3.0]); // dL/dw = x^T
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the runtime-detected AVX2 path in `kernel`
+// carries the crate's only `#[allow(unsafe_code)]`, scoped to that module.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod graph;
+pub mod kernel;
 pub mod linalg;
 mod param;
 pub mod pool;
+pub mod scratch;
 mod tensor;
 
 pub use graph::{Graph, Var};
 pub use param::{GradBuffer, ParamId, ParamStore};
 pub use pool::Pool;
+pub use scratch::BufferPool;
 pub use tensor::Tensor;

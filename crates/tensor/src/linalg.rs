@@ -24,6 +24,20 @@ pub fn symmetric_eigen(m: &Tensor) -> (Vec<f32>, Tensor) {
     let mut a = m.clone();
     let mut v = identity(n);
 
+    // Convergence is judged relative to the matrix's own magnitude: an
+    // absolute cutoff would never fire for large-norm inputs (Gram matrices
+    // of long parameter vectors easily reach 1e8+, where f32 off-diagonals
+    // cannot shrink below ~norm·ε) and would stop too early for tiny ones.
+    let frob: f32 = (0..n)
+        .flat_map(|p| (0..n).map(move |q| (p, q)))
+        .map(|(p, q)| {
+            let x = m.get(p, q);
+            x * x
+        })
+        .sum::<f32>()
+        .sqrt();
+    let tol = (frob * n as f32 * f32::EPSILON).max(f32::MIN_POSITIVE);
+
     // Cyclic Jacobi: sweep all off-diagonal pairs until they vanish.
     for _sweep in 0..100 {
         let mut off = 0.0f32;
@@ -32,7 +46,7 @@ pub fn symmetric_eigen(m: &Tensor) -> (Vec<f32>, Tensor) {
                 off += a.get(p, q).abs();
             }
         }
-        if off < 1e-9 {
+        if off < tol {
             break;
         }
         for p in 0..n {
@@ -208,6 +222,38 @@ mod tests {
                 assert!((mv.data()[i] - lv.data()[i]).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn eigen_converges_for_large_magnitude_matrices() {
+        // A Gram matrix of long parameter vectors: entries around 1e8. The
+        // old absolute `off < 1e-9` cutoff could never fire here — f32
+        // rounding keeps off-diagonals stuck near norm·ε ≈ 10 — so the
+        // solver burned all 100 sweeps. The relative tolerance converges
+        // and the eigenvalues scale exactly with the matrix.
+        let s = 1e8f32;
+        let m = Tensor::from_vec(2, 2, vec![2.0 * s, s, s, 2.0 * s]);
+        let (vals, vecs) = symmetric_eigen(&m);
+        assert!((vals[0] - 3.0 * s).abs() < 3.0 * s * 1e-5);
+        assert!((vals[1] - s).abs() < s * 1e-5);
+        // Eigenvectors stay orthonormal.
+        for c in 0..2 {
+            let norm = vecs.get(0, c).hypot(vecs.get(1, c));
+            assert!((norm - 1.0).abs() < 1e-4, "column {c} norm {norm}");
+        }
+        let dot = vecs.get(0, 0) * vecs.get(0, 1) + vecs.get(1, 0) * vecs.get(1, 1);
+        assert!(dot.abs() < 1e-4, "columns not orthogonal: {dot}");
+    }
+
+    #[test]
+    fn eigen_of_tiny_magnitude_matrix_still_resolves() {
+        // The relative tolerance must also not *overshoot* for tiny inputs:
+        // eigenvalues around 1e-6 still come out in order.
+        let s = 1e-6f32;
+        let m = Tensor::from_vec(2, 2, vec![2.0 * s, s, s, 2.0 * s]);
+        let (vals, _) = symmetric_eigen(&m);
+        assert!((vals[0] - 3.0 * s).abs() < 3.0 * s * 1e-4);
+        assert!((vals[1] - s).abs() < s * 1e-4);
     }
 
     #[test]

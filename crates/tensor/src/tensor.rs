@@ -1,7 +1,10 @@
 //! The dense rank-2 tensor type.
 
+use deeprest_telemetry as telemetry;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+use crate::kernel;
 
 /// A dense, row-major, rank-2 `f32` tensor.
 ///
@@ -146,6 +149,16 @@ impl Tensor {
         )
     }
 
+    /// Applies `f` to every element, writing into `out` (which is resized to
+    /// `self`'s shape, reusing its allocation). The output-reusing twin of
+    /// [`Tensor::map`], used by the graph's pooled-scratch node evaluation.
+    pub fn map_into(&self, out: &mut Self, f: impl Fn(f32) -> f32) {
+        out.reshape_to(self.rows, self.cols);
+        for (o, &v) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(v);
+        }
+    }
+
     /// Applies `f` elementwise to `self` and `other`.
     ///
     /// # Panics
@@ -160,6 +173,40 @@ impl Tensor {
             .map(|(&a, &b)| f(a, b))
             .collect();
         Self::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Applies `f` elementwise to `self` and `other`, writing into `out`
+    /// (resized to `self`'s shape, reusing its allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and `other` differ in shape.
+    pub fn zip_map_into(&self, other: &Self, out: &mut Self, f: impl Fn(f32, f32) -> f32) {
+        self.assert_same_shape(other, "zip_map_into");
+        out.reshape_to(self.rows, self.cols);
+        for (o, (&a, &b)) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter().zip(other.data.iter()))
+        {
+            *o = f(a, b);
+        }
+    }
+
+    /// Copies `src`'s shape and contents into `self`, reusing the backing
+    /// allocation when it is large enough.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.reshape_to(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Reshapes in place to `(rows, cols)`, growing or shrinking the backing
+    /// buffer as needed (new elements are zero). Existing capacity is
+    /// reused; contents are unspecified unless the caller overwrites them.
+    pub fn reshape_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Elementwise sum.
@@ -232,10 +279,30 @@ impl Tensor {
 
     /// Matrix product `self * other`.
     ///
+    /// Runs on the lane-blocked kernels of [`crate::kernel`]: every output
+    /// element accumulates into eight fixed lanes (term `k` in lane `k % 8`,
+    /// ascending `k`) reduced in a fixed tree order, so the bits are
+    /// identical on every ISA and dispatch path. A `cols == 1` right operand
+    /// dispatches to the GEMV fast path (the estimator's products are almost
+    /// all matrix x vector), which may take a branch-free sparse kernel on
+    /// zero-laden vectors — still bit-identical for finite inputs.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Self) -> Self {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into `out` (resized in place, reusing its
+    /// allocation). Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.cols,
             other.rows,
@@ -243,38 +310,49 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        // Row-major ikj loop keeps the inner accesses sequential.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        out.reshape_to(self.rows, other.cols);
+        if other.cols == 1 {
+            telemetry::counter("kernel.gemv", 1);
+            kernel::gemv_into(&mut out.data, &self.data, self.rows, self.cols, &other.data);
+        } else {
+            telemetry::counter("kernel.gemm", 1);
+            kernel::gemm_into(
+                &mut out.data,
+                &self.data,
+                self.rows,
+                self.cols,
+                &other.data,
+                other.cols,
+            );
         }
-        out
     }
 
     /// Matrix product with transposed right operand: `self * other^T`,
     /// without materializing the transpose.
     ///
     /// Both operands are walked row-major (the contraction runs along rows
-    /// of both), so the inner loop is two sequential streams — the
-    /// cache-friendly layout for the backward pass's `g · B^T` products.
-    /// Accumulation order per output element (ascending `k`, zero operands
-    /// of `self` skipped) matches [`Tensor::matmul`] on a materialized
-    /// transpose exactly, so results are bit-for-bit identical.
+    /// of both), so every output element is a dot of two sequential streams
+    /// — the cache-friendly layout for the backward pass's `g · B^T` outer
+    /// products. Per-element lane-blocked accumulation order matches
+    /// [`Tensor::matmul`] on a materialized transpose exactly, so results
+    /// are bit-for-bit identical.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Self) -> Self {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] writing into `out` (resized in place, reusing
+    /// its allocation). Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.cols,
             other.cols,
@@ -282,41 +360,29 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
-            // Hoist the zero check out of the dot products: on the common
-            // all-nonzero row the inner loop is a branch-free dot whose
-            // (ascending-k) accumulation order — and therefore bit pattern —
-            // matches the skipping loop exactly, because no term is skipped.
-            let has_zero = a_row.contains(&0.0);
-            for (o, b_row) in out_row.iter_mut().zip(other.data.chunks_exact(other.cols)) {
-                let mut acc = 0.0f32;
-                if has_zero {
-                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        acc += a * b;
-                    }
-                } else {
-                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                        acc += a * b;
-                    }
-                }
-                *o = acc;
-            }
+        out.reshape_to(self.rows, other.rows);
+        if other.rows == 1 {
+            telemetry::counter("kernel.gemv", 1);
+        } else {
+            telemetry::counter("kernel.gemm", 1);
         }
-        out
+        kernel::gemm_nt_into(
+            &mut out.data,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+        );
     }
 
     /// Matrix product with transposed left operand: `self^T * other`,
     /// without materializing the transpose.
     ///
-    /// The outer loop runs over the shared leading dimension, so all three
-    /// buffers are walked row-major. Accumulation order per output element
-    /// (ascending `k`, zero operands of `self` skipped) matches
+    /// The contraction walks `self` row-major in lane-wide column blocks, so
+    /// all three buffers stream sequentially; a single-column `other` (the
+    /// backward pass's `A^T · g` GEMV-T) reads `self` exactly once.
+    /// Per-element lane-blocked accumulation order matches
     /// [`Tensor::matmul`] on a materialized transpose exactly, so results
     /// are bit-for-bit identical.
     ///
@@ -324,6 +390,18 @@ impl Tensor {
     ///
     /// Panics if `self.rows() != other.rows()`.
     pub fn matmul_tn(&self, other: &Self) -> Self {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] writing into `out` (resized in place, reusing
+    /// its allocation). Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.rows,
             other.rows,
@@ -331,21 +409,20 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let mut out = Tensor::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        out.reshape_to(self.cols, other.cols);
+        if other.cols == 1 {
+            telemetry::counter("kernel.gemv", 1);
+        } else {
+            telemetry::counter("kernel.gemm", 1);
         }
-        out
+        kernel::gemm_tn_into(
+            &mut out.data,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+        );
     }
 
     /// Matrix transpose.
@@ -511,7 +588,7 @@ mod tests {
         for (m, k, n) in [(1, 1, 1), (2, 3, 4), (7, 5, 6), (16, 33, 9)] {
             let mut a = Tensor::rand_uniform(m, k, -2.0, 2.0, &mut rng);
             let b = Tensor::rand_uniform(n, k, -2.0, 2.0, &mut rng);
-            // Exercise the zero-skip branch too.
+            // Zero operands must not disturb the lane-ordered bits.
             a.data_mut()[0] = 0.0;
             let fused = a.matmul_nt(&b);
             let reference = a.matmul(&b.transpose());
@@ -588,6 +665,30 @@ mod tests {
         let side = Tensor::concat_cols(&[&a, &b]);
         assert_eq!(side.shape(), (2, 2));
         assert_eq!(side.data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_into_reuses_allocation_and_matches() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        // Start from a wrong-shaped, over-sized output buffer.
+        let mut out = Tensor::zeros(4, 4);
+        let cap = out.data.capacity();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (2, 2));
+        assert_eq!(out.data(), a.matmul(&b).data());
+        assert_eq!(out.data.capacity(), cap, "must reuse the allocation");
+    }
+
+    #[test]
+    fn map_and_zip_map_into_match_allocating_forms() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        let b = Tensor::from_vec(2, 2, vec![0.5, 0.5, 2.0, 2.0]);
+        let mut out = Tensor::zeros(1, 1);
+        a.map_into(&mut out, |v| v * 2.0);
+        assert_eq!(out, a.map(|v| v * 2.0));
+        a.zip_map_into(&b, &mut out, |x, y| x * y);
+        assert_eq!(out, a.mul(&b));
     }
 
     #[test]

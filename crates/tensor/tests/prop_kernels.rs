@@ -1,0 +1,122 @@
+//! Property-based proof of the kernel layer's bit-identity contract.
+//!
+//! Every dispatch path of the lane-blocked kernels — portable
+//! autovectorized, explicit AVX2, and the zero-skipping sparse path — must
+//! produce *identical bits* for the same finite operands, across randomized
+//! shapes including ragged tails (`len % LANES != 0`) and zero-laden inputs
+//! (both `+0.0` and `-0.0`). This is what lets the GEMV/GEMM dispatchers
+//! pick a path per call without ever perturbing training, and what keeps
+//! `crates/core/tests/determinism.rs` honest on AVX2 hardware.
+
+use deeprest_tensor::kernel::{
+    self, dot_avx2, dot_portable, dot_sparse, gemm_into, gemm_nt_into, gemm_tn_into, gemv_into,
+};
+use deeprest_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Finite values with a heavy dose of exact zeros of both signs, so the
+/// sparse skip path and the signed-zero argument are exercised constantly.
+fn zero_laden() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(0.0f32), Just(-0.0f32), Just(0.0f32), -4.0f32..4.0,]
+}
+
+/// Same-length operand pairs with lengths sweeping well past several
+/// `LANES` boundaries, tails included.
+fn operand_pairs() -> impl Strategy<Value = Vec<(f32, f32)>> {
+    proptest::collection::vec((zero_laden(), zero_laden()), 0..=70usize)
+}
+
+fn split(pairs: Vec<(f32, f32)>) -> (Vec<f32>, Vec<f32>) {
+    pairs.into_iter().unzip()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn avx2_dot_is_bit_identical_to_portable(pairs in operand_pairs()) {
+        let (a, b) = split(pairs);
+        let want = dot_portable(&a, &b);
+        if let Some(got) = dot_avx2(&a, &b) {
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "len {}: avx2 {} vs portable {}", a.len(), got, want
+            );
+        }
+        // The public dispatcher must agree with whichever path it picked.
+        prop_assert_eq!(kernel::dot(&a, &b).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn sparse_dot_is_bit_identical_to_portable(pairs in operand_pairs()) {
+        let (a, b) = split(pairs);
+        prop_assert_eq!(
+            dot_sparse(&a, &b).to_bits(),
+            dot_portable(&a, &b).to_bits(),
+            "len {}", a.len()
+        );
+    }
+
+    #[test]
+    fn gemv_dispatch_never_changes_bits(
+        rows in 1usize..9,
+        cols in 1usize..41,
+        seed in proptest::collection::vec(zero_laden(), 41 * 9 + 41),
+    ) {
+        // Carve the matrix and vector out of one generated pool so the
+        // shapes stay independent of the value stream.
+        let a: Vec<f32> = seed[..rows * cols].to_vec();
+        let x: Vec<f32> = seed[seed.len() - cols..].to_vec();
+        let mut out = vec![0.0f32; rows];
+        gemv_into(&mut out, &a, rows, cols, &x);
+        for (i, (o, row)) in out.iter().zip(a.chunks_exact(cols)).enumerate() {
+            prop_assert_eq!(
+                o.to_bits(),
+                dot_portable(row, &x).to_bits(),
+                "row {} of ({}, {})", i, rows, cols
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_gemm_on_materialized_transpose(
+        m in 1usize..7,
+        k in 1usize..19,
+        n in 1usize..7,
+        seed in proptest::collection::vec(zero_laden(), 7 * 19 + 19 * 7),
+    ) {
+        let a: Vec<f32> = seed[..m * k].to_vec();
+        let b: Vec<f32> = seed[seed.len() - n * k..].to_vec(); // (n, k)
+        let bt = Tensor::from_vec(n, k, b.clone()).transpose(); // (k, n)
+        let mut direct = vec![0.0f32; m * n];
+        gemm_nt_into(&mut direct, &a, m, k, &b, n);
+        let mut via_t = vec![0.0f32; m * n];
+        gemm_into(&mut via_t, &a, m, k, bt.data(), n);
+        prop_assert_eq!(
+            direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            via_t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "({}, {}, {})", m, k, n
+        );
+    }
+
+    #[test]
+    fn gemm_tn_matches_gemm_on_materialized_transpose(
+        m in 1usize..7,
+        k in 1usize..19,
+        n in 1usize..7,
+        seed in proptest::collection::vec(zero_laden(), 19 * 7 + 19 * 7),
+    ) {
+        let a: Vec<f32> = seed[..k * m].to_vec(); // (k, m)
+        let b: Vec<f32> = seed[seed.len() - k * n..].to_vec(); // (k, n)
+        let at = Tensor::from_vec(k, m, a.clone()).transpose(); // (m, k)
+        let mut direct = vec![0.0f32; m * n];
+        gemm_tn_into(&mut direct, &a, k, m, &b, n);
+        let mut via_t = vec![0.0f32; m * n];
+        gemm_into(&mut via_t, at.data(), m, k, &b, n);
+        prop_assert_eq!(
+            direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            via_t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "({}, {}, {})", m, k, n
+        );
+    }
+}

@@ -94,6 +94,75 @@ fn reused_arena_never_regrows() {
 }
 
 #[test]
+fn matmul_dispatch_counters_split_gemv_from_gemm() {
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        let a = Tensor::from_vec(3, 4, (0..12).map(|i| i as f32).collect());
+        let x = Tensor::vector(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(4, 2, (0..8).map(|i| i as f32 * 0.5).collect());
+        let _ = a.matmul(&x); // (3,4)·(4,1): the GEMV fast path
+        let _ = a.matmul(&b); // (3,4)·(4,2): general GEMM
+        let row = Tensor::from_vec(1, 4, vec![0.5, 0.0, -0.5, 1.0]);
+        let _ = a.matmul_nt(&row); // (3,4)·(1,4)^T: GEMV-shaped
+        let g = Tensor::vector(vec![1.0, 0.0, -1.0]);
+        let _ = a.matmul_tn(&g); // Aᵀ·g with g a column: GEMV-shaped
+        let _ = g.matmul_nt(&x); // outer product (3,1)·(4,1)^T: GEMM-shaped
+    });
+    assert_eq!(sink.counter("kernel.gemv"), 3);
+    assert_eq!(sink.counter("kernel.gemm"), 2);
+}
+
+#[test]
+fn sparse_gemv_dispatch_is_counted() {
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        let a = Tensor::from_vec(2, 32, (0..64).map(|i| (i as f32 * 0.1).sin()).collect());
+        // Both nonzeros in the first 8-wide chunk: 3/4 of the aligned
+        // chunks are entirely zero, which meets the sparse threshold.
+        let mut xv = vec![0.0f32; 32];
+        xv[0] = 1.0;
+        xv[5] = -2.0;
+        let x = Tensor::vector(xv);
+        let _ = a.matmul(&x);
+        // A dense vector of the same shape must not take the sparse path.
+        let dense = Tensor::vector((0..32).map(|i| i as f32 + 1.0).collect());
+        let _ = a.matmul(&dense);
+    });
+    assert_eq!(sink.counter("kernel.sparse_hits"), 1);
+    assert_eq!(sink.counter("kernel.gemv"), 2);
+}
+
+#[test]
+fn steady_state_graph_rebuild_performs_zero_kernel_allocations() {
+    let mut store = ParamStore::new();
+    let id = store.add("w", Tensor::vector(vec![1.0, -2.0]));
+
+    // Warm up outside the sink: the first passes populate the graph's
+    // scratch pool and let the LIFO buffer-site mapping settle.
+    let mut g = Graph::with_capacity(16);
+    for _ in 0..3 {
+        g.reset();
+        let loss = forward(&mut g, &store, id);
+        g.backward(loss, &mut store);
+    }
+
+    let sink = Arc::new(MemorySink::new());
+    telemetry::with_sink(sink.clone(), || {
+        for _ in 0..10 {
+            g.reset();
+            let loss = forward(&mut g, &store, id);
+            g.backward(loss, &mut store);
+        }
+    });
+    assert_eq!(
+        sink.counter("kernel.alloc"),
+        0,
+        "a warmed-up rebuild loop must draw every buffer from the pool"
+    );
+    assert!(sink.counter("kernel.scratch_reuse") > 0);
+}
+
+#[test]
 fn undersized_arena_growth_is_visible() {
     let mut store = ParamStore::new();
     let id = store.add("w", Tensor::vector(vec![1.0, -2.0]));
