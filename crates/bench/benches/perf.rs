@@ -188,6 +188,23 @@ fn bench_joint_training_epoch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_streaming_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+    // Per-window cost of the online path: one StreamPredictor::step per
+    // sealed scrape window (feature extraction measured separately above).
+    for dim in [64usize, 256] {
+        let (interner, traces, metrics) = synthetic(dim, 96);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &interner, quick_config());
+        let x = model.window_features(traces.window(7), &interner);
+        group.bench_with_input(BenchmarkId::new("window_step", dim), &dim, |b, _| {
+            let mut predictor = model.stream_predictor();
+            b.iter(|| predictor.step(&x));
+        });
+    }
+    group.finish();
+}
+
 fn bench_gru_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn_primitives");
     group.sample_size(30);
@@ -280,6 +297,7 @@ criterion_group!(
     bench_expert_training_epoch,
     bench_joint_training_epoch,
     bench_expert_inference,
+    bench_streaming_step,
     bench_gru_step,
     bench_backward,
     bench_pca

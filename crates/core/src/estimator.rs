@@ -31,30 +31,30 @@ pub type ExpertKey = MetricKey;
 /// One DNN expert (parameter handles only; values live in the shared
 /// [`ParamStore`]).
 #[derive(Clone, Debug, Serialize, Deserialize)]
-struct Expert {
-    key: ExpertKey,
+pub(crate) struct Expert {
+    pub(crate) key: ExpertKey,
     /// API-aware mask logits `m^{c,r}` (Eq. 1), shape `(feature_dim, 1)`.
-    mask: ParamId,
+    pub(crate) mask: ParamId,
     /// Recurrent core (Eq. 2).
-    gru: GruCell,
+    pub(crate) gru: GruCell,
     /// Cross-component attention weights `α^{c,r}` over all experts
     /// (Eq. 3), shape `(expert_count, 1)`; the self entry is masked out.
-    alpha: ParamId,
+    pub(crate) alpha: ParamId,
     /// Output head `V^{c,r}` mapping `(a_t || h_t)` to the three quantile
     /// outputs (Eq. 4).
-    head: Linear,
+    pub(crate) head: Linear,
     /// Optional linear skip path from the masked features to the outputs
     /// (see [`DeepRestConfig::linear_skip`]).
-    skip: Option<Linear>,
+    pub(crate) skip: Option<Linear>,
     /// Snapshot of the application-independent GRU parameters at
     /// initialization, enabling the Fig. 21 analysis on the *learned
     /// update* `θ - θ₀` (raw parameters are dominated by the random
     /// initialization on short CPU-scale training runs).
     gru_init: Vec<f32>,
     /// Target normalization fitted on learning data.
-    scaler: MinMaxScaler,
+    pub(crate) scaler: MinMaxScaler,
     /// Cumulative resources (disk usage) are modeled as per-window deltas.
-    is_delta: bool,
+    pub(crate) is_delta: bool,
 }
 
 /// Estimation for one resource: expected value plus the δ-confidence
@@ -181,12 +181,12 @@ pub struct TrainReport {
 /// expert swarm with its shared parameter store.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DeepRest {
-    config: DeepRestConfig,
-    features: FeatureSpace,
+    pub(crate) config: DeepRestConfig,
+    pub(crate) features: FeatureSpace,
     synthesizer: TraceSynthesizer,
-    interner: Interner,
-    experts: Vec<Expert>,
-    store: ParamStore,
+    pub(crate) interner: Interner,
+    pub(crate) experts: Vec<Expert>,
+    pub(crate) store: ParamStore,
 }
 
 impl DeepRest {
@@ -580,6 +580,11 @@ impl DeepRest {
     /// Unrolls all experts in lockstep over `xs`. `outputs[t][e]` is the
     /// three-quantile output var of expert `e` at step `t`; `mask_sig[e]` is
     /// the expert's sigmoid mask node (reused by the training regularizer).
+    ///
+    /// [`crate::stream::StreamPredictor::step`] mirrors one iteration of
+    /// this unroll with carried hidden state; any change to the op sequence
+    /// here must be replicated there to preserve streaming/batch
+    /// bit-identity.
     fn forward(&self, g: &mut Graph, xs: &[Tensor]) -> Forward {
         let e_count = self.experts.len();
         let hidden = self.config.hidden_dim;
@@ -693,6 +698,22 @@ impl DeepRest {
 
     /// Rewrites query traces into the model's symbol space.
     fn translate_traces(&self, traces: &WindowedTraces, from: &Interner) -> WindowedTraces {
+        let mut out = WindowedTraces::with_windows(traces.window_secs, traces.len());
+        for (t, window) in traces.windows.iter().enumerate() {
+            out.windows[t] = self.translate_window(window, from);
+        }
+        out
+    }
+
+    /// Rewrites one window of query traces into the model's symbol space —
+    /// the per-window unit [`translate_traces`](Self::translate_traces)
+    /// iterates, shared with the streaming path so both translate
+    /// identically.
+    pub(crate) fn translate_window(
+        &self,
+        window: &[deeprest_trace::Trace],
+        from: &Interner,
+    ) -> Vec<deeprest_trace::Trace> {
         fn map_span(
             span: &deeprest_trace::SpanNode,
             to: &Interner,
@@ -708,24 +729,25 @@ impl DeepRest {
                     .collect(),
             }
         }
-        let mut out = WindowedTraces::with_windows(traces.window_secs, traces.len());
-        for (t, window) in traces.windows.iter().enumerate() {
-            out.windows[t] = window
-                .iter()
-                .map(|tr| {
-                    deeprest_trace::Trace::new(
-                        self.interner.translate(from, tr.api),
-                        map_span(&tr.root, &self.interner, from),
-                    )
-                })
-                .collect();
-        }
-        out
+        window
+            .iter()
+            .map(|tr| {
+                deeprest_trace::Trace::new(
+                    self.interner.translate(from, tr.api),
+                    map_span(&tr.root, &self.interner, from),
+                )
+            })
+            .collect()
     }
 
     /// Runs the forward pass (no gradients) over normalized features,
     /// chunked into training-length subsequences with fresh hidden state —
     /// the same regime the model was trained under.
+    ///
+    /// The chunk boundaries (`subseq_len.max(2)`) and the per-output
+    /// postprocessing (scaler inverse + quantile-crossing guard) are
+    /// mirrored by [`crate::stream::StreamPredictor::step`]; changes here
+    /// must be replicated there.
     fn predict(&self, xs: &[Vec<f32>]) -> Estimates {
         let _span = telemetry::span("estimate.predict");
         let t = xs.len();
@@ -819,6 +841,12 @@ impl DeepRest {
     /// Keys of all experts, in training order.
     pub fn expert_keys(&self) -> Vec<ExpertKey> {
         self.experts.iter().map(|e| e.key.clone()).collect()
+    }
+
+    /// Whether an expert models its (cumulative) resource as per-window
+    /// deltas; see [`PredictedSeries::is_delta`]. `None` for unknown keys.
+    pub fn expert_is_delta(&self, key: &ExpertKey) -> Option<bool> {
+        self.expert(key).map(|e| e.is_delta)
     }
 
     /// The learned API-aware mask of one expert, after the sigmoid

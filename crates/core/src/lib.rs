@@ -20,6 +20,10 @@
 //!   recurrent core, cross-component attention over the other experts'
 //!   hidden states, and a three-quantile head trained with pinball loss
 //!   (§4.3, δ-confidence intervals).
+//! * [`stream`] — stepwise (streaming) inference: a [`stream::StreamPredictor`]
+//!   carries per-expert GRU hidden state across windows so online serving
+//!   costs one GRU step + attention + head per window, bit-identical to the
+//!   batch path.
 //! * [`sanity`] — application sanity checks (§5.4): per-window deviation
 //!   from the expected interval, ensembled across resources, turned into
 //!   interpretable alerts; detects ransomware and cryptojacking.
@@ -41,6 +45,7 @@ mod estimator;
 mod features;
 pub mod interpret;
 pub mod sanity;
+pub mod stream;
 mod synthesizer;
 
 pub use config::{DeepRestConfig, OptimizerKind};

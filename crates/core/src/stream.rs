@@ -1,0 +1,395 @@
+//! Stepwise (streaming) inference over a trained [`DeepRest`] model.
+//!
+//! The batch path ([`DeepRest::estimate_from_traces`]) re-runs the GRU over
+//! the whole feature history. For online serving that is O(history) per new
+//! window; this module exposes the same computation as an O(1)-per-window
+//! step: a [`StreamPredictor`] carries every expert's GRU hidden state
+//! across windows and advances all experts by exactly one GRU step +
+//! attention + head when a new window's features arrive.
+//!
+//! **Bit-identity contract.** The batch predictor chunks the feature
+//! sequence into `subseq_len.max(2)` subsequences and starts each chunk
+//! from a fresh zero hidden state (the regime the model was trained
+//! under). [`StreamPredictor::step`] replicates that regime by resetting
+//! its carried state at the same chunk boundaries, and performs the exact
+//! op sequence of one iteration of the batch unroll. Each step re-enters
+//! the carried hidden values as constants, so the floating-point
+//! operations — and therefore the output bits — are identical to the
+//! batch path for the same window features.
+
+use deeprest_telemetry as telemetry;
+use deeprest_tensor::{Graph, Tensor, Var};
+use deeprest_trace::{Interner, Trace};
+use serde::{Deserialize, Serialize};
+
+use crate::DeepRest;
+
+/// One window's `(expected, lower, upper)` estimate for one expert, after
+/// denormalization and the quantile-crossing guard — the streaming
+/// counterpart of one element of a
+/// [`PredictedSeries`](crate::PredictedSeries).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PointEstimate {
+    /// Median (expected) utilization.
+    pub expected: f64,
+    /// Lower confidence limit.
+    pub lower: f64,
+    /// Upper confidence limit.
+    pub upper: f64,
+}
+
+/// Serializable snapshot of a [`StreamPredictor`]'s carried state: the
+/// stream position (window index) plus every expert's hidden vector.
+/// Together with the model JSON this is everything needed to resume a
+/// stream after a crash with bit-identical continuation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamSnapshot {
+    /// Number of windows already consumed (the index of the next window).
+    pub position: usize,
+    /// Per-expert hidden state, in the model's expert (training) order.
+    pub hidden: Vec<Vec<f32>>,
+}
+
+/// Stateful O(1)-per-window inference over a trained model.
+///
+/// Create with [`DeepRest::stream_predictor`], feed per-window normalized
+/// features (from [`DeepRest::window_features`]) to [`step`](Self::step),
+/// and get back one [`PointEstimate`] per expert in
+/// [`DeepRest::expert_keys`] order.
+///
+/// The predictor owns one tape arena and reuses it every step, so after
+/// the first step (which sizes the scratch pool) steady-state serving
+/// performs zero kernel allocations.
+pub struct StreamPredictor<'m> {
+    model: &'m DeepRest,
+    graph: Graph,
+    /// Carried per-expert hidden states (values copied out of the tape
+    /// after each step; re-entered as constants on the next).
+    hidden: Vec<Tensor>,
+    /// Reusable staging tensor for the incoming feature vector.
+    x_buf: Tensor,
+    position: usize,
+}
+
+impl DeepRest {
+    /// Starts a streaming predictor at position 0 with zero hidden state.
+    pub fn stream_predictor(&self) -> StreamPredictor<'_> {
+        StreamPredictor::new(self)
+    }
+
+    /// Extracts the normalized feature vector for one window of query
+    /// traces — the per-window unit of the batch
+    /// [`estimate_from_traces`](Self::estimate_from_traces) pipeline
+    /// (symbol translation + Alg. 2 path counting + normalization), so
+    /// streaming features are bit-identical to the batch extraction.
+    pub fn window_features(&self, window: &[Trace], from: &Interner) -> Vec<f32> {
+        let translated = self.translate_window(window, from);
+        self.features.extract_normalized(&translated)
+    }
+}
+
+impl<'m> StreamPredictor<'m> {
+    fn new(model: &'m DeepRest) -> Self {
+        let e_count = model.experts.len();
+        let hidden_dim = model.config.hidden_dim;
+        Self {
+            model,
+            // One window's tape: same per-step node budget the batch
+            // arena sizing uses (`len * experts * 24` for `len` steps).
+            graph: Graph::with_capacity(e_count * 24),
+            hidden: (0..e_count).map(|_| Tensor::zeros(hidden_dim, 1)).collect(),
+            x_buf: Tensor::zeros(model.features.dim().max(1), 1),
+            position: 0,
+        }
+    }
+
+    /// Number of windows consumed so far (the index of the next window).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Advances every expert by one window and returns the denormalized
+    /// `(expected, lower, upper)` estimates in expert order.
+    ///
+    /// Mirrors one iteration of the batch unroll (see
+    /// `DeepRest::forward`) with the carried hidden state re-entered as
+    /// constants, plus the batch predictor's chunk-boundary reset and
+    /// output postprocessing — any change to either must be replicated
+    /// here to preserve streaming/batch bit-identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model's feature dimension.
+    pub fn step(&mut self, x: &[f32]) -> Vec<PointEstimate> {
+        let model = self.model;
+        let dim = model.features.dim();
+        assert_eq!(
+            x.len(),
+            dim,
+            "StreamPredictor::step: feature dim mismatch (got {}, model has {dim})",
+            x.len()
+        );
+        let e_count = model.experts.len();
+        let hidden_dim = model.config.hidden_dim;
+
+        // The batch predictor starts every `subseq_len.max(2)` chunk from
+        // a fresh zero hidden state; replicate those boundaries exactly.
+        let len = model.config.subseq_len.max(2);
+        if self.position.is_multiple_of(len) {
+            for h in &mut self.hidden {
+                h.fill_zero();
+            }
+        }
+
+        self.x_buf.data_mut().copy_from_slice(x);
+        let g = &mut self.graph;
+        g.reset();
+
+        // Bind parameters in the same order as the batch forward().
+        let mask_sig: Vec<Var> = model
+            .experts
+            .iter()
+            .map(|ex| {
+                if model.config.api_mask {
+                    let m = g.param(&model.store, ex.mask);
+                    g.sigmoid(m)
+                } else {
+                    g.constant_fill(dim, 1, 1.0)
+                }
+            })
+            .collect();
+        let gru_bound: Vec<_> = model
+            .experts
+            .iter()
+            .map(|ex| ex.gru.bind(g, &model.store))
+            .collect();
+        let alpha_masked: Vec<Var> = model
+            .experts
+            .iter()
+            .enumerate()
+            .map(|(i, ex)| {
+                let a = g.param(&model.store, ex.alpha);
+                g.mask_out(a, i)
+            })
+            .collect();
+        let head_bound: Vec<_> = model
+            .experts
+            .iter()
+            .map(|ex| ex.head.bind(g, &model.store))
+            .collect();
+        let skip_bound: Vec<Option<_>> = model
+            .experts
+            .iter()
+            .map(|ex| ex.skip.as_ref().map(|s| s.bind(g, &model.store)))
+            .collect();
+
+        // One unroll iteration with the carried state as constants.
+        let xv = g.constant_copy(&self.x_buf);
+        let mut h: Vec<Var> = self.hidden.iter().map(|t| g.constant_copy(t)).collect();
+        let mut masked_x: Vec<Var> = Vec::with_capacity(e_count);
+        for e in 0..e_count {
+            let masked = g.mul(mask_sig[e], xv);
+            h[e] = gru_bound[e].step(g, masked, h[e]);
+            masked_x.push(masked);
+        }
+        let hmat = g.concat_cols(&h);
+        let mut out = Vec::with_capacity(e_count);
+        for (e, expert) in model.experts.iter().enumerate() {
+            let att = if model.config.attention {
+                g.matmul(hmat, alpha_masked[e])
+            } else {
+                g.constant_zeros(hidden_dim, 1)
+            };
+            let cat = g.concat_rows(&[att, h[e]]);
+            let y = head_bound[e].forward(g, cat);
+            let y = match &skip_bound[e] {
+                Some(skip) => {
+                    let lin = skip.forward(g, masked_x[e]);
+                    g.add(y, lin)
+                }
+                None => y,
+            };
+            // Same postprocessing as the batch predictor: denormalize,
+            // clamp negatives, guard against quantile crossing.
+            let v = g.value(y).data();
+            let exp = expert.scaler.inverse(f64::from(v[0])).max(0.0);
+            let lo = expert.scaler.inverse(f64::from(v[1])).max(0.0);
+            let up = expert.scaler.inverse(f64::from(v[2])).max(0.0);
+            let lo2 = lo.min(exp).min(up);
+            let up2 = up.max(exp).max(lo);
+            out.push(PointEstimate {
+                expected: exp.clamp(lo2, up2),
+                lower: lo2,
+                upper: up2,
+            });
+        }
+        for (e, hv) in h.iter().enumerate() {
+            self.hidden[e].copy_from(self.graph.value(*hv));
+        }
+        if telemetry::enabled() {
+            telemetry::counter("stream.steps", 1);
+            telemetry::gauge("stream.step.tape_nodes", self.graph.len() as f64);
+        }
+        self.position += 1;
+        out
+    }
+
+    /// Captures the carried state for crash recovery; feed to
+    /// [`restore`](Self::restore) (with the same model) to resume with
+    /// bit-identical continuation.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            position: self.position,
+            hidden: self.hidden.iter().map(|t| t.data().to_vec()).collect(),
+        }
+    }
+
+    /// Rebuilds a predictor from a [`snapshot`](Self::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot's shape disagrees with the
+    /// model (wrong expert count or hidden dimension) — the snapshot was
+    /// taken against a different model.
+    pub fn restore(model: &'m DeepRest, snap: &StreamSnapshot) -> Result<Self, String> {
+        let e_count = model.experts.len();
+        if snap.hidden.len() != e_count {
+            return Err(format!(
+                "snapshot has {} hidden states, model has {e_count} experts",
+                snap.hidden.len()
+            ));
+        }
+        let hidden_dim = model.config.hidden_dim;
+        for (e, hv) in snap.hidden.iter().enumerate() {
+            if hv.len() != hidden_dim {
+                return Err(format!(
+                    "snapshot hidden state {e} has dim {}, model has hidden_dim {hidden_dim}",
+                    hv.len()
+                ));
+            }
+        }
+        let mut p = Self::new(model);
+        p.position = snap.position;
+        for (t, hv) in p.hidden.iter_mut().zip(snap.hidden.iter()) {
+            t.data_mut().copy_from_slice(hv);
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeepRestConfig;
+    use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
+    use deeprest_trace::window::WindowedTraces;
+    use deeprest_trace::SpanNode;
+
+    /// Same miniature application the estimator tests train on: one API
+    /// whose per-window request count drives one component's CPU + memory.
+    fn tiny_dataset(windows: usize) -> (Interner, WindowedTraces, MetricsRegistry) {
+        let mut i = Interner::new();
+        let f = i.intern("Frontend");
+        let read = i.intern("read");
+        let api = i.intern("/read");
+        let mut traces = WindowedTraces::with_windows(1.0, windows);
+        let mut cpu = TimeSeries::zeros(0);
+        let mut mem = TimeSeries::zeros(0);
+        for t in 0..windows {
+            let count = 3 + ((t % 16) as i32 - 8).unsigned_abs() as usize;
+            for _ in 0..count {
+                traces.windows[t].push(Trace::new(api, SpanNode::leaf(f, read)));
+            }
+            cpu.push(2.0 + 1.5 * count as f64);
+            mem.push(64.0 + 0.5 * count as f64);
+        }
+        let mut metrics = MetricsRegistry::new();
+        metrics.insert(MetricKey::new("Frontend", ResourceKind::Cpu), cpu);
+        metrics.insert(MetricKey::new("Frontend", ResourceKind::Memory), mem);
+        (i, traces, metrics)
+    }
+
+    fn trained(windows: usize) -> (Interner, WindowedTraces, DeepRest) {
+        let (i, traces, metrics) = tiny_dataset(windows);
+        let cfg = DeepRestConfig {
+            hidden_dim: 12,
+            epochs: 3,
+            subseq_len: 16,
+            batch_size: 4,
+            ..DeepRestConfig::default()
+        };
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, cfg);
+        (i, traces, model)
+    }
+
+    /// The hard contract: streaming estimates bit-equal the batch path,
+    /// across multiple chunk-boundary resets (128 windows, subseq 16).
+    #[test]
+    fn streaming_matches_batch_bitwise() {
+        let (i, traces, model) = trained(128);
+        let batch = model.estimate_from_traces(&traces, &i);
+        let keys = model.expert_keys();
+
+        let mut stream = model.stream_predictor();
+        for (t, window) in traces.windows.iter().enumerate() {
+            let x = model.window_features(window, &i);
+            let points = stream.step(&x);
+            for (e, key) in keys.iter().enumerate() {
+                let series = batch.get(key).unwrap();
+                assert_eq!(
+                    points[e].expected.to_bits(),
+                    series.expected.get(t).to_bits(),
+                    "expected mismatch at window {t} expert {key}"
+                );
+                assert_eq!(points[e].lower.to_bits(), series.lower.get(t).to_bits());
+                assert_eq!(points[e].upper.to_bits(), series.upper.get(t).to_bits());
+            }
+        }
+        assert_eq!(stream.position(), 128);
+    }
+
+    /// Checkpoint mid-stream (off a chunk boundary), restore, resume:
+    /// outputs equal an uninterrupted run.
+    #[test]
+    fn snapshot_restore_resumes_bitwise() {
+        let (i, traces, model) = trained(64);
+        let xs: Vec<Vec<f32>> = traces
+            .windows
+            .iter()
+            .map(|w| model.window_features(w, &i))
+            .collect();
+
+        let mut full = model.stream_predictor();
+        let reference: Vec<_> = xs.iter().map(|x| full.step(x)).collect();
+
+        let mut first = model.stream_predictor();
+        for x in &xs[..29] {
+            first.step(x);
+        }
+        let snap = first.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StreamSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        let mut resumed = StreamPredictor::restore(&model, &back).unwrap();
+        assert_eq!(resumed.position(), 29);
+        for (t, x) in xs.iter().enumerate().skip(29) {
+            assert_eq!(resumed.step(x), reference[t], "divergence at window {t}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshot() {
+        let (_, _, model) = trained(32);
+        let bad = StreamSnapshot {
+            position: 1,
+            hidden: vec![vec![0.0; 5]],
+        };
+        assert!(StreamPredictor::restore(&model, &bad).is_err());
+        let bad_dim = StreamSnapshot {
+            position: 1,
+            hidden: vec![vec![0.0; 5], vec![0.0; 5]],
+        };
+        assert!(StreamPredictor::restore(&model, &bad_dim).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Structured sanity alerts and pluggable delivery sinks.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use deeprest_metrics::ResourceKind;
+use serde::{Deserialize, Serialize};
+
+/// One live sanity alert: a resource whose observed consumption fell
+/// outside the model's δ-confidence interval for long enough to count as
+/// an anomaly (the streaming counterpart of one
+/// [`deeprest_core::sanity::AnomalousEvent`] finding, emitted while the
+/// event is still in progress).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Component whose resource is anomalous.
+    pub component: String,
+    /// The anomalous resource.
+    pub resource: ResourceKind,
+    /// Window index the alert fired in.
+    pub window: usize,
+    /// Smoothed anomaly score at that window (squared normalized interval
+    /// deviation, trailing-mean smoothed).
+    pub score: f64,
+    /// Percent deviation of the observed value from the expected value in
+    /// this window (positive: higher than expected).
+    pub deviation_pct: f64,
+    /// API endpoints the model's learned mask attributes this resource to —
+    /// the "which user activity should have justified this" hint.
+    pub contributing_apis: Vec<String>,
+}
+
+impl std::fmt::Display for Alert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dir = if self.deviation_pct >= 0.0 {
+            "higher"
+        } else {
+            "lower"
+        };
+        write!(
+            f,
+            "window {}: {} {} score {:.4} ({:.1}% {} than expected; APIs: {})",
+            self.window,
+            self.component,
+            self.resource,
+            self.score,
+            self.deviation_pct.abs(),
+            dir,
+            if self.contributing_apis.is_empty() {
+                "none".to_owned()
+            } else {
+                self.contributing_apis.join(", ")
+            }
+        )
+    }
+}
+
+/// Where the pipeline delivers alerts. Implementations must tolerate being
+/// called once per anomalous `(window, resource)` — events spanning many
+/// windows fire one alert per window while they last.
+pub trait AlertSink {
+    /// Delivers one alert.
+    fn emit(&mut self, alert: &Alert);
+}
+
+/// Collects alerts in memory behind a shared handle — keep a clone to
+/// inspect what the pipeline emitted (tests, dashboards).
+#[derive(Clone, Default)]
+pub struct CollectSink {
+    alerts: Arc<Mutex<Vec<Alert>>>,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every alert emitted so far.
+    pub fn snapshot(&self) -> Vec<Alert> {
+        self.alerts.lock().expect("sink poisoned").clone()
+    }
+
+    /// Removes and returns every alert emitted so far.
+    pub fn take(&self) -> Vec<Alert> {
+        std::mem::take(&mut *self.alerts.lock().expect("sink poisoned"))
+    }
+
+    /// Number of alerts emitted so far.
+    pub fn len(&self) -> usize {
+        self.alerts.lock().expect("sink poisoned").len()
+    }
+
+    /// Returns `true` when no alert has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AlertSink for CollectSink {
+    fn emit(&mut self, alert: &Alert) {
+        self.alerts
+            .lock()
+            .expect("sink poisoned")
+            .push(alert.clone());
+    }
+}
+
+/// Writes each alert as one JSON line — pipe to a file or stdout for
+/// machine-readable alert streams.
+pub struct JsonLineSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonLineSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+}
+
+impl<W: Write> AlertSink for JsonLineSink<W> {
+    fn emit(&mut self, alert: &Alert) {
+        if let Ok(line) = serde_json::to_string(alert) {
+            let _ = writeln!(self.out, "{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Alert {
+        Alert {
+            component: "PostStorageMongoDB".into(),
+            resource: ResourceKind::Cpu,
+            window: 7,
+            score: 0.042,
+            deviation_pct: 63.0,
+            contributing_apis: vec!["/composePost".into()],
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample().to_string();
+        assert!(s.contains("window 7"), "{s}");
+        assert!(s.contains("PostStorageMongoDB"), "{s}");
+        assert!(s.contains("/composePost"), "{s}");
+        assert!(s.contains("higher"), "{s}");
+    }
+
+    #[test]
+    fn collect_sink_accumulates() {
+        let sink = CollectSink::new();
+        let mut handle = sink.clone();
+        handle.emit(&sample());
+        handle.emit(&sample());
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn json_line_sink_round_trips() {
+        let mut buf = Vec::new();
+        JsonLineSink::new(&mut buf).emit(&sample());
+        let line = String::from_utf8(buf).unwrap();
+        let back: Alert = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(back, sample());
+    }
+}

@@ -1,0 +1,77 @@
+//! Serving-pipeline configuration.
+
+use deeprest_core::sanity::SanityConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::queue::OverflowPolicy;
+
+/// Configuration of the online serving pipeline.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Scrape-window length in seconds; must match the windows the model
+    /// was trained on for the estimates to be meaningful.
+    pub window_secs: f64,
+    /// Watermark lateness bound: arrivals more than this far behind the
+    /// newest observed event are counted in `serve.late_dropped`.
+    pub lateness_secs: f64,
+    /// Capacity of the bounded ingest queue.
+    pub queue_capacity: usize,
+    /// What to do when the ingest queue is full.
+    pub overflow: OverflowPolicy,
+    /// Thresholds of the online δ-interval sanity check.
+    pub sanity: SanityConfig,
+    /// Minimum normalized mask weight for an API to be listed as
+    /// contributing in an [`crate::Alert`] (see
+    /// [`deeprest_core::interpret::ApiAttribution::influential`]).
+    pub api_threshold: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            window_secs: 30.0,
+            lateness_secs: 5.0,
+            queue_capacity: 1024,
+            overflow: OverflowPolicy::Block,
+            sanity: SanityConfig::default(),
+            api_threshold: 0.25,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the scrape-window length.
+    #[must_use]
+    pub fn with_window_secs(mut self, secs: f64) -> Self {
+        self.window_secs = secs;
+        self
+    }
+
+    /// Sets the watermark lateness bound.
+    #[must_use]
+    pub fn with_lateness_secs(mut self, secs: f64) -> Self {
+        self.lateness_secs = secs;
+        self
+    }
+
+    /// Sets the ingest-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the queue overflow policy.
+    #[must_use]
+    pub fn with_overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Sets the sanity-check thresholds.
+    #[must_use]
+    pub fn with_sanity(mut self, sanity: SanityConfig) -> Self {
+        self.sanity = sanity;
+        self
+    }
+}

@@ -1,0 +1,46 @@
+//! DeepRest online serving: the streaming counterpart of the batch
+//! estimation pipeline.
+//!
+//! DeepRest is framed as a production observability tool — it learns from
+//! live Jaeger/Prometheus streams, and its sanity check (§6) is only
+//! useful if it fires *while* an anomaly is happening. This crate turns
+//! the trained batch estimator into a long-running, bounded-memory stream
+//! processor:
+//!
+//! * [`queue`] — bounded ingest queue decoupling collectors from the
+//!   pipeline, with blocking or drop-oldest backpressure.
+//! * [`Pipeline`] — the serving loop: watermark-based window sealing
+//!   (via [`deeprest_trace::stream::WindowAssembler`]), per-window feature
+//!   extraction, stateful O(1)-per-window inference (via
+//!   [`deeprest_core::stream::StreamPredictor`]), and the causal sanity
+//!   check.
+//! * [`sanity`] — the causal (online) re-derivation of the batch
+//!   δ-interval sanity score.
+//! * [`Alert`] / [`AlertSink`] — structured live alerts (component,
+//!   resource, window, score, contributing APIs) with pluggable delivery.
+//! * [`Checkpoint`] — JSON checkpoint/restore of the full streaming state
+//!   for crash recovery.
+//! * [`replay`] — loading recorded Jaeger documents/JSONL as arrival
+//!   streams.
+//!
+//! The hard correctness contract: for the same sealed windows, streaming
+//! estimates are **bit-identical** to the batch
+//! [`DeepRest::estimate_from_traces`](deeprest_core::DeepRest::estimate_from_traces)
+//! path — [`batch_reference`] re-derives the expected outputs for
+//! cross-checking, and `crates/serve/tests/golden_replay.rs` enforces the
+//! contract on the checked-in fixtures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alert;
+mod config;
+mod pipeline;
+pub mod queue;
+pub mod replay;
+pub mod sanity;
+
+pub use alert::{Alert, AlertSink, CollectSink, JsonLineSink};
+pub use config::ServeConfig;
+pub use pipeline::{batch_reference, Checkpoint, ObservationSource, Pipeline, WindowOutput};
+pub use queue::{IngestQueue, OverflowPolicy};

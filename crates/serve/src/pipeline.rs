@@ -1,0 +1,379 @@
+//! The online estimation pipeline: watermark windowing → incremental
+//! inference → causal sanity alerts, with JSON checkpoint/restore.
+
+use deeprest_core::stream::{PointEstimate, StreamPredictor, StreamSnapshot};
+use deeprest_core::{interpret, DeepRest, ExpertKey};
+use deeprest_metrics::MetricsRegistry;
+use deeprest_telemetry as telemetry;
+use deeprest_trace::stream::{SealedWindow, WindowAssembler};
+use deeprest_trace::window::{TimestampedTrace, WindowedTraces};
+use deeprest_trace::Interner;
+use serde::{Deserialize, Serialize};
+
+use crate::alert::{Alert, AlertSink};
+use crate::sanity::{OnlineSanity, SanityState};
+use crate::ServeConfig;
+
+/// Supplies the *observed* utilization the sanity check compares against
+/// the model's interval: one value per `(resource, window)`. Return `None`
+/// when no measurement exists for that resource — it is then excluded from
+/// scoring (its score reads as `NAN` in [`WindowOutput::scores`]).
+pub trait ObservationSource {
+    /// The observed value of `key` in window `window`.
+    fn observe(&mut self, key: &ExpertKey, window: usize) -> Option<f64>;
+}
+
+impl ObservationSource for MetricsRegistry {
+    fn observe(&mut self, key: &ExpertKey, window: usize) -> Option<f64> {
+        self.get(key)
+            .filter(|s| window < s.len())
+            .map(|s| s.get(window))
+    }
+}
+
+/// Everything the pipeline produced for one sealed window.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowOutput {
+    /// Window index since the start of the stream.
+    pub window: usize,
+    /// Number of traces sealed into the window.
+    pub trace_count: usize,
+    /// Per-expert estimates, in [`DeepRest::expert_keys`] order.
+    pub estimates: Vec<PointEstimate>,
+    /// Per-expert smoothed anomaly scores (same order); empty when the
+    /// pipeline has no observation source, `NAN` entries where the source
+    /// had no measurement.
+    pub scores: Vec<f64>,
+    /// Alerts fired in this window.
+    pub alerts: Vec<Alert>,
+}
+
+/// Serializable pipeline state: together with the model JSON this is
+/// everything needed to resume a stream after a crash with bit-identical
+/// continuation (buffered unsealed arrivals included).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Windowing state, including not-yet-sealed arrivals.
+    pub assembler: WindowAssembler,
+    /// Carried GRU hidden state and stream position.
+    pub predictor: StreamSnapshot,
+    /// Causal sanity-scoring state.
+    pub sanity: SanityState,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a checkpoint from [`Checkpoint::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// The online serving pipeline around one trained model.
+///
+/// Feed timestamped traces with [`ingest`](Pipeline::ingest); each sealed
+/// window costs one incremental inference step (O(1) in stream history,
+/// allocation-free after warm-up) and yields a [`WindowOutput`]. For the
+/// same sealed windows the estimates are bit-identical to the batch
+/// [`DeepRest::estimate_from_traces`] path — [`batch_reference`] re-derives
+/// the full expected output sequence for cross-checking.
+pub struct Pipeline<'m> {
+    model: &'m DeepRest,
+    /// The name table incoming traces were produced with (symbols are
+    /// translated into the model's space per window).
+    source: Interner,
+    assembler: WindowAssembler,
+    predictor: StreamPredictor<'m>,
+    sanity: OnlineSanity,
+    keys: Vec<ExpertKey>,
+    is_delta: Vec<bool>,
+    /// Per-expert contributing APIs (mask attribution), computed once.
+    contributing: Vec<Vec<String>>,
+    observations: Option<Box<dyn ObservationSource>>,
+    sinks: Vec<Box<dyn AlertSink>>,
+    config: ServeConfig,
+}
+
+impl<'m> Pipeline<'m> {
+    /// Creates a pipeline streaming into `model`. `source` is the name
+    /// table the incoming traces use (clone of the producer's interner).
+    pub fn new(model: &'m DeepRest, source: &Interner, config: ServeConfig) -> Self {
+        let keys = model.expert_keys();
+        let sanity = OnlineSanity::new(config.sanity, keys.len());
+        Self {
+            assembler: WindowAssembler::new(config.window_secs, config.lateness_secs),
+            predictor: model.stream_predictor(),
+            sanity,
+            is_delta: keys
+                .iter()
+                .map(|k| model.expert_is_delta(k).unwrap_or(false))
+                .collect(),
+            contributing: contributing_apis(model, &keys, config.api_threshold),
+            keys,
+            model,
+            source: source.clone(),
+            observations: None,
+            sinks: Vec::new(),
+            config,
+        }
+    }
+
+    /// Attaches the observed-utilization source the sanity check scores
+    /// against. Without one the pipeline only predicts (no alerts).
+    #[must_use]
+    pub fn with_observations(mut self, obs: impl ObservationSource + 'static) -> Self {
+        self.observations = Some(Box::new(obs));
+        self
+    }
+
+    /// Attaches an alert sink; every fired [`Alert`] is delivered to every
+    /// sink (and also returned in [`WindowOutput::alerts`]).
+    #[must_use]
+    pub fn with_sink(mut self, sink: impl AlertSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Expert keys, in the order `estimates`/`scores` are reported.
+    pub fn keys(&self) -> &[ExpertKey] {
+        &self.keys
+    }
+
+    /// Number of windows sealed and estimated so far.
+    pub fn position(&self) -> usize {
+        self.predictor.position()
+    }
+
+    /// How many traces arrived beyond the lateness bound (counted, never
+    /// silently lost).
+    pub fn late_dropped(&self) -> u64 {
+        self.assembler.late_dropped()
+    }
+
+    /// Feeds one arrival; returns the outputs of every window the
+    /// advancing watermark sealed (often none, sometimes several).
+    pub fn ingest(&mut self, t: TimestampedTrace) -> Vec<WindowOutput> {
+        if telemetry::enabled() {
+            telemetry::counter("serve.ingest.spans", t.trace.span_count() as u64);
+        }
+        let late_before = self.assembler.late_dropped();
+        let sealed = self.assembler.push(t);
+        let late = self.assembler.late_dropped() - late_before;
+        if late > 0 && telemetry::enabled() {
+            telemetry::counter("serve.late_dropped", late);
+        }
+        sealed.iter().map(|w| self.process_window(w)).collect()
+    }
+
+    /// Seals and processes everything still buffered (end of stream).
+    pub fn flush(&mut self) -> Vec<WindowOutput> {
+        let sealed = self.assembler.flush();
+        sealed.iter().map(|w| self.process_window(w)).collect()
+    }
+
+    fn process_window(&mut self, w: &SealedWindow) -> WindowOutput {
+        let _span = telemetry::span("serve.predict");
+        if telemetry::enabled() {
+            telemetry::counter("serve.window.sealed", 1);
+        }
+        let x = self.model.window_features(&w.traces, &self.source);
+        let estimates = self.predictor.step(&x);
+
+        let mut scores = Vec::new();
+        let mut alerts = Vec::new();
+        if let Some(obs) = &mut self.observations {
+            scores.reserve(self.keys.len());
+            for (e, key) in self.keys.iter().enumerate() {
+                let Some(actual) = obs.observe(key, w.index) else {
+                    scores.push(f64::NAN);
+                    continue;
+                };
+                let outcome = self
+                    .sanity
+                    .observe(e, actual, &estimates[e], self.is_delta[e]);
+                scores.push(outcome.score);
+                if outcome.alerting {
+                    let alert = Alert {
+                        component: key.component.clone(),
+                        resource: key.resource,
+                        window: w.index,
+                        score: outcome.score,
+                        deviation_pct: outcome.deviation_pct,
+                        contributing_apis: self.contributing[e].clone(),
+                    };
+                    for sink in &mut self.sinks {
+                        sink.emit(&alert);
+                    }
+                    if telemetry::enabled() {
+                        telemetry::counter("serve.alerts", 1);
+                    }
+                    alerts.push(alert);
+                }
+            }
+        }
+        WindowOutput {
+            window: w.index,
+            trace_count: w.traces.len(),
+            estimates,
+            scores,
+            alerts,
+        }
+    }
+
+    /// Captures the pipeline's full streaming state for crash recovery.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            assembler: self.assembler.clone(),
+            predictor: self.predictor.snapshot(),
+            sanity: self.sanity.state().clone(),
+        }
+    }
+
+    /// Rebuilds a pipeline from a [`checkpoint`](Self::checkpoint),
+    /// resuming exactly where it left off (buffered arrivals included).
+    /// Observation sources and alert sinks are not part of the checkpoint —
+    /// re-attach them with the `with_*` builders.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the checkpoint's shape disagrees with the
+    /// model (it was taken against a different model).
+    pub fn restore(
+        model: &'m DeepRest,
+        source: &Interner,
+        config: ServeConfig,
+        checkpoint: Checkpoint,
+    ) -> Result<Self, String> {
+        let keys = model.expert_keys();
+        let predictor = StreamPredictor::restore(model, &checkpoint.predictor)?;
+        let sanity = OnlineSanity::restore(config.sanity, checkpoint.sanity, keys.len())?;
+        Ok(Self {
+            assembler: checkpoint.assembler,
+            predictor,
+            sanity,
+            is_delta: keys
+                .iter()
+                .map(|k| model.expert_is_delta(k).unwrap_or(false))
+                .collect(),
+            contributing: contributing_apis(model, &keys, config.api_threshold),
+            keys,
+            model,
+            source: source.clone(),
+            observations: None,
+            sinks: Vec::new(),
+            config,
+        })
+    }
+
+    /// The configuration the pipeline runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+}
+
+fn contributing_apis(model: &DeepRest, keys: &[ExpertKey], threshold: f64) -> Vec<Vec<String>> {
+    keys.iter()
+        .map(|key| {
+            interpret::api_attribution(model, key)
+                .map(|a| {
+                    a.influential(threshold)
+                        .into_iter()
+                        .map(str::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+/// Re-derives, via the batch path, exactly what the streaming pipeline
+/// should output for `sealed` windows: batch
+/// [`DeepRest::estimate_from_traces`] estimates plus the same causal
+/// sanity scoring over them. Because streaming estimates are bit-identical
+/// to batch estimates, every field of the result must match the streamed
+/// [`WindowOutput`]s bit for bit — the golden cross-check the replay tests
+/// and the `deeprest_serve --assert-batch` flag rely on.
+pub fn batch_reference(
+    model: &DeepRest,
+    sealed: &[SealedWindow],
+    source: &Interner,
+    observations: Option<&MetricsRegistry>,
+    config: &ServeConfig,
+) -> Vec<WindowOutput> {
+    let count = sealed.iter().map(|w| w.index + 1).max().unwrap_or(0);
+    let mut windowed = WindowedTraces::with_windows(config.window_secs, count);
+    for w in sealed {
+        windowed.windows[w.index] = w.traces.clone();
+    }
+    let estimates = model.estimate_from_traces(&windowed, source);
+
+    let keys = model.expert_keys();
+    let is_delta: Vec<bool> = keys
+        .iter()
+        .map(|k| model.expert_is_delta(k).unwrap_or(false))
+        .collect();
+    let contributing = contributing_apis(model, &keys, config.api_threshold);
+    let mut sanity = OnlineSanity::new(config.sanity, keys.len());
+
+    sealed
+        .iter()
+        .map(|w| {
+            let points: Vec<PointEstimate> = keys
+                .iter()
+                .map(|key| {
+                    let p = estimates.get(key).expect("expert series");
+                    PointEstimate {
+                        expected: p.expected.get(w.index),
+                        lower: p.lower.get(w.index),
+                        upper: p.upper.get(w.index),
+                    }
+                })
+                .collect();
+            let mut scores = Vec::new();
+            let mut alerts = Vec::new();
+            if let Some(registry) = observations {
+                for (e, key) in keys.iter().enumerate() {
+                    let actual = registry
+                        .get(key)
+                        .filter(|s| w.index < s.len())
+                        .map(|s| s.get(w.index));
+                    let Some(actual) = actual else {
+                        scores.push(f64::NAN);
+                        continue;
+                    };
+                    let outcome = sanity.observe(e, actual, &points[e], is_delta[e]);
+                    scores.push(outcome.score);
+                    if outcome.alerting {
+                        alerts.push(Alert {
+                            component: key.component.clone(),
+                            resource: key.resource,
+                            window: w.index,
+                            score: outcome.score,
+                            deviation_pct: outcome.deviation_pct,
+                            contributing_apis: contributing[e].clone(),
+                        });
+                    }
+                }
+            }
+            WindowOutput {
+                window: w.index,
+                trace_count: w.traces.len(),
+                estimates: points,
+                scores,
+                alerts,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,215 @@
+//! Bounded ingest queue with backpressure.
+//!
+//! The serving pipeline decouples trace *arrival* (a collector thread, a
+//! socket, a replay driver) from trace *processing* (windowing + inference)
+//! through this queue. The queue is strictly bounded — memory stays
+//! constant under sustained overload — and offers two overflow policies:
+//! block the producer until the consumer catches up, or drop the oldest
+//! buffered arrival (counted, never silent).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use deeprest_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
+
+/// What [`IngestQueue::push`] does when the queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Block the producer until space frees up (lossless backpressure).
+    Block,
+    /// Evict the oldest buffered item to admit the new one; evictions are
+    /// counted in [`IngestQueue::dropped`].
+    DropOldest,
+}
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+    dropped: u64,
+}
+
+/// A bounded MPSC-style queue (any number of producers, any number of
+/// consumers) with blocking pop and a configurable overflow policy.
+///
+/// The queue never holds more than `capacity` items; `serve.queue_depth`
+/// gauges the depth after every push.
+pub struct IngestQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    nonempty: Condvar,
+    nonfull: Condvar,
+}
+
+impl<T> IngestQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "IngestQueue: capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                closed: false,
+                dropped: 0,
+            }),
+            capacity,
+            policy,
+            nonempty: Condvar::new(),
+            nonfull: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of buffered items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues one item, applying the overflow policy when full. Returns
+    /// `false` (and discards the item) if the queue is closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        while inner.buf.len() >= self.capacity && !inner.closed {
+            match self.policy {
+                OverflowPolicy::Block => {
+                    inner = self.nonfull.wait(inner).expect("queue poisoned");
+                }
+                OverflowPolicy::DropOldest => {
+                    inner.buf.pop_front();
+                    inner.dropped += 1;
+                    telemetry::counter("serve.queue.dropped", 1);
+                }
+            }
+        }
+        if inner.closed {
+            return false;
+        }
+        inner.buf.push_back(item);
+        telemetry::gauge("serve.queue_depth", inner.buf.len() as f64);
+        drop(inner);
+        self.nonempty.notify_one();
+        true
+    }
+
+    /// Dequeues the oldest item, blocking until one arrives. Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.buf.pop_front() {
+                telemetry::gauge("serve.queue_depth", inner.buf.len() as f64);
+                drop(inner);
+                self.nonfull.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let item = inner.buf.pop_front();
+        if item.is_some() {
+            telemetry::gauge("serve.queue_depth", inner.buf.len() as f64);
+            drop(inner);
+            self.nonfull.notify_one();
+        }
+        item
+    }
+
+    /// Current number of buffered items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").buf.len()
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many items the `DropOldest` policy evicted.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("queue poisoned").dropped
+    }
+
+    /// Closes the queue: producers are rejected, blocked producers and
+    /// consumers wake, consumers drain what remains.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.nonempty.notify_all();
+        self.nonfull.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = IngestQueue::new(4, OverflowPolicy::Block);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn drop_oldest_bounds_depth_and_counts() {
+        let q = IngestQueue::new(3, OverflowPolicy::DropOldest);
+        for v in 0..10 {
+            q.push(v);
+            assert!(q.len() <= 3, "queue exceeded its bound");
+        }
+        assert_eq!(q.dropped(), 7);
+        // The newest three survive.
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), Some(8));
+        assert_eq!(q.pop(), Some(9));
+    }
+
+    #[test]
+    fn block_policy_waits_for_consumer() {
+        let q = Arc::new(IngestQueue::new(2, OverflowPolicy::Block));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for v in 0..20 {
+                    assert!(q.push(v));
+                    assert!(q.len() <= 2, "queue exceeded its bound");
+                }
+                q.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn close_unblocks_consumer() {
+        let q = Arc::new(IngestQueue::new(2, OverflowPolicy::Block));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+        assert!(!q.push(1), "closed queue must reject producers");
+    }
+}

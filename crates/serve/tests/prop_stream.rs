@@ -1,0 +1,137 @@
+//! Property tests for the online pipeline's arrival-order contract:
+//!
+//! * any arrival order whose event-time inversions stay within the
+//!   lateness bound seals identical windows and produces bit-identical
+//!   estimates, scores, and alerts;
+//! * arbitrary shuffles never lose a trace silently — every trace is
+//!   either sealed into a window or counted in `late_dropped`.
+
+mod common;
+
+use std::sync::OnceLock;
+
+use common::{assert_outputs_bitwise_equal, stream_of, trained, WINDOW_SECS};
+use deeprest_core::DeepRest;
+use deeprest_metrics::MetricsRegistry;
+use deeprest_serve::{Pipeline, ServeConfig, WindowOutput};
+use deeprest_trace::window::{TimestampedTrace, WindowedTraces};
+use deeprest_trace::Interner;
+use proptest::prelude::*;
+
+const LATENESS: f64 = 2.0;
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::default()
+        .with_window_secs(WINDOW_SECS)
+        .with_lateness_secs(LATENESS)
+}
+
+/// Training is by far the dominant cost, so every property case shares one
+/// model (proptest cases run sequentially in one process).
+fn shared() -> &'static (DeepRest, Interner, WindowedTraces, MetricsRegistry) {
+    static SHARED: OnceLock<(DeepRest, Interner, WindowedTraces, MetricsRegistry)> =
+        OnceLock::new();
+    SHARED.get_or_init(|| trained(40))
+}
+
+/// Tiny deterministic generator (splitmix64) so properties can derive
+/// per-trace jitter and shuffles from a single proptest-provided seed.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+fn run(stream: &[TimestampedTrace], config: ServeConfig) -> (Vec<WindowOutput>, u64) {
+    let (model, interner, _, metrics) = shared();
+    let mut pipeline = Pipeline::new(model, interner, config).with_observations(metrics.clone());
+    let mut outputs = Vec::new();
+    for t in stream {
+        outputs.extend(pipeline.ingest(t.clone()));
+    }
+    outputs.extend(pipeline.flush());
+    (outputs, pipeline.late_dropped())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reorderings bounded by half the lateness budget: if arrivals are
+    /// sorted by `at + jitter` with `jitter in [0, L/2)`, then whenever a
+    /// trace arrives the watermark trails its event time, so nothing is
+    /// dropped and the sealed windows — hence every downstream bit — match
+    /// the in-order run.
+    #[test]
+    fn bounded_reorderings_are_bit_identical(seed in any::<u64>()) {
+        let (_, _, traces, _) = shared();
+        let in_order = stream_of(traces);
+        let config = serve_config();
+
+        let mut rng = SplitMix(seed);
+        let mut keyed: Vec<(f64, TimestampedTrace)> = in_order
+            .iter()
+            .map(|t| (t.at_secs + rng.next_f64() * (LATENESS / 2.0), t.clone()))
+            .collect();
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+        let reordered: Vec<TimestampedTrace> = keyed.into_iter().map(|(_, t)| t).collect();
+
+        let (expected, _) = run(&in_order, config);
+        let (outputs, late) = run(&reordered, config);
+        prop_assert_eq!(late, 0, "bounded reorderings must drop nothing");
+        assert_outputs_bitwise_equal(&outputs, &expected);
+    }
+
+    /// Arbitrary shuffles (arbitrarily late arrivals included): traces are
+    /// never silently lost — sealed trace counts plus the late-drop counter
+    /// always account for every arrival.
+    #[test]
+    fn arbitrary_shuffles_conserve_traces(seed in any::<u64>()) {
+        let (_, _, traces, _) = shared();
+        let mut stream = stream_of(traces);
+        let mut rng = SplitMix(seed ^ 0xabcd);
+        // Fisher–Yates.
+        for i in (1..stream.len()).rev() {
+            stream.swap(i, rng.next_below(i + 1));
+        }
+
+        let (outputs, late) = run(&stream, serve_config());
+        let sealed: usize = outputs.iter().map(|o| o.trace_count).sum();
+        prop_assert_eq!(sealed as u64 + late, stream.len() as u64);
+    }
+}
+
+/// A trace behind the watermark by more than the lateness bound is counted
+/// in `late_dropped`, and the sealed outputs equal the stream with that
+/// trace removed.
+#[test]
+fn beyond_bound_arrival_is_counted_and_excluded() {
+    let (_, _, traces, _) = shared();
+    let in_order = stream_of(traces);
+    let config = serve_config();
+
+    // Move the very first trace (event time ~0.1) to the end of the
+    // arrival order: by then the watermark is tens of windows past it.
+    let mut reordered = in_order.clone();
+    let straggler = reordered.remove(0);
+    reordered.push(straggler);
+
+    let (expected, _) = run(&reordered[..reordered.len() - 1], config);
+    let (outputs, late) = run(&reordered, config);
+    assert_eq!(late, 1, "the straggler must be counted, not lost");
+    assert_outputs_bitwise_equal(&outputs, &expected);
+}

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::window::TimestampedTrace;
 use crate::{Interner, SpanNode, Sym, Trace};
 
 /// Top-level Jaeger API response shape.
@@ -203,6 +204,26 @@ fn flatten(
 /// Returns an [`ImportError`] on malformed JSON, dangling references, or
 /// rootless traces.
 pub fn import(json: &str, interner: &mut Interner) -> Result<Vec<Trace>, ImportError> {
+    Ok(import_timestamped(json, interner)?
+        .into_iter()
+        .map(|t| t.trace)
+        .collect())
+}
+
+/// Like [`import`], but keeps each trace's arrival time: the earliest
+/// `startTime` (microseconds) across the trace's spans, converted to
+/// seconds. Documents without timestamps (all zeros, as [`export`]
+/// produces) import with `at_secs` 0.0 — callers replaying such fixtures
+/// can synthesize a schedule afterwards.
+///
+/// # Errors
+///
+/// Returns an [`ImportError`] on malformed JSON, dangling references, or
+/// rootless traces.
+pub fn import_timestamped(
+    json: &str,
+    interner: &mut Interner,
+) -> Result<Vec<TimestampedTrace>, ImportError> {
     let doc: JaegerDoc = serde_json::from_str(json).map_err(ImportError::Json)?;
     let mut out = Vec::with_capacity(doc.data.len());
     for jt in doc.data {
@@ -252,7 +273,11 @@ pub fn import(json: &str, interner: &mut Interner) -> Result<Vec<Trace>, ImportE
             .first()
             .ok_or_else(|| ImportError::NoRoot(jt.trace_id.clone()))?;
         let tree = build(real_root, &children, &jt, interner)?;
-        out.push(Trace::new(api, tree));
+        let start_micros = jt.spans.iter().map(|s| s.start_time).min().unwrap_or(0);
+        out.push(TimestampedTrace {
+            at_secs: start_micros as f64 / 1e6,
+            trace: Trace::new(api, tree),
+        });
     }
     Ok(out)
 }
@@ -357,6 +382,29 @@ mod tests {
         assert_eq!(traces.len(), 1);
         assert_eq!(traces[0].span_count(), 2);
         assert_eq!(i.resolve(traces[0].api), "readTimeline");
+    }
+
+    #[test]
+    fn import_timestamped_reads_earliest_start_time() {
+        let json = r#"{"data":[{"traceID":"abc","spans":[
+            {"traceID":"abc","spanID":"1","operationName":"readTimeline","processID":"p1",
+             "startTime":2500000},
+            {"traceID":"abc","spanID":"2","operationName":"find","processID":"p2",
+             "startTime":2400000,
+             "references":[{"refType":"CHILD_OF","spanID":"1"}]}
+        ],"processes":{
+            "p1":{"serviceName":"Frontend"},
+            "p2":{"serviceName":"Mongo"}
+        }}]}"#;
+        let mut i = Interner::new();
+        let traces = import_timestamped(json, &mut i).expect("valid");
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].at_secs, 2.4);
+        assert_eq!(traces[0].trace.span_count(), 2);
+        // Exported documents carry zero timestamps and import at 0.0.
+        let json = export(&[traces[0].trace.clone()], &i);
+        let back = import_timestamped(&json, &mut Interner::new()).expect("valid");
+        assert_eq!(back[0].at_secs, 0.0);
     }
 
     #[test]

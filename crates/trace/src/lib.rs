@@ -16,6 +16,10 @@
 //!   required by the paper's privacy-preserving design principle (§3).
 //! * [`window`] — partitioning of timestamped traces into the fixed scrape
 //!   windows resource metrics are aggregated over (§4.1).
+//! * [`stream`] — watermark-based streaming window assembly for the online
+//!   serving path: out-of-order arrivals are buffered until the event-time
+//!   watermark passes a window's end, then sealed bit-identically to the
+//!   batch partition.
 //! * [`jaeger`] — import/export of Jaeger-API-shaped JSON, the ingestion
 //!   path for traces dumped from a real tracing deployment.
 
@@ -26,6 +30,7 @@ pub mod hashing;
 mod interner;
 pub mod jaeger;
 mod span;
+pub mod stream;
 mod topology;
 pub mod window;
 

@@ -13,6 +13,8 @@
 //!   substitute) with the Social Network and Hotel Reservation apps.
 //! * [`core`] — DeepRest itself: feature extraction, trace synthesis, the
 //!   API-aware deep resource estimator, sanity checks, interpretation.
+//! * [`serve`] — online serving: streaming window assembly, incremental
+//!   inference, live sanity alerts, checkpoint/restore.
 //! * [`baselines`] — resource-aware DL, simple scaling, component-aware
 //!   scaling comparison estimators.
 //!
@@ -24,6 +26,7 @@ pub use deeprest_baselines as baselines;
 pub use deeprest_core as core;
 pub use deeprest_metrics as metrics;
 pub use deeprest_nn as nn;
+pub use deeprest_serve as serve;
 pub use deeprest_sim as sim;
 pub use deeprest_tensor as tensor;
 pub use deeprest_trace as trace;
