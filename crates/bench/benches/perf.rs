@@ -2,8 +2,11 @@
 //! discussion: feature extraction, trace synthesis, expert training and
 //! inference cost, and the autodiff primitives underneath.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use deeprest_core::{DeepRest, DeepRestConfig, FeatureSpace, TraceSynthesizer};
+use deeprest_fault::{self as fault, FaultPlan};
 use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
 use deeprest_nn::GruCell;
 use deeprest_tensor::{linalg, Graph, ParamStore, Tensor};
@@ -200,6 +203,18 @@ fn bench_streaming_step(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("window_step", dim), &dim, |b, _| {
             let mut predictor = model.stream_predictor();
             b.iter(|| predictor.step(&x));
+        });
+        // The same step with a fault plan installed, armed on a site the
+        // step never probes: every probe on the path takes the slow
+        // armed() lookup without firing — the worst case a fault-enabled
+        // run pays. With no plan installed (the `window_step` case above)
+        // each probe is a single relaxed atomic load.
+        group.bench_with_input(BenchmarkId::new("window_step_faulty", dim), &dim, |b, _| {
+            let plan = Arc::new(FaultPlan::new(11).once("bench.unreached", 0));
+            fault::with_plan(plan, || {
+                let mut predictor = model.stream_predictor();
+                b.iter(|| predictor.step(&x));
+            });
         });
     }
     group.finish();

@@ -35,7 +35,8 @@ use std::sync::Arc;
 use deeprest_core::{DeepRest, DeepRestConfig};
 use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
 use deeprest_serve::{
-    batch_reference, replay, IngestQueue, OverflowPolicy, Pipeline, ServeConfig, WindowOutput,
+    batch_reference, replay, CheckpointStore, IngestQueue, OverflowPolicy, Pipeline, ServeConfig,
+    WindowOutput,
 };
 use deeprest_sim::anomaly::CryptojackingAttack;
 use deeprest_sim::apps;
@@ -187,12 +188,12 @@ fn main() {
 
     let mut outputs: Vec<WindowOutput> = Vec::new();
     while let Some(t) = queue.pop() {
-        for out in pipeline.ingest(t) {
+        for out in pipeline.ingest(t).expect("serving step failed") {
             print_window(&pipeline, &out, args.quiet);
             outputs.push(out);
         }
     }
-    for out in pipeline.flush() {
+    for out in pipeline.flush().expect("serving flush failed") {
         print_window(&pipeline, &out, args.quiet);
         outputs.push(out);
     }
@@ -208,10 +209,15 @@ fn main() {
         alert_total
     );
 
-    if let Some(path) = &args.checkpoint {
-        let json = pipeline.checkpoint().to_json().expect("serializable");
-        std::fs::write(path, json).expect("write checkpoint");
-        println!("serve: checkpoint written to {path}");
+    if let Some(dir) = &args.checkpoint {
+        let store = CheckpointStore::new(dir);
+        store
+            .save(&pipeline.checkpoint())
+            .expect("write checkpoint");
+        println!(
+            "serve: checkpoint written to {}",
+            store.latest_path().display()
+        );
     }
 
     if args.assert_batch {

@@ -17,6 +17,7 @@
 //! operations — and therefore the output bits — are identical to the
 //! batch path for the same window features.
 
+use deeprest_fault as fault;
 use deeprest_telemetry as telemetry;
 use deeprest_tensor::{Graph, Tensor, Var};
 use deeprest_trace::{Interner, Trace};
@@ -141,6 +142,11 @@ impl<'m> StreamPredictor<'m> {
             }
         }
 
+        // Fault probe: `stream.step` panics mid-step, after the hidden
+        // state may already have been mutated — callers that survive it
+        // must roll back to a pre-step snapshot (serve's step_healed does).
+        fault::maybe_panic("stream.step");
+
         self.x_buf.data_mut().copy_from_slice(x);
         let g = &mut self.graph;
         g.reset();
@@ -226,12 +232,43 @@ impl<'m> StreamPredictor<'m> {
         for (e, hv) in h.iter().enumerate() {
             self.hidden[e].copy_from(self.graph.value(*hv));
         }
+        // Fault probe: `stream.hidden` poisons the carried state of one
+        // expert (payload = expert index) or all experts, modeling a
+        // numeric blow-up that persists across windows.
+        if let Some(payload) = fault::armed("stream.hidden") {
+            for (e, h) in self.hidden.iter_mut().enumerate() {
+                if payload == fault::PAYLOAD_ALL || payload == e as u64 {
+                    h.data_mut().fill(f32::NAN);
+                }
+            }
+        }
         if telemetry::enabled() {
             telemetry::counter("stream.steps", 1);
             telemetry::gauge("stream.step.tape_nodes", self.graph.len() as f64);
         }
         self.position += 1;
         out
+    }
+
+    /// Whether every carried hidden value is finite. A `false` here means
+    /// the predictor's state is poisoned: every future step would emit
+    /// NaN, so callers should restore from a known-good snapshot rather
+    /// than keep stepping.
+    pub fn hidden_is_finite(&self) -> bool {
+        self.hidden
+            .iter()
+            .all(|t| t.data().iter().all(|v| v.is_finite()))
+    }
+
+    /// Indices of experts whose carried hidden state contains non-finite
+    /// values (empty when [`hidden_is_finite`](Self::hidden_is_finite)).
+    pub fn hidden_nonfinite_experts(&self) -> Vec<usize> {
+        self.hidden
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.data().iter().any(|v| !v.is_finite()))
+            .map(|(e, _)| e)
+            .collect()
     }
 
     /// Captures the carried state for crash recovery; feed to

@@ -1,5 +1,6 @@
 //! First-order optimizers over a [`ParamStore`].
 
+use deeprest_fault as fault;
 use deeprest_telemetry as telemetry;
 use deeprest_tensor::{ParamStore, Pool, Tensor};
 
@@ -11,6 +12,34 @@ fn record_step(store: &ParamStore) {
         telemetry::counter("optim.steps", 1);
         telemetry::gauge("optim.grad_norm", f64::from(store.grad_norm()));
     }
+}
+
+/// Drops non-finite gradients before they can poison parameter state.
+///
+/// A NaN/Inf gradient — whether from a numeric blow-up or an injected
+/// `optim.grad` fault — would propagate into every subsequent update of
+/// that tensor (and, through momentum or Adam moments, persist forever).
+/// The guard works at per-tensor granularity: any tensor containing a
+/// non-finite element is zeroed for this step, which makes the update a
+/// no-op for plain SGD and a pure decay for momentum/Adam state, both of
+/// which stay finite. Healthy gradients are untouched, so fault-free
+/// training remains bit-identical. Returns the number of zeroed tensors
+/// (also published as the `optim.skipped_nonfinite` telemetry counter).
+fn sanitize_grads(store: &mut ParamStore) -> u64 {
+    let ids: Vec<_> = store.ids().collect();
+    let mut skipped = 0u64;
+    for id in ids {
+        let grad = store.grad_mut(id);
+        fault::poison_f32s("optim.grad", grad.data_mut());
+        if grad.data().iter().any(|g| !g.is_finite()) {
+            grad.fill_zero();
+            skipped += 1;
+        }
+    }
+    if skipped > 0 {
+        telemetry::counter("optim.skipped_nonfinite", skipped);
+    }
+    skipped
 }
 
 /// Stochastic gradient descent with optional classical momentum.
@@ -48,6 +77,7 @@ impl Sgd {
     /// result is bit-identical to the serial [`Sgd::step`] at any width.
     pub fn step_with(&mut self, store: &mut ParamStore, pool: &Pool) {
         self.ensure_state(store);
+        sanitize_grads(store);
         record_step(store);
         let lr = self.lr;
         if self.momentum > 0.0 {
@@ -114,6 +144,7 @@ impl Adam {
     /// the result is bit-identical to the serial path at any width.
     pub fn step_with(&mut self, store: &mut ParamStore, pool: &Pool) {
         self.ensure_state(store);
+        sanitize_grads(store);
         record_step(store);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t);
@@ -229,6 +260,51 @@ mod tests {
                 assert_eq!(serial.value(id).data(), parallel.value(id).data());
             }
         }
+    }
+
+    #[test]
+    fn non_finite_gradient_tensor_is_skipped_not_applied() {
+        let mut store = ParamStore::new();
+        let healthy = store.add("healthy", Tensor::scalar(1.0));
+        let poisoned = store.add("poisoned", Tensor::scalar(1.0));
+        *store.grad_mut(healthy) = Tensor::scalar(0.5);
+        *store.grad_mut(poisoned) = Tensor::scalar(f32::NAN);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut store);
+        assert_eq!(store.value(healthy).data()[0], 1.0 - 0.1 * 0.5);
+        assert_eq!(
+            store.value(poisoned).data()[0],
+            1.0,
+            "NaN gradient must leave the parameter untouched"
+        );
+
+        // Same guard protects Adam's moment state.
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::scalar(2.0));
+        *store.grad_mut(p) = Tensor::scalar(f32::INFINITY);
+        let mut opt = Adam::new(0.05);
+        opt.step(&mut store);
+        assert!(store.value(p).data()[0].is_finite());
+        assert_eq!(store.value(p).data()[0], 2.0);
+    }
+
+    #[test]
+    fn injected_gradient_poison_is_contained() {
+        let plan = std::sync::Arc::new(
+            deeprest_fault::FaultPlan::new(0)
+                .always("optim.grad")
+                .payload(0),
+        );
+        deeprest_fault::with_plan(plan, || {
+            let mut store = ParamStore::new();
+            let p = store.add("p", Tensor::scalar(1.0));
+            *store.grad_mut(p) = Tensor::scalar(0.5);
+            let mut opt = Sgd::new(0.1, 0.0);
+            opt.step(&mut store);
+            // The injected NaN zeroed the whole tensor: parameter unchanged,
+            // still finite.
+            assert_eq!(store.value(p).data()[0], 1.0);
+        });
     }
 
     #[test]

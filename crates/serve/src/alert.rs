@@ -1,10 +1,39 @@
 //! Structured sanity alerts and pluggable delivery sinks.
 
 use std::io::Write;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use deeprest_metrics::ResourceKind;
 use serde::{Deserialize, Serialize};
+
+/// An alert could not be delivered to a sink.
+///
+/// Delivery failures are *degradation*, not pipeline failure: the
+/// pipeline retries with capped exponential backoff inside a time budget
+/// (see `ServeConfig`), then counts the loss on `serve.sink.dropped` and
+/// keeps serving — estimates and scores are unaffected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SinkError {
+    /// What went wrong (I/O error text, injected-fault marker, ...).
+    pub message: String,
+}
+
+impl SinkError {
+    /// Creates a sink error from any message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "alert delivery failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for SinkError {}
 
 /// One live sanity alert: a resource whose observed consumption fell
 /// outside the model's δ-confidence interval for long enough to count as
@@ -57,10 +86,17 @@ impl std::fmt::Display for Alert {
 
 /// Where the pipeline delivers alerts. Implementations must tolerate being
 /// called once per anomalous `(window, resource)` — events spanning many
-/// windows fire one alert per window while they last.
+/// windows fire one alert per window while they last. A returned
+/// [`SinkError`] asks the pipeline to retry (with backoff, inside its
+/// delivery budget); implementations should not retry internally.
 pub trait AlertSink {
     /// Delivers one alert.
-    fn emit(&mut self, alert: &Alert);
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SinkError`] when this delivery attempt failed and the
+    /// pipeline may retry it.
+    fn emit(&mut self, alert: &Alert) -> Result<(), SinkError>;
 }
 
 /// Collects alerts in memory behind a shared handle — keep a clone to
@@ -76,19 +112,26 @@ impl CollectSink {
         Self::default()
     }
 
+    /// Locks the alert buffer, recovering from a poisoned lock (pushing a
+    /// clone never leaves the Vec inconsistent, so the contents survive a
+    /// panicking holder).
+    fn lock(&self) -> MutexGuard<'_, Vec<Alert>> {
+        self.alerts.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A copy of every alert emitted so far.
     pub fn snapshot(&self) -> Vec<Alert> {
-        self.alerts.lock().expect("sink poisoned").clone()
+        self.lock().clone()
     }
 
     /// Removes and returns every alert emitted so far.
     pub fn take(&self) -> Vec<Alert> {
-        std::mem::take(&mut *self.alerts.lock().expect("sink poisoned"))
+        std::mem::take(&mut *self.lock())
     }
 
     /// Number of alerts emitted so far.
     pub fn len(&self) -> usize {
-        self.alerts.lock().expect("sink poisoned").len()
+        self.lock().len()
     }
 
     /// Returns `true` when no alert has been emitted.
@@ -98,11 +141,9 @@ impl CollectSink {
 }
 
 impl AlertSink for CollectSink {
-    fn emit(&mut self, alert: &Alert) {
-        self.alerts
-            .lock()
-            .expect("sink poisoned")
-            .push(alert.clone());
+    fn emit(&mut self, alert: &Alert) -> Result<(), SinkError> {
+        self.lock().push(alert.clone());
+        Ok(())
     }
 }
 
@@ -120,10 +161,11 @@ impl<W: Write> JsonLineSink<W> {
 }
 
 impl<W: Write> AlertSink for JsonLineSink<W> {
-    fn emit(&mut self, alert: &Alert) {
-        if let Ok(line) = serde_json::to_string(alert) {
-            let _ = writeln!(self.out, "{line}");
-        }
+    fn emit(&mut self, alert: &Alert) -> Result<(), SinkError> {
+        let line = serde_json::to_string(alert)
+            .map_err(|e| SinkError::new(format!("serialize alert: {e}")))?;
+        writeln!(self.out, "{line}").map_err(|e| SinkError::new(format!("write alert: {e}")))?;
+        Ok(())
     }
 }
 
@@ -155,17 +197,50 @@ mod tests {
     fn collect_sink_accumulates() {
         let sink = CollectSink::new();
         let mut handle = sink.clone();
-        handle.emit(&sample());
-        handle.emit(&sample());
+        handle.emit(&sample()).unwrap();
+        handle.emit(&sample()).unwrap();
         assert_eq!(sink.len(), 2);
         assert_eq!(sink.take().len(), 2);
         assert!(sink.is_empty());
     }
 
     #[test]
+    fn json_line_sink_surfaces_write_errors() {
+        struct BrokenPipe;
+        impl Write for BrokenPipe {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = JsonLineSink::new(BrokenPipe)
+            .emit(&sample())
+            .expect_err("broken writer must surface a SinkError");
+        assert!(err.message.contains("write alert"), "{err}");
+    }
+
+    #[test]
+    fn collect_sink_survives_poisoned_lock() {
+        let sink = CollectSink::new();
+        sink.clone().emit(&sample()).unwrap();
+        let arm = sink.clone();
+        let poisoner = std::thread::spawn(move || {
+            let _guard = arm.alerts.lock().unwrap();
+            panic!("injected poison");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(sink.alerts.is_poisoned());
+        assert_eq!(sink.len(), 1, "contents survive the poisoned lock");
+        sink.clone().emit(&sample()).unwrap();
+        assert_eq!(sink.take().len(), 2);
+    }
+
+    #[test]
     fn json_line_sink_round_trips() {
         let mut buf = Vec::new();
-        JsonLineSink::new(&mut buf).emit(&sample());
+        JsonLineSink::new(&mut buf).emit(&sample()).unwrap();
         let line = String::from_utf8(buf).unwrap();
         let back: Alert = serde_json::from_str(line.trim()).unwrap();
         assert_eq!(back, sample());

@@ -24,6 +24,25 @@ pub struct ServeConfig {
     /// contributing in an [`crate::Alert`] (see
     /// [`deeprest_core::interpret::ApiAttribution::influential`]).
     pub api_threshold: f64,
+    /// How many times a failed inference step (contained panic or
+    /// transient state poison) is retried from the pre-step snapshot
+    /// before the window is parked and a typed error returned.
+    #[serde(default)]
+    pub step_retries: u32,
+    /// How many delivery attempts each alert gets per sink (first try
+    /// included) before the alert is counted dropped for that sink;
+    /// values below 1 behave as 1.
+    #[serde(default)]
+    pub sink_attempts: u32,
+    /// Base backoff between sink delivery attempts, in milliseconds;
+    /// doubles per attempt, capped at [`ServeConfig::sink_timeout_ms`].
+    #[serde(default)]
+    pub sink_backoff_ms: u64,
+    /// Total wall-clock budget for delivering one alert to one sink
+    /// (attempts plus backoffs), in milliseconds. A sink that stalls past
+    /// this budget loses the alert (counted), never the window.
+    #[serde(default)]
+    pub sink_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -35,6 +54,10 @@ impl Default for ServeConfig {
             overflow: OverflowPolicy::Block,
             sanity: SanityConfig::default(),
             api_threshold: 0.25,
+            step_retries: 1,
+            sink_attempts: 3,
+            sink_backoff_ms: 1,
+            sink_timeout_ms: 250,
         }
     }
 }

@@ -18,10 +18,26 @@
 //!   δ-interval sanity score.
 //! * [`Alert`] / [`AlertSink`] — structured live alerts (component,
 //!   resource, window, score, contributing APIs) with pluggable delivery.
-//! * [`Checkpoint`] — JSON checkpoint/restore of the full streaming state
-//!   for crash recovery.
+//! * [`Checkpoint`] / [`CheckpointStore`] — checkpoint/restore of the full
+//!   streaming state for crash recovery, framed with a version header and
+//!   CRC32 and written atomically (temp file + rename) with latest/prev
+//!   rotation, so a crash mid-write is a typed [`CheckpointError`] and a
+//!   one-checkpoint fallback, never garbage state.
+//! * [`ServeError`] — the typed failure surface of the pipeline: ingest
+//!   faults (arrival retryable), parked-window step failures, poisoned
+//!   predictor state, checkpoint defects.
 //! * [`replay`] — loading recorded Jaeger documents/JSONL as arrival
 //!   streams.
+//!
+//! The pipeline is *self-healing*: contained step panics and transient
+//! numeric poison roll back to the pre-step snapshot and retry
+//! bit-identically, persistently failing windows are parked and resumed in
+//! order once the fault clears, non-finite outputs quarantine single
+//! experts while the rest keep serving, and sink failures degrade (retry
+//! with capped backoff, then a counted drop) without ever failing a
+//! window. The `chaos_replay` integration test drives the golden replay
+//! fixture under every injected fault class (`deeprest-fault` crate) and
+//! asserts bit-identical recovery or a typed error — never a panic.
 //!
 //! The hard correctness contract: for the same sealed windows, streaming
 //! estimates are **bit-identical** to the batch
@@ -32,15 +48,22 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must fail with typed errors, not unwrap-panics; the few
+// justified sites carry a scoped allow with the invariant spelled out.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod alert;
+pub mod checkpoint;
 mod config;
+mod error;
 mod pipeline;
 pub mod queue;
 pub mod replay;
 pub mod sanity;
 
-pub use alert::{Alert, AlertSink, CollectSink, JsonLineSink};
+pub use alert::{Alert, AlertSink, CollectSink, JsonLineSink, SinkError};
+pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use config::ServeConfig;
+pub use error::ServeError;
 pub use pipeline::{batch_reference, Checkpoint, ObservationSource, Pipeline, WindowOutput};
 pub use queue::{IngestQueue, OverflowPolicy};

@@ -1,8 +1,40 @@
 //! The online estimation pipeline: watermark windowing → incremental
 //! inference → causal sanity alerts, with JSON checkpoint/restore.
+//!
+//! # Self-healing
+//!
+//! The pipeline treats its own failures the way it treats anomalies: detect,
+//! contain, keep serving. Each sealed window is processed against a pre-step
+//! snapshot of the predictor state (the in-process last-known-good):
+//!
+//! * a **contained panic** in the inference step (a poisoned kernel job, an
+//!   injected `pool.worker` fault) rolls the predictor back to the snapshot
+//!   and retries; because [`StreamPredictor::step`] is pure given (state,
+//!   features), a retry after a transient fault is bit-identical to a run
+//!   that never faulted;
+//! * **non-finite hidden state** after a step (persistent numeric poison)
+//!   also rolls back; when retries are exhausted the sealed window is
+//!   *parked* — kept in the pipeline — and a typed
+//!   [`ServeError::PoisonedState`] is returned. Once the fault clears, the
+//!   next ingest drains the parked windows in order, bit-identically;
+//! * **non-finite outputs with finite hidden state** quarantine just the
+//!   affected (component, resource) expert: its estimate reads `NaN` and it
+//!   is excluded from sanity scoring for that window (feeding `NaN` into the
+//!   scorer would poison its running scale), while every other expert keeps
+//!   serving untouched;
+//! * **sink failures** are degradation, not pipeline failure: delivery is
+//!   retried with capped exponential backoff inside a wall-clock budget,
+//!   then the alert is counted dropped (`serve.sink.dropped`) and serving
+//!   continues. Estimates and scores never depend on sink health.
+//!
+//! Outputs are never lost to an error return: windows processed before a
+//! failure stay buffered and are handed back on the next successful call.
+
+use std::panic::AssertUnwindSafe;
 
 use deeprest_core::stream::{PointEstimate, StreamPredictor, StreamSnapshot};
 use deeprest_core::{interpret, DeepRest, ExpertKey};
+use deeprest_fault as fault;
 use deeprest_metrics::MetricsRegistry;
 use deeprest_telemetry as telemetry;
 use deeprest_trace::stream::{SealedWindow, WindowAssembler};
@@ -10,7 +42,8 @@ use deeprest_trace::window::{TimestampedTrace, WindowedTraces};
 use deeprest_trace::Interner;
 use serde::{Deserialize, Serialize};
 
-use crate::alert::{Alert, AlertSink};
+use crate::alert::{Alert, AlertSink, SinkError};
+use crate::error::ServeError;
 use crate::sanity::{OnlineSanity, SanityState};
 use crate::ServeConfig;
 
@@ -59,6 +92,14 @@ pub struct Checkpoint {
     pub predictor: StreamSnapshot,
     /// Causal sanity-scoring state.
     pub sanity: SanityState,
+    /// Sealed windows parked by a step failure, oldest first (empty in a
+    /// healthy pipeline). Absent in pre-hardening checkpoints.
+    #[serde(default)]
+    pub pending: Vec<SealedWindow>,
+    /// Outputs produced but not yet handed to the caller (an error return
+    /// intervened). Absent in pre-hardening checkpoints.
+    #[serde(default)]
+    pub ready: Vec<WindowOutput>,
 }
 
 impl Checkpoint {
@@ -104,6 +145,14 @@ pub struct Pipeline<'m> {
     observations: Option<Box<dyn ObservationSource>>,
     sinks: Vec<Box<dyn AlertSink>>,
     config: ServeConfig,
+    /// Sealed windows awaiting (re-)processing, oldest first. Non-empty
+    /// only while a step failure parks windows.
+    pending: Vec<SealedWindow>,
+    /// Outputs produced but not yet returned to the caller.
+    ready: Vec<WindowOutput>,
+    /// Experts currently quarantined for non-finite outputs; cleared
+    /// automatically when an expert's outputs are finite again.
+    quarantined: Vec<bool>,
 }
 
 impl<'m> Pipeline<'m> {
@@ -121,12 +170,15 @@ impl<'m> Pipeline<'m> {
                 .map(|k| model.expert_is_delta(k).unwrap_or(false))
                 .collect(),
             contributing: contributing_apis(model, &keys, config.api_threshold),
+            quarantined: vec![false; keys.len()],
             keys,
             model,
             source: source.clone(),
             observations: None,
             sinks: Vec::new(),
             config,
+            pending: Vec::new(),
+            ready: Vec::new(),
         }
     }
 
@@ -163,8 +215,24 @@ impl<'m> Pipeline<'m> {
     }
 
     /// Feeds one arrival; returns the outputs of every window the
-    /// advancing watermark sealed (often none, sometimes several).
-    pub fn ingest(&mut self, t: TimestampedTrace) -> Vec<WindowOutput> {
+    /// advancing watermark sealed (often none, sometimes several),
+    /// including any outputs buffered by an earlier error return.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Ingest`] means the arrival was **not** consumed and
+    /// may be retried verbatim. Step errors
+    /// ([`ServeError::Step`]/[`ServeError::PoisonedState`]) mean the
+    /// arrival *was* consumed: the failing sealed window is parked and
+    /// retried on the next call, so no window is lost or reordered.
+    pub fn ingest(&mut self, t: TimestampedTrace) -> Result<Vec<WindowOutput>, ServeError> {
+        // Fault probe: `serve.ingest` fails the arrival before any state
+        // changes, so the caller can retry it verbatim.
+        if fault::fail_point("serve.ingest") {
+            return Err(ServeError::Ingest(
+                "deeprest-fault: injected ingest failure".to_owned(),
+            ));
+        }
         if telemetry::enabled() {
             telemetry::counter("serve.ingest.spans", t.trace.span_count() as u64);
         }
@@ -174,28 +242,148 @@ impl<'m> Pipeline<'m> {
         if late > 0 && telemetry::enabled() {
             telemetry::counter("serve.late_dropped", late);
         }
-        sealed.iter().map(|w| self.process_window(w)).collect()
+        self.pending.extend(sealed);
+        self.drain_pending()?;
+        Ok(std::mem::take(&mut self.ready))
     }
 
     /// Seals and processes everything still buffered (end of stream).
-    pub fn flush(&mut self) -> Vec<WindowOutput> {
+    ///
+    /// # Errors
+    ///
+    /// Same step-error semantics as [`ingest`](Self::ingest): the failing
+    /// window stays parked and is retried on the next call.
+    pub fn flush(&mut self) -> Result<Vec<WindowOutput>, ServeError> {
         let sealed = self.assembler.flush();
-        sealed.iter().map(|w| self.process_window(w)).collect()
+        self.pending.extend(sealed);
+        self.drain_pending()?;
+        Ok(std::mem::take(&mut self.ready))
     }
 
-    fn process_window(&mut self, w: &SealedWindow) -> WindowOutput {
+    /// Number of sealed windows parked behind a step failure.
+    pub fn pending_windows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Per-expert quarantine flags (in [`keys`](Self::keys) order): `true`
+    /// while an expert's last outputs were non-finite and it is excluded
+    /// from sanity scoring. Flags clear automatically when outputs are
+    /// finite again.
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Processes parked windows in order; on failure the failing window is
+    /// put back at the front so a later call retries it bit-identically.
+    fn drain_pending(&mut self) -> Result<(), ServeError> {
+        while !self.pending.is_empty() {
+            let w = self.pending.remove(0);
+            match self.process_window(&w) {
+                Ok(out) => self.ready.push(out),
+                Err(err) => {
+                    self.pending.insert(0, w);
+                    return Err(err);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the inference step for one window with panic containment and
+    /// rollback-retry from the pre-step snapshot.
+    fn step_healed(
+        &mut self,
+        w: &SealedWindow,
+        x: &[f32],
+    ) -> Result<Vec<PointEstimate>, ServeError> {
+        // The pre-step snapshot *is* the last-known-good state at window
+        // granularity: `step` is pure given (state, features), so retrying
+        // from it after a transient fault is bit-identical to never having
+        // faulted.
+        let snapshot = self.predictor.snapshot();
+        let mut last_err = None;
+        for attempt in 0..=self.config.step_retries {
+            if attempt > 0 {
+                telemetry::counter("serve.step.retried", 1);
+            }
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| self.predictor.step(x)));
+            match outcome {
+                Ok(estimates) => {
+                    if self.predictor.hidden_is_finite() {
+                        return Ok(estimates);
+                    }
+                    // Persistent numeric poison in the carried state: every
+                    // future step would be garbage. Roll back and retry —
+                    // the poison may have been transient (injected fault,
+                    // cosmic-ray bitflip); if it persists, park the window.
+                    last_err = Some(ServeError::PoisonedState {
+                        window: w.index,
+                        experts: self.predictor.hidden_nonfinite_experts(),
+                    });
+                }
+                Err(payload) => {
+                    last_err = Some(ServeError::Step {
+                        window: w.index,
+                        message: panic_text(payload.as_ref()),
+                    });
+                }
+            }
+            telemetry::counter("serve.step.rolled_back", 1);
+            self.predictor =
+                StreamPredictor::restore(self.model, &snapshot).map_err(ServeError::Restore)?;
+        }
+        Err(last_err.unwrap_or_else(|| ServeError::Step {
+            window: w.index,
+            message: "step failed with no recorded error".to_owned(),
+        }))
+    }
+
+    fn process_window(&mut self, w: &SealedWindow) -> Result<WindowOutput, ServeError> {
         let _span = telemetry::span("serve.predict");
         if telemetry::enabled() {
             telemetry::counter("serve.window.sealed", 1);
         }
         let x = self.model.window_features(&w.traces, &self.source);
-        let estimates = self.predictor.step(&x);
+        let mut estimates = self.step_healed(w, &x)?;
+
+        // Fault probe: `serve.step.output` corrupts the *outputs* of one
+        // expert (payload = expert index) or all, with healthy hidden
+        // state — the case quarantine exists for.
+        if let Some(payload) = fault::armed("serve.step.output") {
+            for (e, est) in estimates.iter_mut().enumerate() {
+                if payload == fault::PAYLOAD_ALL || payload == e as u64 {
+                    *est = PointEstimate {
+                        expected: f64::NAN,
+                        lower: f64::NAN,
+                        upper: f64::NAN,
+                    };
+                }
+            }
+        }
+
+        // Quarantine guard: an expert with non-finite outputs is excluded
+        // from scoring (a NaN observation would permanently poison the
+        // scorer's running scale) but every other expert keeps serving.
+        for (e, est) in estimates.iter().enumerate() {
+            let finite = est.expected.is_finite() && est.lower.is_finite() && est.upper.is_finite();
+            if !finite && !self.quarantined[e] {
+                self.quarantined[e] = true;
+                telemetry::counter("serve.quarantined", 1);
+            } else if finite && self.quarantined[e] {
+                self.quarantined[e] = false;
+                telemetry::counter("serve.quarantine_cleared", 1);
+            }
+        }
 
         let mut scores = Vec::new();
         let mut alerts = Vec::new();
         if let Some(obs) = &mut self.observations {
             scores.reserve(self.keys.len());
             for (e, key) in self.keys.iter().enumerate() {
+                if self.quarantined[e] {
+                    scores.push(f64::NAN);
+                    continue;
+                }
                 let Some(actual) = obs.observe(key, w.index) else {
                     scores.push(f64::NAN);
                     continue;
@@ -214,7 +402,7 @@ impl<'m> Pipeline<'m> {
                         contributing_apis: self.contributing[e].clone(),
                     };
                     for sink in &mut self.sinks {
-                        sink.emit(&alert);
+                        deliver_with_retry(&self.config, sink.as_mut(), &alert);
                     }
                     if telemetry::enabled() {
                         telemetry::counter("serve.alerts", 1);
@@ -223,21 +411,25 @@ impl<'m> Pipeline<'m> {
                 }
             }
         }
-        WindowOutput {
+        Ok(WindowOutput {
             window: w.index,
             trace_count: w.traces.len(),
             estimates,
             scores,
             alerts,
-        }
+        })
     }
 
-    /// Captures the pipeline's full streaming state for crash recovery.
+    /// Captures the pipeline's full streaming state for crash recovery —
+    /// including windows parked by a step failure and outputs not yet
+    /// handed to the caller, so a restore loses nothing.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
             assembler: self.assembler.clone(),
             predictor: self.predictor.snapshot(),
             sanity: self.sanity.state().clone(),
+            pending: self.pending.clone(),
+            ready: self.ready.clone(),
         }
     }
 
@@ -268,12 +460,15 @@ impl<'m> Pipeline<'m> {
                 .map(|k| model.expert_is_delta(k).unwrap_or(false))
                 .collect(),
             contributing: contributing_apis(model, &keys, config.api_threshold),
+            quarantined: vec![false; keys.len()],
             keys,
             model,
             source: source.clone(),
             observations: None,
             sinks: Vec::new(),
             config,
+            pending: checkpoint.pending,
+            ready: checkpoint.ready,
         })
     }
 
@@ -281,6 +476,54 @@ impl<'m> Pipeline<'m> {
     pub fn config(&self) -> &ServeConfig {
         &self.config
     }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Delivers one alert to one sink with capped exponential backoff inside a
+/// wall-clock budget. Delivery failure degrades (counted drop), it never
+/// fails the window: the alert is still returned in [`WindowOutput::alerts`].
+fn deliver_with_retry(config: &ServeConfig, sink: &mut dyn AlertSink, alert: &Alert) {
+    let attempts = config.sink_attempts.max(1);
+    let budget = std::time::Duration::from_millis(config.sink_timeout_ms);
+    let started = std::time::Instant::now();
+    let mut backoff_ms = config.sink_backoff_ms.max(1);
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            if started.elapsed() >= budget {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(
+                backoff_ms.min(config.sink_timeout_ms.max(1)),
+            ));
+            backoff_ms = backoff_ms.saturating_mul(2);
+            telemetry::counter("serve.sink.retry", 1);
+        }
+        // Fault probes: `serve.sink.delay` stalls the sink (payload =
+        // milliseconds), `serve.sink.emit` fails the delivery attempt.
+        fault::delay_point("serve.sink.delay");
+        let attempt_result: Result<(), SinkError> = if fault::fail_point("serve.sink.emit") {
+            Err(SinkError::new("deeprest-fault: injected sink failure"))
+        } else {
+            sink.emit(alert)
+        };
+        if attempt_result.is_ok() {
+            if attempt > 0 {
+                telemetry::counter("serve.sink.recovered", 1);
+            }
+            return;
+        }
+    }
+    telemetry::counter("serve.sink.dropped", 1);
 }
 
 fn contributing_apis(model: &DeepRest, keys: &[ExpertKey], threshold: f64) -> Vec<Vec<String>> {
@@ -333,6 +576,9 @@ pub fn batch_reference(
             let points: Vec<PointEstimate> = keys
                 .iter()
                 .map(|key| {
+                    // Invariant: `estimate_from_traces` returns one series per
+                    // expert key of the same model, so the lookup cannot miss.
+                    #[allow(clippy::expect_used)]
                     let p = estimates.get(key).expect("expert series");
                     PointEstimate {
                         expected: p.expected.get(w.index),

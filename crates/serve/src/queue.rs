@@ -8,7 +8,7 @@
 //! buffered arrival (counted, never silent).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use deeprest_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
@@ -27,6 +27,21 @@ struct Inner<T> {
     buf: VecDeque<T>,
     closed: bool,
     dropped: u64,
+}
+
+/// Locks `mutex`, recovering the contents of a poisoned lock.
+///
+/// Every mutation the queue performs under the lock (`push_back`,
+/// `pop_front`, counter bumps, the `closed` flag) leaves `Inner` in a
+/// consistent state even if the holder unwinds between statements, so a
+/// poisoned mutex only means "some thread panicked while holding it" —
+/// the buffered items are intact and must outlive that thread. Recoveries
+/// are counted on `serve.queue.poison_recovered`.
+fn lock_recovering<T>(mutex: &Mutex<Inner<T>>) -> MutexGuard<'_, Inner<T>> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        telemetry::counter("serve.queue.poison_recovered", 1);
+        poisoned.into_inner()
+    })
 }
 
 /// A bounded MPSC-style queue (any number of producers, any number of
@@ -71,11 +86,14 @@ impl<T> IngestQueue<T> {
     /// Enqueues one item, applying the overflow policy when full. Returns
     /// `false` (and discards the item) if the queue is closed.
     pub fn push(&self, item: T) -> bool {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_recovering(&self.inner);
         while inner.buf.len() >= self.capacity && !inner.closed {
             match self.policy {
                 OverflowPolicy::Block => {
-                    inner = self.nonfull.wait(inner).expect("queue poisoned");
+                    inner = self
+                        .nonfull
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 OverflowPolicy::DropOldest => {
                     inner.buf.pop_front();
@@ -97,7 +115,7 @@ impl<T> IngestQueue<T> {
     /// Dequeues the oldest item, blocking until one arrives. Returns `None`
     /// once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_recovering(&self.inner);
         loop {
             if let Some(item) = inner.buf.pop_front() {
                 telemetry::gauge("serve.queue_depth", inner.buf.len() as f64);
@@ -108,13 +126,16 @@ impl<T> IngestQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.nonempty.wait(inner).expect("queue poisoned");
+            inner = self
+                .nonempty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Dequeues the oldest item without blocking.
     pub fn try_pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_recovering(&self.inner);
         let item = inner.buf.pop_front();
         if item.is_some() {
             telemetry::gauge("serve.queue_depth", inner.buf.len() as f64);
@@ -126,7 +147,7 @@ impl<T> IngestQueue<T> {
 
     /// Current number of buffered items.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").buf.len()
+        lock_recovering(&self.inner).buf.len()
     }
 
     /// Returns `true` when nothing is buffered.
@@ -136,13 +157,13 @@ impl<T> IngestQueue<T> {
 
     /// How many items the `DropOldest` policy evicted.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("queue poisoned").dropped
+        lock_recovering(&self.inner).dropped
     }
 
     /// Closes the queue: producers are rejected, blocked producers and
     /// consumers wake, consumers drain what remains.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        lock_recovering(&self.inner).closed = true;
         self.nonempty.notify_all();
         self.nonfull.notify_all();
     }
@@ -198,6 +219,32 @@ mod tests {
         producer.join().unwrap();
         assert_eq!(got, (0..20).collect::<Vec<_>>());
         assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn poisoned_mutex_keeps_queue_contents() {
+        let q = Arc::new(IngestQueue::new(8, OverflowPolicy::Block));
+        q.push(1);
+        q.push(2);
+        // Poison the inner mutex: a thread panics while holding the lock.
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.inner.lock().unwrap();
+                panic!("injected poison");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner must have panicked");
+        assert!(q.inner.is_poisoned(), "mutex must actually be poisoned");
+        // Every operation recovers the contents instead of propagating.
+        assert_eq!(q.len(), 2);
+        assert!(q.push(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.dropped(), 0);
+        q.close();
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

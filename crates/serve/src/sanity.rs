@@ -108,17 +108,11 @@ impl OnlineSanity {
         };
 
         // Causal normalization scale: the interval span observed so far.
-        st.max_upper = Some(match st.max_upper {
-            Some(m) => m.max(point.upper),
-            None => point.upper,
-        });
-        st.min_lower = Some(match st.min_lower {
-            Some(m) => m.min(point.lower),
-            None => point.lower,
-        });
-        let scale = (st.max_upper.unwrap() - st.min_lower.unwrap())
-            .abs()
-            .max(1e-9);
+        let max_upper = st.max_upper.map_or(point.upper, |m| m.max(point.upper));
+        st.max_upper = Some(max_upper);
+        let min_lower = st.min_lower.map_or(point.lower, |m| m.min(point.lower));
+        st.min_lower = Some(min_lower);
+        let scale = (max_upper - min_lower).abs().max(1e-9);
 
         let d = if a < point.lower {
             (point.lower - a) / scale

@@ -84,9 +84,9 @@ fn jaeger_fixture_replay_matches_batch_bitwise() {
     let mut pipeline = Pipeline::new(&model, &interner, config).with_observations(metrics.clone());
     let mut streamed = Vec::new();
     for t in &stream {
-        streamed.extend(pipeline.ingest(t.clone()));
+        streamed.extend(pipeline.ingest(t.clone()).unwrap());
     }
-    streamed.extend(pipeline.flush());
+    streamed.extend(pipeline.flush().unwrap());
 
     let sealed = seal_all(&stream, &config);
     assert!(!sealed.is_empty(), "fixture must seal at least one window");
@@ -118,9 +118,9 @@ fn long_stream_with_observations_matches_batch_bitwise() {
         .with_sink(sink.clone());
     let mut streamed = Vec::new();
     for t in &stream {
-        streamed.extend(pipeline.ingest(t.clone()));
+        streamed.extend(pipeline.ingest(t.clone()).unwrap());
     }
-    streamed.extend(pipeline.flush());
+    streamed.extend(pipeline.flush().unwrap());
     assert_eq!(streamed.len(), traces.len(), "every window sealed");
     assert_eq!(pipeline.late_dropped(), 0);
 
@@ -150,14 +150,14 @@ fn pipeline_checkpoint_restore_resumes_bitwise() {
         Pipeline::new(&model, &interner, config).with_observations(metrics.clone());
     let mut expected = Vec::new();
     for t in &stream {
-        expected.extend(uninterrupted.ingest(t.clone()));
+        expected.extend(uninterrupted.ingest(t.clone()).unwrap());
     }
-    expected.extend(uninterrupted.flush());
+    expected.extend(uninterrupted.flush().unwrap());
 
     let mut first = Pipeline::new(&model, &interner, config).with_observations(metrics.clone());
     let mut outputs = Vec::new();
     for t in &stream[..cut] {
-        outputs.extend(first.ingest(t.clone()));
+        outputs.extend(first.ingest(t.clone()).unwrap());
     }
     // Round-trip the checkpoint through its JSON wire format.
     let json = first.checkpoint().to_json().expect("checkpoint serializes");
@@ -167,9 +167,9 @@ fn pipeline_checkpoint_restore_resumes_bitwise() {
         .expect("checkpoint matches model")
         .with_observations(metrics.clone());
     for t in &stream[cut..] {
-        outputs.extend(resumed.ingest(t.clone()));
+        outputs.extend(resumed.ingest(t.clone()).unwrap());
     }
-    outputs.extend(resumed.flush());
+    outputs.extend(resumed.flush().unwrap());
 
     assert_outputs_bitwise_equal(&outputs, &expected);
 }
@@ -181,7 +181,7 @@ fn restore_rejects_checkpoint_from_other_model() {
     let config = serve_config();
     let mut pipeline = Pipeline::new(&model, &interner, config);
     for t in &stream[..8] {
-        pipeline.ingest(t.clone());
+        pipeline.ingest(t.clone()).unwrap();
     }
     let checkpoint = pipeline.checkpoint();
 

@@ -62,9 +62,9 @@ fn run(stream: &[TimestampedTrace], config: ServeConfig) -> (Vec<WindowOutput>, 
     let mut pipeline = Pipeline::new(model, interner, config).with_observations(metrics.clone());
     let mut outputs = Vec::new();
     for t in stream {
-        outputs.extend(pipeline.ingest(t.clone()));
+        outputs.extend(pipeline.ingest(t.clone()).unwrap());
     }
-    outputs.extend(pipeline.flush());
+    outputs.extend(pipeline.flush().unwrap());
     (outputs, pipeline.late_dropped())
 }
 

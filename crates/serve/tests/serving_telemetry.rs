@@ -31,12 +31,12 @@ fn serving_emits_documented_telemetry() {
         let mut pipeline =
             Pipeline::new(&model, &interner, serve_config()).with_observations(metrics.clone());
         for t in &stream {
-            pipeline.ingest(t.clone());
+            pipeline.ingest(t.clone()).unwrap();
         }
-        pipeline.flush();
+        pipeline.flush().unwrap();
 
         // A straggler far behind the watermark is surfaced as a counter.
-        pipeline.ingest(stream[0].clone());
+        pipeline.ingest(stream[0].clone()).unwrap();
     });
 
     assert_eq!(sink.counter("serve.ingest.spans"), total_spans + 1);
@@ -63,7 +63,7 @@ fn steady_state_serving_allocates_nothing() {
         let mut pipeline =
             Pipeline::new(&model, &interner, serve_config()).with_observations(metrics.clone());
         for t in &stream[..warm_cut] {
-            pipeline.ingest(t.clone());
+            pipeline.ingest(t.clone()).unwrap();
         }
         let warm_allocs = sink.counter("kernel.alloc");
         let warm_steps = sink.counter("stream.steps");
@@ -71,9 +71,9 @@ fn steady_state_serving_allocates_nothing() {
         assert!(warm_steps >= 7, "warm-up must have sealed windows");
 
         for t in &stream[warm_cut..] {
-            pipeline.ingest(t.clone());
+            pipeline.ingest(t.clone()).unwrap();
         }
-        pipeline.flush();
+        pipeline.flush().unwrap();
 
         let steady_steps = sink.counter("stream.steps") - warm_steps;
         assert!(steady_steps > 80, "steady phase must serve many windows");
@@ -98,9 +98,9 @@ fn per_window_tape_size_is_constant() {
     telemetry::with_sink(sink.clone(), || {
         let mut pipeline = Pipeline::new(&model, &interner, serve_config());
         for t in &stream {
-            pipeline.ingest(t.clone());
+            pipeline.ingest(t.clone()).unwrap();
         }
-        pipeline.flush();
+        pipeline.flush().unwrap();
     });
 
     let tapes = sink.gauges("stream.step.tape_nodes");

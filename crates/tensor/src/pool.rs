@@ -27,9 +27,48 @@
 //! falling back to [`std::thread::available_parallelism`].
 
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::OnceLock;
 
+use deeprest_fault as fault;
 use deeprest_telemetry as telemetry;
+
+/// A worker job died instead of returning results.
+///
+/// Produced by [`Pool::try_map`], which contains each worker's panic with
+/// `catch_unwind` so one poisoned job fails that call, not the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolError {
+    /// First index (inclusive) of the chunk whose worker panicked.
+    pub lo: usize,
+    /// Last index (exclusive) of the chunk whose worker panicked.
+    pub hi: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool worker for indices {}..{} panicked: {}",
+            self.lo, self.hi, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Extracts the human-readable payload from a caught panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// A fixed-width scoped thread pool. See the [module docs](self).
 #[derive(Clone, Copy, Debug)]
@@ -78,31 +117,80 @@ impl Pool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        match self.try_map(n, f) {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Panic-isolating [`Pool::map`]: each worker job runs under
+    /// `catch_unwind`, so a panic in `f` (or an injected `pool.worker`
+    /// fault) surfaces as a typed [`PoolError`] naming the failed chunk
+    /// instead of unwinding through the caller. All workers are still
+    /// joined before returning; on success the results are identical to
+    /// [`Pool::map`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-chunk) worker panic as a [`PoolError`].
+    pub fn try_map<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, PoolError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let workers = self.threads.min(n);
         if workers <= 1 {
-            return (0..n).map(f).collect();
+            return std::panic::catch_unwind(AssertUnwindSafe(|| {
+                fault::maybe_panic("pool.worker");
+                (0..n).map(&f).collect::<Vec<T>>()
+            }))
+            .map_err(|payload| PoolError {
+                lo: 0,
+                hi: n,
+                message: panic_message(payload.as_ref()),
+            });
         }
         // Fixed contiguous chunking: worker w owns [w*chunk, (w+1)*chunk).
         let chunk = n.div_ceil(workers);
         Self::record_dispatch(workers, chunk);
         let mut out = Vec::with_capacity(n);
+        let mut first_err: Option<PoolError> = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let f = &f;
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n);
-                    scope.spawn(move || {
+                    let job = scope.spawn(move || {
                         let _busy = telemetry::span("pool.worker_busy");
-                        (lo..hi).map(f).collect::<Vec<T>>()
-                    })
+                        std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            fault::maybe_panic("pool.worker");
+                            (lo..hi).map(f).collect::<Vec<T>>()
+                        }))
+                        .map_err(|payload| panic_message(payload.as_ref()))
+                    });
+                    (lo, hi, job)
                 })
                 .collect();
-            for handle in handles {
-                out.extend(handle.join().expect("pool worker panicked"));
+            for (lo, hi, handle) in handles {
+                // The closure catches its own panics, so join() only fails
+                // on aborts; fold that into the same typed error.
+                let joined = handle
+                    .join()
+                    .unwrap_or_else(|payload| Err(panic_message(payload.as_ref())));
+                match joined {
+                    Ok(chunk_out) => out.extend(chunk_out),
+                    Err(message) if first_err.is_none() => {
+                        first_err = Some(PoolError { lo, hi, message });
+                    }
+                    Err(_) => {}
+                }
             }
         });
-        out
+        match first_err {
+            None => Ok(out),
+            Some(err) => Err(err),
+        }
     }
 
     /// Like [`Pool::map`] for side-effecting jobs with no result.
@@ -126,6 +214,7 @@ impl Pool {
     {
         let workers = self.threads.min(n);
         if workers <= 1 {
+            fault::maybe_panic("pool.worker");
             let mut state = init();
             return (0..n).map(|i| f(&mut state, i)).collect();
         }
@@ -140,13 +229,21 @@ impl Pool {
                     let hi = ((w + 1) * chunk).min(n);
                     scope.spawn(move || {
                         let _busy = telemetry::span("pool.worker_busy");
+                        fault::maybe_panic("pool.worker");
                         let mut state = init();
                         (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
                     })
                 })
                 .collect();
             for handle in handles {
-                out.extend(handle.join().expect("pool worker panicked"));
+                // Re-raise with the original payload so callers that do
+                // contain panics (serve's step isolation) see the real
+                // message, not a generic join error.
+                out.extend(
+                    handle
+                        .join()
+                        .unwrap_or_else(|p| std::panic::resume_unwind(p)),
+                );
             }
         });
         out
@@ -164,6 +261,7 @@ impl Pool {
         let n = items.len();
         let workers = self.threads.min(n);
         if workers <= 1 {
+            fault::maybe_panic("pool.worker");
             for (i, item) in items.iter_mut().enumerate() {
                 f(i, item);
             }
@@ -176,6 +274,7 @@ impl Pool {
                 let f = &f;
                 scope.spawn(move || {
                     let _busy = telemetry::span("pool.worker_busy");
+                    fault::maybe_panic("pool.worker");
                     for (j, item) in slice.iter_mut().enumerate() {
                         f(w * chunk + j, item);
                     }
@@ -270,6 +369,43 @@ mod tests {
         for (i, v) in items.iter().enumerate() {
             assert_eq!(*v, 2 * i);
         }
+    }
+
+    #[test]
+    fn try_map_matches_map_on_success() {
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            assert_eq!(pool.try_map(23, |i| i * 2), Ok(pool.map(23, |i| i * 2)));
+        }
+    }
+
+    #[test]
+    fn try_map_contains_worker_panics() {
+        for threads in [1, 4] {
+            let err = Pool::with_threads(threads)
+                .try_map(16, |i| {
+                    if i == 9 {
+                        panic!("poisoned job {i}");
+                    }
+                    i
+                })
+                .expect_err("panicking job must surface as PoolError");
+            assert!(err.message.contains("poisoned job 9"), "{err}");
+            assert!((err.lo..err.hi).contains(&9), "{err}");
+        }
+    }
+
+    #[test]
+    fn try_map_contains_injected_worker_faults() {
+        let plan = std::sync::Arc::new(deeprest_fault::FaultPlan::new(0).once("pool.worker", 0));
+        deeprest_fault::with_plan(plan, || {
+            let err = Pool::with_threads(1)
+                .try_map(8, |i| i)
+                .expect_err("armed pool.worker must fail the call");
+            assert!(err.message.contains("injected panic"), "{err}");
+            // The fault window has passed: the pool serves again.
+            assert_eq!(Pool::with_threads(1).try_map(8, |i| i).unwrap().len(), 8);
+        });
     }
 
     #[test]

@@ -55,6 +55,9 @@ impl Interner {
         if let Some(&id) = self.lookup.get(name) {
             return Sym(id);
         }
+        // Over 4 billion distinct names is out of scope by construction;
+        // the expect documents that invariant.
+        #[allow(clippy::expect_used)]
         let id = u32::try_from(self.names.len()).expect("interner overflow");
         self.names.push(name.to_owned());
         self.lookup.insert(name.to_owned(), id);

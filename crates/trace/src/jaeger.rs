@@ -14,10 +14,18 @@
 
 use std::collections::HashMap;
 
+use deeprest_fault as fault;
+use deeprest_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::window::TimestampedTrace;
 use crate::{Interner, SpanNode, Sym, Trace};
+
+/// Maximum span-tree depth accepted on import. Real microservice call
+/// trees are a few dozen levels at most; anything deeper is either a
+/// reference cycle routed through duplicate span ids or an adversarial
+/// document, and would otherwise risk unbounded recursion in [`build`].
+const MAX_SPAN_DEPTH: usize = 512;
 
 /// Top-level Jaeger API response shape.
 #[derive(Debug, Serialize, Deserialize)]
@@ -66,6 +74,14 @@ struct JaegerProcess {
 }
 
 /// An error importing Jaeger JSON.
+///
+/// Only a document-level failure ([`ImportError::Json`]) aborts an import:
+/// the document has no recoverable structure. Every per-trace defect
+/// (dangling parents, unknown processes, rootless or cyclic traces,
+/// depth/size blow-ups from duplicate ids) drops that one trace, counts it
+/// on the `trace.malformed_dropped` telemetry counter, and keeps importing
+/// — the remaining variants describe *why* a trace was dropped and are
+/// observable through [`import_timestamped_counted`].
 #[derive(Debug)]
 pub enum ImportError {
     /// Malformed JSON.
@@ -76,6 +92,11 @@ pub enum ImportError {
     DanglingParent(String),
     /// A trace has no root span (or a reference cycle).
     NoRoot(String),
+    /// A span tree exceeds [`MAX_SPAN_DEPTH`] (cycle through duplicate ids
+    /// or an adversarial document).
+    TooDeep(String),
+    /// Duplicate span ids inflate the tree beyond the trace's span count.
+    Oversized(String),
 }
 
 impl std::fmt::Display for ImportError {
@@ -85,11 +106,34 @@ impl std::fmt::Display for ImportError {
             ImportError::UnknownProcess(id) => write!(f, "span references unknown process {id}"),
             ImportError::DanglingParent(id) => write!(f, "span {id} has a dangling parent"),
             ImportError::NoRoot(id) => write!(f, "trace {id} has no root span"),
+            ImportError::TooDeep(id) => {
+                write!(
+                    f,
+                    "trace {id} exceeds the span depth bound {MAX_SPAN_DEPTH}"
+                )
+            }
+            ImportError::Oversized(id) => {
+                write!(
+                    f,
+                    "trace {id} expands beyond its own span count (duplicate span ids)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ImportError {}
+
+/// The result of a counted import: the traces that parsed cleanly plus how
+/// many were dropped as malformed.
+#[derive(Debug)]
+pub struct ImportStats {
+    /// Traces that imported cleanly, in document order.
+    pub traces: Vec<TimestampedTrace>,
+    /// Number of traces dropped as malformed (also published on the
+    /// `trace.malformed_dropped` telemetry counter).
+    pub malformed_dropped: usize,
+}
 
 /// Exports traces as a Jaeger-API-shaped JSON document. Each trace's API
 /// endpoint is encoded as the root span's operation prefix is *not* altered;
@@ -142,7 +186,10 @@ pub fn export(traces: &[Trace], interner: &Interner) -> String {
             processes,
         });
     }
-    serde_json::to_string_pretty(&doc).expect("serializable")
+    // Serializing our own plain structs cannot fail; the expect documents
+    // that invariant rather than guarding a runtime condition.
+    #[allow(clippy::expect_used)]
+    serde_json::to_string_pretty(&doc).expect("JaegerDoc is plain data and always serializes")
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -199,10 +246,12 @@ fn flatten(
 /// documents straight from a Jaeger server — the root span itself, whose
 /// operation name is used as the endpoint.
 ///
+/// Malformed traces within a well-formed document are dropped and counted,
+/// never panicked on; see [`import_timestamped_counted`].
+///
 /// # Errors
 ///
-/// Returns an [`ImportError`] on malformed JSON, dangling references, or
-/// rootless traces.
+/// Returns [`ImportError::Json`] when the document itself cannot be parsed.
 pub fn import(json: &str, interner: &mut Interner) -> Result<Vec<Trace>, ImportError> {
     Ok(import_timestamped(json, interner)?
         .into_iter()
@@ -218,68 +267,139 @@ pub fn import(json: &str, interner: &mut Interner) -> Result<Vec<Trace>, ImportE
 ///
 /// # Errors
 ///
-/// Returns an [`ImportError`] on malformed JSON, dangling references, or
-/// rootless traces.
+/// Returns [`ImportError::Json`] when the document itself cannot be parsed.
 pub fn import_timestamped(
     json: &str,
     interner: &mut Interner,
 ) -> Result<Vec<TimestampedTrace>, ImportError> {
-    let doc: JaegerDoc = serde_json::from_str(json).map_err(ImportError::Json)?;
-    let mut out = Vec::with_capacity(doc.data.len());
+    Ok(import_timestamped_counted(json, interner)?.traces)
+}
+
+/// The counted variant of [`import_timestamped`]: imports every trace that
+/// parses cleanly and reports how many were dropped as malformed.
+///
+/// A malformed *document* (unparseable JSON) is the only hard error — there
+/// is no structure left to salvage. A malformed *trace* inside a good
+/// document (dangling parent, unknown process, no root, depth or size
+/// blow-up from duplicate span ids) drops exactly that trace: the drop is
+/// counted in the returned [`ImportStats`] and on the
+/// `trace.malformed_dropped` telemetry counter, and the import continues.
+/// One corrupt trace from a flaky collector must not take down ingestion.
+///
+/// # Errors
+///
+/// Returns [`ImportError::Json`] when the document itself cannot be parsed.
+pub fn import_timestamped_counted(
+    json: &str,
+    interner: &mut Interner,
+) -> Result<ImportStats, ImportError> {
+    // Fault probe: `trace.parse` forces the document-level parse error path.
+    let effective = if fault::fail_point("trace.parse") {
+        "deeprest-fault: injected parse error"
+    } else {
+        json
+    };
+    let doc: JaegerDoc = serde_json::from_str(effective).map_err(ImportError::Json)?;
+    let mut traces = Vec::with_capacity(doc.data.len());
+    let mut malformed_dropped = 0usize;
     for jt in doc.data {
-        // Resolve span table and child lists.
-        let mut children: HashMap<&str, Vec<&JaegerSpan>> = HashMap::new();
-        let mut roots: Vec<&JaegerSpan> = Vec::new();
-        let ids: std::collections::HashSet<&str> =
-            jt.spans.iter().map(|s| s.span_id.as_str()).collect();
-        for span in &jt.spans {
-            match span.references.iter().find(|r| r.ref_type == "CHILD_OF") {
-                Some(parent) => {
-                    if !ids.contains(parent.span_id.as_str()) {
-                        return Err(ImportError::DanglingParent(span.span_id.clone()));
-                    }
-                    children
-                        .entry(parent.span_id.as_str())
-                        .or_default()
-                        .push(span);
+        match import_one(&jt, interner) {
+            Ok(t) => traces.push(t),
+            Err(err) => {
+                malformed_dropped += 1;
+                telemetry::counter("trace.malformed_dropped", 1);
+                if telemetry::enabled() {
+                    telemetry::counter(format!("trace.malformed_dropped.{}", err.kind()), 1);
                 }
-                None => roots.push(span),
             }
         }
-        let root = roots
-            .first()
-            .ok_or_else(|| ImportError::NoRoot(jt.trace_id.clone()))?;
-
-        let service = |span: &JaegerSpan| -> Result<String, ImportError> {
-            jt.processes
-                .get(&span.process_id)
-                .map(|p| p.service_name.clone())
-                .ok_or_else(|| ImportError::UnknownProcess(span.process_id.clone()))
-        };
-
-        // Endpoint convention: synthetic __api__ root or the root itself.
-        let (api_name, real_roots): (String, Vec<&JaegerSpan>) = if service(root)? == "__api__" {
-            let kids = children
-                .get(root.span_id.as_str())
-                .cloned()
-                .unwrap_or_default();
-            (root.operation_name.clone(), kids)
-        } else {
-            (root.operation_name.clone(), vec![root])
-        };
-        let api = interner.intern(&api_name);
-
-        let real_root = real_roots
-            .first()
-            .ok_or_else(|| ImportError::NoRoot(jt.trace_id.clone()))?;
-        let tree = build(real_root, &children, &jt, interner)?;
-        let start_micros = jt.spans.iter().map(|s| s.start_time).min().unwrap_or(0);
-        out.push(TimestampedTrace {
-            at_secs: start_micros as f64 / 1e6,
-            trace: Trace::new(api, tree),
-        });
     }
-    Ok(out)
+    Ok(ImportStats {
+        traces,
+        malformed_dropped,
+    })
+}
+
+impl ImportError {
+    /// A short stable label for the error class — used as the
+    /// `trace.malformed_dropped.*` telemetry counter suffix and stable for
+    /// matching in tests and supervisors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ImportError::Json(_) => "json",
+            ImportError::UnknownProcess(_) => "unknown_process",
+            ImportError::DanglingParent(_) => "dangling_parent",
+            ImportError::NoRoot(_) => "no_root",
+            ImportError::TooDeep(_) => "too_deep",
+            ImportError::Oversized(_) => "oversized",
+        }
+    }
+}
+
+/// Imports a single trace; any defect fails only this trace.
+fn import_one(jt: &JaegerTrace, interner: &mut Interner) -> Result<TimestampedTrace, ImportError> {
+    // Fault probe: `trace.span` marks this trace malformed.
+    if fault::fail_point("trace.span") {
+        return Err(ImportError::NoRoot(format!(
+            "{} (injected trace.span fault)",
+            jt.trace_id
+        )));
+    }
+    // Resolve span table and child lists.
+    let mut children: HashMap<&str, Vec<&JaegerSpan>> = HashMap::new();
+    let mut roots: Vec<&JaegerSpan> = Vec::new();
+    let ids: std::collections::HashSet<&str> =
+        jt.spans.iter().map(|s| s.span_id.as_str()).collect();
+    for span in &jt.spans {
+        match span.references.iter().find(|r| r.ref_type == "CHILD_OF") {
+            Some(parent) => {
+                if !ids.contains(parent.span_id.as_str()) {
+                    return Err(ImportError::DanglingParent(span.span_id.clone()));
+                }
+                children
+                    .entry(parent.span_id.as_str())
+                    .or_default()
+                    .push(span);
+            }
+            None => roots.push(span),
+        }
+    }
+    let root = roots
+        .first()
+        .ok_or_else(|| ImportError::NoRoot(jt.trace_id.clone()))?;
+
+    let service = |span: &JaegerSpan| -> Result<String, ImportError> {
+        jt.processes
+            .get(&span.process_id)
+            .map(|p| p.service_name.clone())
+            .ok_or_else(|| ImportError::UnknownProcess(span.process_id.clone()))
+    };
+
+    // Endpoint convention: synthetic __api__ root or the root itself.
+    let (api_name, real_roots): (String, Vec<&JaegerSpan>) = if service(root)? == "__api__" {
+        let kids = children
+            .get(root.span_id.as_str())
+            .cloned()
+            .unwrap_or_default();
+        (root.operation_name.clone(), kids)
+    } else {
+        (root.operation_name.clone(), vec![root])
+    };
+    let api = interner.intern(&api_name);
+
+    let real_root = real_roots
+        .first()
+        .ok_or_else(|| ImportError::NoRoot(jt.trace_id.clone()))?;
+    // Duplicate span ids can make the children map expand the same subtree
+    // under several parents; a tree that honestly mirrors the document can
+    // never hold more nodes than the document holds spans.
+    let mut budget = jt.spans.len();
+    let tree = build(real_root, &children, jt, interner, 0, &mut budget)?;
+    let start_micros = jt.spans.iter().map(|s| s.start_time).min().unwrap_or(0);
+    Ok(TimestampedTrace {
+        at_secs: start_micros as f64 / 1e6,
+        trace: Trace::new(api, tree),
+    })
 }
 
 fn build(
@@ -287,7 +407,16 @@ fn build(
     children: &HashMap<&str, Vec<&JaegerSpan>>,
     jt: &JaegerTrace,
     interner: &mut Interner,
+    depth: usize,
+    budget: &mut usize,
 ) -> Result<SpanNode, ImportError> {
+    if depth >= MAX_SPAN_DEPTH {
+        return Err(ImportError::TooDeep(jt.trace_id.clone()));
+    }
+    if *budget == 0 {
+        return Err(ImportError::Oversized(jt.trace_id.clone()));
+    }
+    *budget -= 1;
     let process = jt
         .processes
         .get(&span.process_id)
@@ -297,7 +426,8 @@ fn build(
     let mut node = SpanNode::leaf(component, operation);
     if let Some(kids) = children.get(span.span_id.as_str()) {
         for kid in kids {
-            node.children.push(build(kid, children, jt, interner)?);
+            node.children
+                .push(build(kid, children, jt, interner, depth + 1, budget)?);
         }
     }
     Ok(node)
@@ -408,16 +538,66 @@ mod tests {
     }
 
     #[test]
-    fn import_rejects_dangling_parent() {
-        let json = r#"{"data":[{"traceID":"abc","spans":[
-            {"traceID":"abc","spanID":"2","operationName":"find","processID":"p1",
+    fn import_drops_and_counts_dangling_parent() {
+        // One malformed trace (dangling parent) next to one good trace: the
+        // good trace imports, the bad one is dropped and counted.
+        let json = r#"{"data":[
+          {"traceID":"bad","spans":[
+            {"traceID":"bad","spanID":"2","operationName":"find","processID":"p1",
              "references":[{"refType":"CHILD_OF","spanID":"ghost"}]}
-        ],"processes":{"p1":{"serviceName":"Mongo"}}}]}"#;
+          ],"processes":{"p1":{"serviceName":"Mongo"}}},
+          {"traceID":"good","spans":[
+            {"traceID":"good","spanID":"1","operationName":"read","processID":"p1"}
+          ],"processes":{"p1":{"serviceName":"Frontend"}}}
+        ]}"#;
         let mut i = Interner::new();
-        assert!(matches!(
-            import(json, &mut i),
-            Err(ImportError::DanglingParent(_))
-        ));
+        let stats = import_timestamped_counted(json, &mut i).expect("document parses");
+        assert_eq!(stats.traces.len(), 1);
+        assert_eq!(stats.malformed_dropped, 1);
+        assert_eq!(i.resolve(stats.traces[0].trace.api), "read");
+    }
+
+    #[test]
+    fn import_drops_unknown_process_and_rootless_traces() {
+        let json = r#"{"data":[
+          {"traceID":"noproc","spans":[
+            {"traceID":"noproc","spanID":"1","operationName":"x","processID":"ghost"}
+          ],"processes":{}},
+          {"traceID":"cycle","spans":[
+            {"traceID":"cycle","spanID":"1","operationName":"x","processID":"p1",
+             "references":[{"refType":"CHILD_OF","spanID":"2"}]},
+            {"traceID":"cycle","spanID":"2","operationName":"y","processID":"p1",
+             "references":[{"refType":"CHILD_OF","spanID":"1"}]}
+          ],"processes":{"p1":{"serviceName":"S"}}}
+        ]}"#;
+        let stats =
+            import_timestamped_counted(json, &mut Interner::new()).expect("document parses");
+        assert!(stats.traces.is_empty());
+        assert_eq!(stats.malformed_dropped, 2);
+    }
+
+    #[test]
+    fn import_bounds_duplicate_id_expansion() {
+        // Two spans share the id "dup"; each lookup of children["dup"]
+        // duplicates the subtree, so an unchecked import would build more
+        // nodes than the document has spans. The budget drops the trace.
+        let json = r#"{"data":[{"traceID":"dup","spans":[
+            {"traceID":"dup","spanID":"r","operationName":"root","processID":"p1"},
+            {"traceID":"dup","spanID":"dup","operationName":"a","processID":"p1",
+             "references":[{"refType":"CHILD_OF","spanID":"r"}]},
+            {"traceID":"dup","spanID":"dup","operationName":"b","processID":"p1",
+             "references":[{"refType":"CHILD_OF","spanID":"r"}]},
+            {"traceID":"dup","spanID":"leaf","operationName":"c","processID":"p1",
+             "references":[{"refType":"CHILD_OF","spanID":"dup"}]},
+            {"traceID":"dup","spanID":"leaf","operationName":"d","processID":"p1",
+             "references":[{"refType":"CHILD_OF","spanID":"dup"}]}
+        ],"processes":{"p1":{"serviceName":"S"}}}]}"#;
+        let stats =
+            import_timestamped_counted(json, &mut Interner::new()).expect("document parses");
+        assert_eq!(stats.traces.len() + stats.malformed_dropped, 1);
+        // Either the expansion fit the budget (fine) or it was dropped —
+        // but with 2×2 duplication over 5 spans the budget must trip.
+        assert_eq!(stats.malformed_dropped, 1);
     }
 
     #[test]
@@ -427,5 +607,31 @@ mod tests {
             import("not json", &mut i),
             Err(ImportError::Json(_))
         ));
+    }
+
+    #[test]
+    fn injected_parse_fault_is_a_typed_error() {
+        let (i, traces) = sample();
+        let json = export(&traces, &i);
+        let plan = std::sync::Arc::new(deeprest_fault::FaultPlan::new(0).once("trace.parse", 0));
+        deeprest_fault::with_plan(plan, || {
+            let mut i2 = Interner::new();
+            assert!(matches!(import(&json, &mut i2), Err(ImportError::Json(_))));
+            // Fault window passed: the same document imports cleanly.
+            assert_eq!(import(&json, &mut i2).expect("valid").len(), 2);
+        });
+    }
+
+    #[test]
+    fn injected_span_fault_drops_one_trace() {
+        let (i, traces) = sample();
+        let json = export(&traces, &i);
+        let plan = std::sync::Arc::new(deeprest_fault::FaultPlan::new(0).once("trace.span", 0));
+        deeprest_fault::with_plan(plan, || {
+            let mut i2 = Interner::new();
+            let stats = import_timestamped_counted(&json, &mut i2).expect("document parses");
+            assert_eq!(stats.traces.len(), 1, "second trace survives");
+            assert_eq!(stats.malformed_dropped, 1);
+        });
     }
 }

@@ -25,6 +25,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must fail typed, not panic: ingestion feeds the online
+// serving loop, where one malformed span must cost one trace, not the
+// process. Invariant-documenting exceptions carry a scoped allow.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod hashing;
 mod interner;

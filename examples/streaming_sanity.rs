@@ -89,9 +89,9 @@ fn main() {
     let mut first_alert = None;
     let mut outputs = Vec::new();
     for arrival in as_stream(&observed.traces) {
-        outputs.extend(pipeline.ingest(arrival));
+        outputs.extend(pipeline.ingest(arrival).expect("serving step failed"));
     }
-    outputs.extend(pipeline.flush());
+    outputs.extend(pipeline.flush().expect("serving flush failed"));
 
     for out in &outputs {
         for alert in &out.alerts {
