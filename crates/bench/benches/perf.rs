@@ -9,7 +9,7 @@ use deeprest_core::{DeepRest, DeepRestConfig, FeatureSpace, TraceSynthesizer};
 use deeprest_fault::{self as fault, FaultPlan};
 use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
 use deeprest_nn::GruCell;
-use deeprest_tensor::{linalg, Graph, ParamStore, Tensor};
+use deeprest_tensor::{kernel, linalg, Graph, ParamStore, Tensor};
 use deeprest_trace::window::WindowedTraces;
 use deeprest_trace::{Interner, SpanNode, Trace};
 use rand::rngs::StdRng;
@@ -220,6 +220,104 @@ fn bench_streaming_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// Synthetic application with `ceil(experts / 2)` components (CPU + memory
+/// series each) — the expert-count axis for the batched serving benches,
+/// matching the `deeprest capacity` tool's workload.
+fn multi_expert(experts: usize, windows: usize) -> (Interner, WindowedTraces, MetricsRegistry) {
+    let components = experts.div_ceil(2);
+    let mut interner = Interner::new();
+    let mut traces = WindowedTraces::with_windows(1.0, windows);
+    let mut metrics = MetricsRegistry::new();
+    for comp in 0..components {
+        let svc_name = format!("Svc{comp}");
+        let svc = interner.intern(&svc_name);
+        let op = interner.intern(&format!("op{comp}"));
+        let api = interner.intern(&format!("/api{comp}"));
+        let mut cpu = TimeSeries::zeros(0);
+        let mut mem = TimeSeries::zeros(0);
+        for t in 0..windows {
+            let count = 2 + (t * (comp + 3)) % 9;
+            for _ in 0..count {
+                traces.windows[t].push(Trace::new(api, SpanNode::leaf(svc, op)));
+            }
+            cpu.push(1.5 + 0.8 * count as f64);
+            mem.push(48.0 + 0.4 * count as f64);
+        }
+        metrics.insert(MetricKey::new(&svc_name, ResourceKind::Cpu), cpu);
+        metrics.insert(MetricKey::new(&svc_name, ResourceKind::Memory), mem);
+    }
+    (interner, traces, metrics)
+}
+
+fn bench_batched_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+    // The batched multi-expert step across the expert-count axis, plus the
+    // retained per-expert tape stepper as the speedup baseline at the
+    // capacity tool's reference point (64 experts).
+    for experts in [16usize, 64, 256] {
+        let (interner, traces, metrics) = multi_expert(experts, 48);
+        let cfg = DeepRestConfig {
+            hidden_dim: 16,
+            epochs: 1,
+            subseq_len: 12,
+            batch_size: 4,
+            ..DeepRestConfig::default()
+        }
+        .with_seed(17);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &interner, cfg);
+        let x = model.window_features(traces.window(7), &interner);
+        let id = format!("{experts}e");
+        group.bench_with_input(BenchmarkId::new("batched_step", &id), &id, |b, _| {
+            let mut predictor = model.stream_predictor();
+            b.iter(|| predictor.step(&x));
+        });
+        if experts == 64 {
+            group.bench_with_input(BenchmarkId::new("per_expert_step", &id), &id, |b, _| {
+                let mut predictor = model.per_expert_predictor();
+                b.iter(|| predictor.step(&x));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_gemm_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_batch");
+    group.sample_size(30);
+    // The batched kernels underneath the fused serving step, at the gate
+    // stack's shape (3·hidden rows by input dim, hidden 32): one strided
+    // call per expert slab vs `batch` dispatches from packed storage.
+    let (rows, cols) = (96usize, 32usize);
+    for &batch in &[16usize, 64] {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Tensor::rand_uniform(batch * rows, cols, -1.0, 1.0, &mut rng);
+        let x = Tensor::rand_uniform(batch * cols, 1, -1.0, 1.0, &mut rng);
+        let id = format!("{batch}x{rows}x{cols}");
+        group.bench_with_input(BenchmarkId::new("gemv", &id), &id, |bench, _| {
+            let mut out = vec![0.0f32; batch * rows];
+            bench.iter(|| {
+                kernel::gemv_batch_into(&mut out, a.data(), rows, cols, x.data(), batch);
+                out[0]
+            });
+        });
+    }
+    // Attention-shaped batch: `batch` independent (32, 64)·(64, 8) GEMMs.
+    let (m, k, n, batch) = (32usize, 64usize, 8usize, 4usize);
+    let mut rng = StdRng::seed_from_u64(22);
+    let a = Tensor::rand_uniform(batch * m, k, -1.0, 1.0, &mut rng);
+    let b_mat = Tensor::rand_uniform(batch * k, n, -1.0, 1.0, &mut rng);
+    let id = format!("{batch}x{m}x{k}x{n}");
+    group.bench_with_input(BenchmarkId::new("gemm", &id), &id, |bench, _| {
+        let mut out = vec![0.0f32; batch * m * n];
+        bench.iter(|| {
+            kernel::gemm_batch_into(&mut out, a.data(), m, k, b_mat.data(), n, batch);
+            out[0]
+        });
+    });
+    group.finish();
+}
+
 fn bench_gru_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn_primitives");
     group.sample_size(30);
@@ -313,6 +411,8 @@ criterion_group!(
     bench_joint_training_epoch,
     bench_expert_inference,
     bench_streaming_step,
+    bench_batched_serving,
+    bench_gemm_batch,
     bench_gru_step,
     bench_backward,
     bench_pca

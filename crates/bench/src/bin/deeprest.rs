@@ -1,0 +1,306 @@
+//! `deeprest` — operator-facing sizing and diagnostics CLI.
+//!
+//! # `deeprest capacity`
+//!
+//! Answers the provisioning question for online serving: *how many experts
+//! can one box advance at the scrape-window rate?* For each expert count it
+//! trains a synthetic multi-component model, then times the batched
+//! [`StreamPredictor`](deeprest_core::stream::StreamPredictor) against the
+//! tape-based per-expert baseline on identical window features:
+//!
+//! ```text
+//! deeprest capacity                       # full sweep: 16, 64, 256 experts
+//! deeprest capacity --quick               # CI smoke: 64 experts, tiny model
+//! deeprest capacity --experts 32,128     # custom sweep
+//! deeprest capacity --assert-speedup 1.0  # exit 1 if batched < 1.0x baseline
+//! deeprest capacity --json                # machine-readable rows
+//! ```
+//!
+//! Reported per expert count:
+//!
+//! * `batched w/s`, `per-expert w/s` — full-model window steps per second
+//!   for each path, and their ratio (`speedup`);
+//! * `experts/core` — experts one core sustains at the scrape-window rate:
+//!   `experts × window_secs / (step_secs × threads)`;
+//! * `KiB/expert` — resident packed weights + carried state per expert
+//!   (gate slab, attention/head/skip packs, hidden vectors).
+
+use std::time::Instant;
+
+use deeprest_core::{DeepRest, DeepRestConfig};
+use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::{Interner, SpanNode, Trace};
+
+struct CapacityArgs {
+    /// Expert counts to sweep.
+    experts: Vec<usize>,
+    /// Tiny model + short timing loops (the CI smoke configuration).
+    quick: bool,
+    /// Exit non-zero when batched/per-expert falls below this ratio.
+    assert_speedup: Option<f64>,
+    /// Emit one JSON object per row instead of the table.
+    json: bool,
+    /// Worker threads (defaults to `DEEPREST_THREADS` / available cores).
+    threads: Option<usize>,
+    /// Scrape-window length used for the experts/core figure.
+    window_secs: f64,
+    seed: u64,
+}
+
+impl Default for CapacityArgs {
+    fn default() -> Self {
+        Self {
+            experts: vec![16, 64, 256],
+            quick: false,
+            assert_speedup: None,
+            json: false,
+            threads: None,
+            window_secs: 30.0,
+            seed: 17,
+        }
+    }
+}
+
+impl CapacityArgs {
+    fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut experts_given = false;
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--experts" => {
+                    experts_given = true;
+                    out.experts = value("--experts")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--experts comma-separated usize"))
+                        .collect();
+                }
+                "--quick" => out.quick = true,
+                "--assert-speedup" => {
+                    out.assert_speedup = Some(
+                        value("--assert-speedup")
+                            .parse()
+                            .expect("--assert-speedup f64"),
+                    );
+                }
+                "--json" => out.json = true,
+                "--threads" => {
+                    out.threads = Some(value("--threads").parse().expect("--threads usize"));
+                }
+                "--window-secs" => {
+                    out.window_secs = value("--window-secs").parse().expect("--window-secs f64");
+                }
+                "--seed" => out.seed = value("--seed").parse().expect("--seed u64"),
+                other => panic!("unknown flag {other}; see `deeprest` docs for usage"),
+            }
+        }
+        if out.quick && !experts_given {
+            out.experts = vec![64];
+        }
+        out
+    }
+}
+
+/// Synthetic application with `ceil(experts / 2)` components, two metric
+/// series (CPU + memory) per component — the last trimmed to CPU only for
+/// odd expert counts. Deterministic, so capacity runs are reproducible.
+fn dataset(windows: usize, experts: usize) -> (Interner, WindowedTraces, MetricsRegistry) {
+    let components = experts.div_ceil(2);
+    let drop_last_mem = experts % 2 == 1;
+    let mut i = Interner::new();
+    let mut traces = WindowedTraces::with_windows(1.0, windows);
+    let mut metrics = MetricsRegistry::new();
+    for c in 0..components {
+        let svc_name = format!("Svc{c}");
+        let svc = i.intern(&svc_name);
+        let op = i.intern(&format!("op{c}"));
+        let api = i.intern(&format!("/api{c}"));
+        let mut cpu = TimeSeries::zeros(0);
+        let mut mem = TimeSeries::zeros(0);
+        for t in 0..windows {
+            let count = 2 + (t * (c + 3)) % 9;
+            for _ in 0..count {
+                traces.windows[t].push(Trace::new(api, SpanNode::leaf(svc, op)));
+            }
+            cpu.push(1.5 + (0.8 + 0.02 * c as f64) * count as f64);
+            mem.push(48.0 + 0.4 * count as f64);
+        }
+        metrics.insert(MetricKey::new(&svc_name, ResourceKind::Cpu), cpu);
+        if !(drop_last_mem && c == components - 1) {
+            metrics.insert(MetricKey::new(&svc_name, ResourceKind::Memory), mem);
+        }
+    }
+    (i, traces, metrics)
+}
+
+/// Steps `f` over the feature windows (cycling) `steps` times after
+/// `warm` warm-up calls; returns achieved window steps per second.
+fn windows_per_sec(xs: &[Vec<f32>], warm: usize, steps: usize, mut f: impl FnMut(&[f32])) -> f64 {
+    for k in 0..warm {
+        f(&xs[k % xs.len()]);
+    }
+    let start = Instant::now();
+    for k in 0..steps {
+        f(&xs[k % xs.len()]);
+    }
+    steps as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    experts: usize,
+    shards: usize,
+    batched_wps: f64,
+    per_expert_wps: f64,
+    bytes_per_expert: f64,
+    experts_per_core: f64,
+}
+
+fn capacity_row(args: &CapacityArgs, experts: usize) -> Row {
+    let windows = if args.quick { 32 } else { 48 };
+    let (i, traces, metrics) = dataset(windows, experts);
+    let cfg = DeepRestConfig {
+        hidden_dim: if args.quick { 8 } else { 16 },
+        epochs: 1,
+        subseq_len: 12,
+        batch_size: 4,
+        threads: args.threads,
+        ..DeepRestConfig::default()
+    }
+    .with_seed(args.seed);
+    let (model, _) = DeepRest::fit(&traces, &metrics, &i, cfg);
+    assert_eq!(
+        model.expert_keys().len(),
+        experts,
+        "dataset yields the sweep's expert count"
+    );
+    let xs: Vec<Vec<f32>> = traces
+        .windows
+        .iter()
+        .map(|w| model.window_features(w, &i))
+        .collect();
+
+    let (warm, steps) = if args.quick { (8, 40) } else { (16, 200) };
+    let mut batched = model.stream_predictor();
+    let shards = batched.shard_count();
+    let state_bytes = batched.state_bytes();
+    let batched_wps = windows_per_sec(&xs, warm, steps, |x| {
+        batched.step(x);
+    });
+    let mut reference = model.per_expert_predictor();
+    let per_expert_wps = windows_per_sec(&xs, warm, steps, |x| {
+        reference.step(x);
+    });
+
+    let threads = model_threads(args);
+    let step_secs = 1.0 / batched_wps;
+    Row {
+        experts,
+        shards,
+        batched_wps,
+        per_expert_wps,
+        bytes_per_expert: state_bytes as f64 / experts as f64,
+        experts_per_core: experts as f64 * args.window_secs / (step_secs * threads as f64),
+    }
+}
+
+/// Worker threads the run is using: the flag, the env var, or all cores —
+/// the same resolution order as the tensor pool.
+fn model_threads(args: &CapacityArgs) -> usize {
+    if let Some(n) = args.threads {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("DEEPREST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+fn run_capacity(raw: Vec<String>) {
+    let args = CapacityArgs::parse(raw);
+    let mut rows = Vec::new();
+    for &e in &args.experts {
+        rows.push(capacity_row(&args, e));
+    }
+
+    if args.json {
+        for r in &rows {
+            println!(
+                "{{\"experts\":{},\"shards\":{},\"batched_windows_per_sec\":{:.1},\
+                 \"per_expert_windows_per_sec\":{:.1},\"speedup\":{:.3},\
+                 \"experts_per_core\":{:.1},\"bytes_per_expert\":{:.1}}}",
+                r.experts,
+                r.shards,
+                r.batched_wps,
+                r.per_expert_wps,
+                r.batched_wps / r.per_expert_wps,
+                r.experts_per_core,
+                r.bytes_per_expert
+            );
+        }
+    } else {
+        println!(
+            "deeprest capacity — batched serving throughput ({} threads, {}s windows)",
+            model_threads(&args),
+            args.window_secs
+        );
+        println!(
+            "{:>8}  {:>6}  {:>12}  {:>14}  {:>7}  {:>12}  {:>10}",
+            "experts",
+            "shards",
+            "batched w/s",
+            "per-expert w/s",
+            "speedup",
+            "experts/core",
+            "KiB/expert"
+        );
+        for r in &rows {
+            println!(
+                "{:>8}  {:>6}  {:>12.1}  {:>14.1}  {:>6.2}x  {:>12.3e}  {:>10.1}",
+                r.experts,
+                r.shards,
+                r.batched_wps,
+                r.per_expert_wps,
+                r.batched_wps / r.per_expert_wps,
+                r.experts_per_core,
+                r.bytes_per_expert / 1024.0
+            );
+        }
+    }
+
+    if let Some(min) = args.assert_speedup {
+        for r in &rows {
+            let speedup = r.batched_wps / r.per_expert_wps;
+            if speedup < min {
+                eprintln!(
+                    "capacity: FAIL — {} experts: batched is {speedup:.2}x per-expert (< {min}x)",
+                    r.experts
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("capacity: PASS — batched ≥ {min}x per-expert at every expert count");
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("capacity") => run_capacity(args.collect()),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("usage: deeprest capacity [--quick] [--experts N,N,..] [--threads N]");
+            eprintln!("                         [--window-secs S] [--assert-speedup R] [--json]");
+            std::process::exit(if std::env::args().len() > 1 { 0 } else { 2 });
+        }
+        Some(other) => {
+            eprintln!("deeprest: unknown subcommand `{other}` (try `deeprest capacity`)");
+            std::process::exit(2);
+        }
+    }
+}

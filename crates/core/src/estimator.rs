@@ -415,7 +415,7 @@ impl DeepRest {
 
     /// The worker pool this model fans training and prediction out over:
     /// [`DeepRestConfig::threads`] when set, the process-wide pool otherwise.
-    fn pool(&self) -> Pool {
+    pub(crate) fn pool(&self) -> Pool {
         match self.config.threads {
             Some(n) => Pool::with_threads(n),
             None => Pool::global(),
@@ -581,10 +581,11 @@ impl DeepRest {
     /// three-quantile output var of expert `e` at step `t`; `mask_sig[e]` is
     /// the expert's sigmoid mask node (reused by the training regularizer).
     ///
-    /// [`crate::stream::StreamPredictor::step`] mirrors one iteration of
-    /// this unroll with carried hidden state; any change to the op sequence
-    /// here must be replicated there to preserve streaming/batch
-    /// bit-identity.
+    /// [`crate::stream::StreamPredictor::step`] (batched) and
+    /// [`crate::stream::PerExpertPredictor::step`] (tape oracle) both
+    /// mirror one iteration of this unroll with carried hidden state; any
+    /// change to the op sequence here must be replicated in both to
+    /// preserve streaming/batch bit-identity.
     fn forward(&self, g: &mut Graph, xs: &[Tensor]) -> Forward {
         let e_count = self.experts.len();
         let hidden = self.config.hidden_dim;
@@ -746,8 +747,9 @@ impl DeepRest {
     ///
     /// The chunk boundaries (`subseq_len.max(2)`) and the per-output
     /// postprocessing (scaler inverse + quantile-crossing guard) are
-    /// mirrored by [`crate::stream::StreamPredictor::step`]; changes here
-    /// must be replicated there.
+    /// mirrored by [`crate::stream::StreamPredictor::step`] and its
+    /// [`crate::stream::PerExpertPredictor`] oracle; changes here must be
+    /// replicated there.
     fn predict(&self, xs: &[Vec<f32>]) -> Estimates {
         let _span = telemetry::span("estimate.predict");
         let t = xs.len();

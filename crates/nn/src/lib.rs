@@ -47,7 +47,9 @@ pub mod init;
 mod linear;
 pub mod loss;
 mod optim;
+pub mod slab;
 
 pub use gru::{BoundGruCell, GruCell};
 pub use linear::{BoundLinear, Linear};
 pub use optim::{Adam, Sgd};
+pub use slab::ExpertSlab;

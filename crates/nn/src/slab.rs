@@ -1,0 +1,329 @@
+//! Packed multi-expert GRU weights for the batched serving hot loop.
+//!
+//! Per-expert serving binds nine GRU parameters into a tape and issues nine
+//! small GEMVs per expert per window. [`ExpertSlab`] instead packs every
+//! expert's gate weights once, into three contiguous slabs laid out for the
+//! batched kernels:
+//!
+//! ```text
+//! w    : per expert  [W_z; W_k; W_h]   one (3·hidden, input) stack
+//! u_zk : per expert  [U_z; U_k]        one (2·hidden, hidden) stack
+//! u_h  : per expert  U_h               one (hidden, hidden) matrix
+//! bias : per expert  [b_z; b_k; b_h]   3·hidden values
+//! ```
+//!
+//! [`ExpertSlab::step_range`] then advances a contiguous range of experts
+//! with three [`deeprest_tensor::kernel::gemv_batch_into`] calls plus two
+//! fused elementwise passes — instead of `9 × experts` parameter copies and
+//! tape nodes.
+//!
+//! **Bit-identity.** Vertically stacking weight matrices does not change
+//! any per-row dot product: row `i` of `[W_z; W_k; W_h] · x` is exactly row
+//! `i mod hidden` of the corresponding unstacked GEMV, contracted in the
+//! same kernel lane order against the same operand. The elementwise gate
+//! math reproduces the tape ops verbatim (`act((wx + uh) + b)` for the
+//! fused gates, `(z·h) + ((1-z)·h̃)` for the output mix, `k·h` for the
+//! reset product), so a slab step is bit-for-bit the tape step. The
+//! equivalence is asserted by this module's tests and end-to-end by
+//! `crates/core/tests/batched_stream.rs`.
+
+use deeprest_tensor::kernel::gemv_batch_into;
+use deeprest_tensor::{BufferPool, ParamStore};
+
+use crate::GruCell;
+
+/// Contiguous per-expert GRU gate weights; see the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct ExpertSlab {
+    experts: usize,
+    input_dim: usize,
+    hidden_dim: usize,
+    /// Per expert: `[W_z; W_k; W_h]`, row-major `(3·hidden, input)`.
+    w: Vec<f32>,
+    /// Per expert: `[U_z; U_k]`, row-major `(2·hidden, hidden)`.
+    u_zk: Vec<f32>,
+    /// Per expert: `U_h`, row-major `(hidden, hidden)`.
+    u_h: Vec<f32>,
+    /// Per expert: `[b_z; b_k; b_h]`, `3·hidden` values.
+    bias: Vec<f32>,
+}
+
+impl ExpertSlab {
+    /// Packs the current values of every cell's nine parameters out of
+    /// `store`. The slab is a value snapshot: it does not track later
+    /// parameter updates (serving packs once per loaded model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cells do not share one `(input_dim, hidden_dim)`.
+    pub fn pack(store: &ParamStore, cells: &[GruCell]) -> Self {
+        let input_dim = cells.first().map_or(0, GruCell::input_dim);
+        let hidden_dim = cells.first().map_or(0, GruCell::hidden_dim);
+        let (e, d, h) = (cells.len(), input_dim, hidden_dim);
+        let mut slab = Self {
+            experts: e,
+            input_dim: d,
+            hidden_dim: h,
+            w: Vec::with_capacity(e * 3 * h * d),
+            u_zk: Vec::with_capacity(e * 2 * h * h),
+            u_h: Vec::with_capacity(e * h * h),
+            bias: Vec::with_capacity(e * 3 * h),
+        };
+        for cell in cells {
+            assert_eq!(
+                (cell.input_dim(), cell.hidden_dim()),
+                (d, h),
+                "ExpertSlab::pack: cells must share one shape"
+            );
+            for id in [cell.wz, cell.wk, cell.wh] {
+                slab.w.extend_from_slice(store.value(id).data());
+            }
+            for id in [cell.uz, cell.uk] {
+                slab.u_zk.extend_from_slice(store.value(id).data());
+            }
+            slab.u_h.extend_from_slice(store.value(cell.uh).data());
+            for id in [cell.bz, cell.bk, cell.bh] {
+                slab.bias.extend_from_slice(store.value(id).data());
+            }
+        }
+        slab
+    }
+
+    /// Number of packed experts.
+    pub fn experts(&self) -> usize {
+        self.experts
+    }
+
+    /// Input dimensionality shared by all packed experts.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state dimensionality shared by all packed experts.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Total bytes of packed weight storage (the capacity tool's
+    /// bytes-per-expert numerator).
+    pub fn bytes(&self) -> usize {
+        (self.w.len() + self.u_zk.len() + self.u_h.len() + self.bias.len())
+            * std::mem::size_of::<f32>()
+    }
+
+    /// Advances experts `lo..lo + count` by one GRU step, in place.
+    ///
+    /// `xs` holds the experts' (masked) input vectors packed per expert
+    /// (`count · input_dim`); `hidden` their carried states
+    /// (`count · hidden_dim`), overwritten with the new states. Scratch is
+    /// drawn from `scratch` and returned before the call ends, so a warm
+    /// pool makes the step allocation-free.
+    ///
+    /// Exactly three batched GEMV calls; bit-identical to `count`
+    /// invocations of [`crate::BoundGruCell::step`] (see the
+    /// [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on range or slab-length mismatch.
+    pub fn step_range(
+        &self,
+        lo: usize,
+        count: usize,
+        xs: &[f32],
+        hidden: &mut [f32],
+        scratch: &mut BufferPool,
+    ) {
+        let (d, h) = (self.input_dim, self.hidden_dim);
+        debug_assert!(
+            lo + count <= self.experts,
+            "ExpertSlab: range out of bounds"
+        );
+        debug_assert_eq!(xs.len(), count * d, "ExpertSlab: bad input slab");
+        debug_assert_eq!(hidden.len(), count * h, "ExpertSlab: bad hidden slab");
+
+        // wx = [W_z; W_k; W_h] · x̃ and uzk = [U_z; U_k] · h_{t-1} for every
+        // expert in the range: two batched GEMVs over the packed stacks.
+        let mut wx = scratch.take(count * 3 * h);
+        gemv_batch_into(
+            &mut wx,
+            &self.w[lo * 3 * h * d..(lo + count) * 3 * h * d],
+            3 * h,
+            d,
+            xs,
+            count,
+        );
+        let mut uzk = scratch.take(count * 2 * h);
+        gemv_batch_into(
+            &mut uzk,
+            &self.u_zk[lo * 2 * h * h..(lo + count) * 2 * h * h],
+            2 * h,
+            h,
+            hidden,
+            count,
+        );
+
+        // Gates and reset product, elementwise per expert:
+        //   z = σ((wx_z + uh_z) + b_z), k = σ((wx_k + uh_k) + b_k),
+        //   gated = k ⊙ h_{t-1}.
+        let mut z = scratch.take(count * h);
+        let mut gated = scratch.take(count * h);
+        for e in 0..count {
+            let wx_e = &wx[e * 3 * h..];
+            let uzk_e = &uzk[e * 2 * h..];
+            let b_e = &self.bias[(lo + e) * 3 * h..];
+            let h_e = &hidden[e * h..(e + 1) * h];
+            for i in 0..h {
+                let zi = sigmoid((wx_e[i] + uzk_e[i]) + b_e[i]);
+                let ki = sigmoid((wx_e[h + i] + uzk_e[h + i]) + b_e[h + i]);
+                z[e * h + i] = zi;
+                gated[e * h + i] = ki * h_e[i];
+            }
+        }
+
+        // uh = U_h · (k ⊙ h_{t-1}): the third batched GEMV.
+        let mut uh = scratch.take(count * h);
+        gemv_batch_into(
+            &mut uh,
+            &self.u_h[lo * h * h..(lo + count) * h * h],
+            h,
+            h,
+            &gated,
+            count,
+        );
+
+        // h̃ = tanh((wx_h + uh) + b_h); h = z ⊙ h_{t-1} + (1 - z) ⊙ h̃.
+        for e in 0..count {
+            let wx_e = &wx[e * 3 * h..];
+            let b_e = &self.bias[(lo + e) * 3 * h..];
+            for i in 0..h {
+                let ht = ((wx_e[2 * h + i] + uh[e * h + i]) + b_e[2 * h + i]).tanh();
+                let zi = z[e * h + i];
+                let hp = hidden[e * h + i];
+                hidden[e * h + i] = (zi * hp) + ((1.0 - zi) * ht);
+            }
+        }
+
+        scratch.put(uh);
+        scratch.put(gated);
+        scratch.put(z);
+        scratch.put(uzk);
+        scratch.put(wx);
+    }
+}
+
+/// The tape's logistic sigmoid, verbatim (`Graph::sigmoid` /
+/// `Graph::gate_sigmoid` use this exact expression).
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeprest_tensor::{Graph, Tensor};
+    use rand::SeedableRng;
+
+    fn cells(n: usize, input: usize, hidden: usize) -> (ParamStore, Vec<GruCell>) {
+        let mut store = ParamStore::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let cells = (0..n)
+            .map(|i| GruCell::new(&mut store, &format!("e{i}"), input, hidden, &mut rng))
+            .collect();
+        (store, cells)
+    }
+
+    /// The hard contract: a slab step over any expert range carries exactly
+    /// the bits of the tape step, across several windows of carried state.
+    #[test]
+    fn step_range_is_bit_identical_to_tape_step() {
+        let (n, d, h) = (5, 7, 6);
+        let (store, cells) = cells(n, d, h);
+        let slab = ExpertSlab::pack(&store, &cells);
+        assert_eq!(slab.experts(), n);
+
+        let xs: Vec<Vec<f32>> = (0..4)
+            .map(|t| (0..d).map(|i| ((t * d + i) as f32 * 0.3).sin()).collect())
+            .collect();
+
+        // Reference: per-expert tape stepping.
+        let mut g = Graph::new();
+        let bound: Vec<_> = cells.iter().map(|c| c.bind(&mut g, &store)).collect();
+        let mut href: Vec<Tensor> = (0..n).map(|_| Tensor::zeros(h, 1)).collect();
+        // Slab under test, advanced in two uneven ranges per window.
+        let mut hslab = vec![0.0f32; n * h];
+        let mut scratch = BufferPool::new();
+
+        for x in &xs {
+            for (e, b) in bound.iter().enumerate() {
+                let xv = g.constant(Tensor::vector(x.clone()));
+                let hv = g.constant_copy(&href[e]);
+                let next = b.step(&mut g, xv, hv);
+                href[e].copy_from(g.value(next));
+            }
+            let mut xslab = Vec::new();
+            for _ in 0..n {
+                xslab.extend_from_slice(x);
+            }
+            let split = 2 * h; // experts [0, 2) then [2, n)
+            let (lo_h, hi_h) = hslab.split_at_mut(split);
+            slab.step_range(0, 2, &xslab[..2 * d], lo_h, &mut scratch);
+            slab.step_range(2, n - 2, &xslab[2 * d..], hi_h, &mut scratch);
+            for e in 0..n {
+                for i in 0..h {
+                    assert_eq!(
+                        hslab[e * h + i].to_bits(),
+                        href[e].data()[i].to_bits(),
+                        "expert {e} element {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_scratch_makes_steps_allocation_free() {
+        use deeprest_telemetry::{self as telemetry, MemorySink};
+        use std::sync::Arc;
+
+        let (store, cells) = cells(3, 4, 8);
+        let slab = ExpertSlab::pack(&store, &cells);
+        let xs = vec![0.5f32; 3 * 4];
+        let mut hidden = vec![0.0f32; 3 * 8];
+        let mut scratch = BufferPool::new();
+        let sink = Arc::new(MemorySink::new());
+        telemetry::with_sink(sink.clone(), || {
+            slab.step_range(0, 3, &xs, &mut hidden, &mut scratch);
+            let warm = sink.counter("kernel.alloc");
+            for _ in 0..10 {
+                slab.step_range(0, 3, &xs, &mut hidden, &mut scratch);
+            }
+            assert_eq!(
+                sink.counter("kernel.alloc"),
+                warm,
+                "warm slab steps must not allocate"
+            );
+            assert!(sink.counter("kernel.scratch_reuse") >= 50);
+        });
+    }
+
+    #[test]
+    fn bytes_accounts_all_packed_weights() {
+        let (n, d, h) = (2, 3, 4);
+        let (store, cells) = cells(n, d, h);
+        let slab = ExpertSlab::pack(&store, &cells);
+        let per_expert = 3 * h * d + 2 * h * h + h * h + 3 * h;
+        assert_eq!(slab.bytes(), n * per_expert * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one shape")]
+    fn pack_rejects_mixed_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = GruCell::new(&mut store, "a", 3, 4, &mut rng);
+        let b = GruCell::new(&mut store, "b", 3, 5, &mut rng);
+        ExpertSlab::pack(&store, &[a, b]);
+    }
+}

@@ -3,8 +3,8 @@
 //! * the pipeline emits the documented counters, gauges, and spans;
 //! * steady-state serving performs **zero** kernel allocations after
 //!   warm-up (the PR-3 training/prediction invariant, extended online);
-//! * per-window inference is O(1) in stream history — the autodiff tape
-//!   is the same size for window 10 and window 10,000.
+//! * per-window inference is O(1) in stream history — the batched step
+//!   runs the same fixed kernel schedule for window 10 and window 10,000.
 
 mod common;
 
@@ -43,8 +43,11 @@ fn serving_emits_documented_telemetry() {
     assert_eq!(sink.counter("serve.window.sealed"), traces.len() as u64);
     assert_eq!(sink.counter("serve.late_dropped"), 1);
     assert_eq!(sink.span_count("serve.predict"), traces.len() as u64);
-    // One gauge sample per window step; every sample the same tape size.
-    assert_eq!(sink.gauges("stream.step.tape_nodes").len(), traces.len());
+    // One gauge sample per window step; every sample the same kernel count.
+    assert_eq!(sink.gauges("stream.step.kernel_ops").len(), traces.len());
+    // The batched step also reports its shard fan-out every window.
+    assert_eq!(sink.gauges("stream.batch.shards").len(), traces.len());
+    assert_eq!(sink.gauges("stream.batch.experts").len(), traces.len());
 }
 
 #[test]
@@ -90,7 +93,7 @@ fn steady_state_serving_allocates_nothing() {
 }
 
 #[test]
-fn per_window_tape_size_is_constant() {
+fn per_window_kernel_schedule_is_constant() {
     let (model, interner, traces, _) = trained(96);
     let stream = stream_of(&traces);
 
@@ -103,15 +106,15 @@ fn per_window_tape_size_is_constant() {
         pipeline.flush().unwrap();
     });
 
-    let tapes = sink.gauges("stream.step.tape_nodes");
-    assert_eq!(tapes.len(), traces.len());
-    let first = tapes[0];
+    let ops = sink.gauges("stream.step.kernel_ops");
+    assert_eq!(ops.len(), traces.len());
+    let first = ops[0];
     assert!(first > 0.0);
-    for (w, &size) in tapes.iter().enumerate() {
+    for (w, &size) in ops.iter().enumerate() {
         assert_eq!(
             size.to_bits(),
             first.to_bits(),
-            "window {w} built a different tape — inference is not O(1)"
+            "window {w} ran a different kernel schedule — inference is not O(1)"
         );
     }
 }

@@ -728,6 +728,34 @@ fn gemm_tn_partial_rows(out: &mut [f32], a: &[f32], k: usize, m: usize, b: &[f32
     }
 }
 
+/// Transposed GEMV: `out = a^T * x` with `a` `(k, m)` row-major and `x` a
+/// `k`-vector, without materializing the transpose.
+///
+/// The packed `gemm_tn` path is a pessimization here: packing gathers a
+/// strided `LANES`-column slab of `a` that a single right-hand column then
+/// uses exactly once, so the copy is pure overhead (it roughly doubles the
+/// memory traffic and is the reason `matmul/tn/128x128x1` trailed
+/// `matmul/nn` ~3×). Instead each `LANES`-wide block of `a`'s columns is
+/// contracted directly from the strided operand — per row of `a` that is
+/// one contiguous `LANES`-float load, so the walk streams `a` row-major
+/// once per block. The accumulation order is the shared [`gemm_tn_block`]
+/// tile (term `kk` in lane `kk % LANES`, tree [`reduce`]), so the bits are
+/// identical to [`gemm_tn_into`]'s packed path and to [`gemm_into`] on a
+/// materialized transpose.
+pub fn gemv_t_into(out: &mut [f32], a: &[f32], k: usize, m: usize, x: &[f32]) {
+    debug_assert_eq!(a.len(), k * m, "kernel::gemv_t: bad matrix length");
+    debug_assert_eq!(x.len(), k, "kernel::gemv_t: bad vector length");
+    debug_assert_eq!(out.len(), m, "kernel::gemv_t: bad output length");
+    let mut vals = [0.0f32; LANES];
+    let mut ib = 0;
+    while ib + LANES <= m {
+        gemm_tn_block(&mut vals, a, ib, m, x, 1, 0, k);
+        out[ib..ib + LANES].copy_from_slice(&vals);
+        ib += LANES;
+    }
+    gemm_tn_partial_rows(out, a, k, m, x, 1);
+}
+
 /// The output is produced in `LANES`-wide blocks of `a`'s columns; for each
 /// block the contraction walks `a` row-major (reading `LANES` consecutive
 /// elements of each row), carrying the same `[k-lane][column]` register tile
@@ -735,12 +763,17 @@ fn gemm_tn_partial_rows(out: &mut [f32], a: &[f32], k: usize, m: usize, b: &[f32
 /// materialized transpose. Blocks are walked block-outer / column-inner so
 /// one block's slab of `a` (`k * LANES` floats) stays cache-resident while
 /// `b`'s columns stream past it; large strided slabs are packed contiguously
-/// first, exactly as in [`gemm_into`]. Covers the backward pass's `A^T * g`
-/// GEMV-T (`n == 1`) with a single streaming pass over `a`.
+/// first, exactly as in [`gemm_into`]. The backward pass's `A^T * g` GEMV-T
+/// (`n == 1`) dispatches to the dedicated [`gemv_t_into`], which never packs
+/// (a single column reuses nothing, so packing is pure overhead).
 pub fn gemm_tn_into(out: &mut [f32], a: &[f32], k: usize, m: usize, b: &[f32], n: usize) {
     debug_assert_eq!(a.len(), k * m, "kernel::gemm_tn: bad lhs length");
     debug_assert_eq!(b.len(), k * n, "kernel::gemm_tn: bad rhs length");
     debug_assert_eq!(out.len(), m * n, "kernel::gemm_tn: bad output length");
+    if n == 1 {
+        gemv_t_into(out, a, k, m, b);
+        return;
+    }
     let mut vals = [0.0f32; LANES];
     if k <= PACK_MAX_K && k * m >= PACK_MIN_ELEMS && m >= LANES {
         // Both operands are strided here (`a` by `m`, `b`'s broadcast
@@ -790,6 +823,80 @@ pub fn gemm_tn_into(out: &mut [f32], a: &[f32], k: usize, m: usize, b: &[f32], n
         }
     }
     gemm_tn_partial_rows(out, a, k, m, b, n);
+}
+
+/// Batched GEMV over packed per-item slabs: item `i` of `batch` computes
+/// `out[i*rows .. (i+1)*rows] = a_i * x_i`, where `a_i` is the `i`-th
+/// row-major `(rows, cols)` matrix in the contiguous weight slab `a` and
+/// `x_i` the `i`-th `cols`-vector in the contiguous operand slab `x`.
+///
+/// This is the serving hot loop's entry point: one call advances a whole
+/// shard of experts against their packed gate weights. Each item runs the
+/// exact [`gemv_into`] dispatch (sparse / AVX2 / portable, decided per
+/// item on its own operand vector), so every output element carries the
+/// same bits as an unbatched call — the batch form buys the contiguous
+/// slab layout and a single bounds-checked entry, not a different
+/// accumulation order.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on slab length mismatch.
+pub fn gemv_batch_into(
+    out: &mut [f32],
+    a: &[f32],
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    batch: usize,
+) {
+    debug_assert_eq!(a.len(), batch * rows * cols, "kernel::gemv_batch: bad slab");
+    debug_assert_eq!(x.len(), batch * cols, "kernel::gemv_batch: bad operands");
+    debug_assert_eq!(out.len(), batch * rows, "kernel::gemv_batch: bad output");
+    let mat = rows * cols;
+    for i in 0..batch {
+        gemv_into(
+            &mut out[i * rows..(i + 1) * rows],
+            &a[i * mat..(i + 1) * mat],
+            rows,
+            cols,
+            &x[i * cols..(i + 1) * cols],
+        );
+    }
+}
+
+/// Batched GEMM over packed per-item slabs: item `i` of `batch` computes
+/// `out_i = a_i * b_i` with `a_i` `(m, k)` and `b_i` `(k, n)`, all
+/// row-major and packed contiguously per item.
+///
+/// Each item runs the exact [`gemm_into`] tile walk, so per-element bits
+/// match the unbatched kernel; see [`gemv_batch_into`] for the contract
+/// argument.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on slab length mismatch.
+pub fn gemm_batch_into(
+    out: &mut [f32],
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    batch: usize,
+) {
+    debug_assert_eq!(a.len(), batch * m * k, "kernel::gemm_batch: bad lhs slab");
+    debug_assert_eq!(b.len(), batch * k * n, "kernel::gemm_batch: bad rhs slab");
+    debug_assert_eq!(out.len(), batch * m * n, "kernel::gemm_batch: bad output");
+    for i in 0..batch {
+        gemm_into(
+            &mut out[i * m * n..(i + 1) * m * n],
+            &a[i * m * k..(i + 1) * m * k],
+            m,
+            k,
+            &b[i * k * n..(i + 1) * k * n],
+            n,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -899,6 +1006,94 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn gemv_t_matches_per_element_dot() {
+        // Includes shapes that would (k*m >= PACK_MIN_ELEMS) and would not
+        // have taken the packed gemm_tn path before the dedicated GEMV-T.
+        for (k, m) in [(1, 1), (5, 3), (8, 16), (20, 13), (128, 128), (64, 70)] {
+            let a = ramp(k * m, |i| (i as f32 * 0.23).sin() - 0.1);
+            let x = ramp(k, |i| (i as f32 * 0.17).cos() + 0.3);
+            let mut out = vec![0.0f32; m];
+            gemv_t_into(&mut out, &a, k, m, &x);
+            for i in 0..m {
+                let col: Vec<f32> = (0..k).map(|kk| a[kk * m + i]).collect();
+                let want = dot_reference(&col, &x);
+                assert_eq!(out[i].to_bits(), want.to_bits(), "({k},{m}) at {i}");
+            }
+            // The gemm_tn entry point must dispatch to the same bits.
+            let mut via_tn = vec![0.0f32; m];
+            gemm_tn_into(&mut via_tn, &a, k, m, &x, 1);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                via_tn.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn gemv_batch_matches_unbatched_calls_bitwise() {
+        // Mix of dense and blockily-zero operand vectors so different items
+        // dispatch to different paths inside one batch.
+        let (rows, cols, batch) = (9, 40, 5);
+        let a = ramp(batch * rows * cols, |i| (i as f32 * 0.03).sin());
+        let mut x = ramp(batch * cols, |i| (i as f32 * 0.19).cos());
+        for (i, v) in x.iter_mut().enumerate() {
+            // Items 1 and 3 get blocky sparsity past their first chunk.
+            let item = i / cols;
+            if (item == 1 || item == 3) && i % cols >= LANES {
+                *v = 0.0;
+            }
+        }
+        let mut batched = vec![0.0f32; batch * rows];
+        gemv_batch_into(&mut batched, &a, rows, cols, &x, batch);
+        for i in 0..batch {
+            let mut single = vec![0.0f32; rows];
+            gemv_into(
+                &mut single,
+                &a[i * rows * cols..(i + 1) * rows * cols],
+                rows,
+                cols,
+                &x[i * cols..(i + 1) * cols],
+            );
+            assert_eq!(
+                batched[i * rows..(i + 1) * rows]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "item {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_batch_matches_unbatched_calls_bitwise() {
+        let (m, k, n, batch) = (4, 7, 5, 3);
+        let a = ramp(batch * m * k, |i| (i as f32 * 0.11).sin() * 1.5);
+        let b = ramp(batch * k * n, |i| (i as f32 * 0.07).cos() - 0.4);
+        let mut batched = vec![0.0f32; batch * m * n];
+        gemm_batch_into(&mut batched, &a, m, k, &b, n, batch);
+        for i in 0..batch {
+            let mut single = vec![0.0f32; m * n];
+            gemm_into(
+                &mut single,
+                &a[i * m * k..(i + 1) * m * k],
+                m,
+                k,
+                &b[i * k * n..(i + 1) * k * n],
+                n,
+            );
+            assert_eq!(
+                batched[i * m * n..(i + 1) * m * n]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "item {i}"
+            );
         }
     }
 

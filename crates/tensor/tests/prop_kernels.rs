@@ -9,7 +9,8 @@
 //! `crates/core/tests/determinism.rs` honest on AVX2 hardware.
 
 use deeprest_tensor::kernel::{
-    self, dot_avx2, dot_portable, dot_sparse, gemm_into, gemm_nt_into, gemm_tn_into, gemv_into,
+    self, dot_avx2, dot_portable, dot_sparse, gemm_batch_into, gemm_into, gemm_nt_into,
+    gemm_tn_into, gemv_batch_into, gemv_into, gemv_t_into,
 };
 use deeprest_tensor::Tensor;
 use proptest::prelude::*;
@@ -97,6 +98,94 @@ proptest! {
             via_t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             "({}, {}, {})", m, k, n
         );
+    }
+
+    #[test]
+    fn gemv_t_matches_per_column_dot(
+        k in 1usize..25,
+        m in 1usize..35,
+        seed in proptest::collection::vec(zero_laden(), 25 * 35 + 25),
+    ) {
+        let a: Vec<f32> = seed[..k * m].to_vec(); // (k, m)
+        let x: Vec<f32> = seed[seed.len() - k..].to_vec();
+        let mut out = vec![0.0f32; m];
+        gemv_t_into(&mut out, &a, k, m, &x);
+        for i in 0..m {
+            let col: Vec<f32> = (0..k).map(|kk| a[kk * m + i]).collect();
+            prop_assert_eq!(
+                out[i].to_bits(),
+                dot_portable(&col, &x).to_bits(),
+                "({}, {}) at {}", k, m, i
+            );
+        }
+        // The gemm_tn entry point with n == 1 must dispatch here bit-exactly.
+        let mut via_tn = vec![0.0f32; m];
+        gemm_tn_into(&mut via_tn, &a, k, m, &x, 1);
+        prop_assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            via_tn.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gemv_batch_matches_unbatched_bits(
+        rows in 1usize..7,
+        cols in 1usize..25,
+        batch in 1usize..6,
+        seed in proptest::collection::vec(zero_laden(), 6 * (7 * 25 + 25)),
+    ) {
+        let mat = rows * cols;
+        let a: Vec<f32> = seed[..batch * mat].to_vec();
+        let x: Vec<f32> = seed[seed.len() - batch * cols..].to_vec();
+        let mut batched = vec![0.0f32; batch * rows];
+        gemv_batch_into(&mut batched, &a, rows, cols, &x, batch);
+        for i in 0..batch {
+            let mut single = vec![0.0f32; rows];
+            gemv_into(
+                &mut single,
+                &a[i * mat..(i + 1) * mat],
+                rows,
+                cols,
+                &x[i * cols..(i + 1) * cols],
+            );
+            prop_assert_eq!(
+                batched[i * rows..(i + 1) * rows]
+                    .iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "item {} of ({}, {}, {})", i, rows, cols, batch
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_batch_matches_unbatched_bits(
+        m in 1usize..5,
+        k in 1usize..9,
+        n in 1usize..5,
+        batch in 1usize..4,
+        seed in proptest::collection::vec(zero_laden(), 4 * (5 * 9 + 9 * 5)),
+    ) {
+        let a: Vec<f32> = seed[..batch * m * k].to_vec();
+        let b: Vec<f32> = seed[seed.len() - batch * k * n..].to_vec();
+        let mut batched = vec![0.0f32; batch * m * n];
+        gemm_batch_into(&mut batched, &a, m, k, &b, n, batch);
+        for i in 0..batch {
+            let mut single = vec![0.0f32; m * n];
+            gemm_into(
+                &mut single,
+                &a[i * m * k..(i + 1) * m * k],
+                m,
+                k,
+                &b[i * k * n..(i + 1) * k * n],
+                n,
+            );
+            prop_assert_eq!(
+                batched[i * m * n..(i + 1) * m * n]
+                    .iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "item {} of ({}, {}, {}, {})", i, m, k, n, batch
+            );
+        }
     }
 
     #[test]
