@@ -146,6 +146,19 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw generator state, for checkpointing a stream mid-flight.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact [`state`](Self::state), resuming
+        /// the stream bit-identically.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;

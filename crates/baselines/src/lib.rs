@@ -21,12 +21,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//! A fourth, non-estimating baseline rides along for the closed-loop
+//! autoscaling comparison: [`ReactiveScaling`], an HPA-style threshold
+//! controller that reacts to observed utilization with no traffic
+//! foresight — the policy `deeprest-scale`'s proactive loop is measured
+//! against.
+
 mod component_aware;
 mod interface;
+mod reactive_scaling;
 mod resource_aware;
 mod simple_scaling;
 
 pub use component_aware::ComponentAwareScaling;
 pub use interface::{day_profile, BaselineEstimator, LearnData, QueryData};
+pub use reactive_scaling::{ReactiveConfig, ReactiveScaling};
 pub use resource_aware::ResourceAwareDl;
 pub use simple_scaling::SimpleScaling;

@@ -1,0 +1,173 @@
+//! The reactive threshold autoscaler — the `deeprest-scale` comparison
+//! baseline.
+//!
+//! Classic HPA-style control: observe the *current* per-replica
+//! utilization, multiply the replica count by `observed / target`, apply a
+//! deadband and a cooldown. No model, no traffic foresight — it reacts to
+//! load it can already see, which is exactly why it pays for surges with
+//! SLO-violation windows (the scale-up only starts once utilization has
+//! already blown past the target, and new replicas arrive a start-up lag
+//! later) and then bleeds the extra capacity off slowly.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the [`ReactiveScaling`] controller.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ReactiveConfig {
+    /// Per-replica utilization the controller steers toward (fraction of
+    /// capacity, e.g. `0.65`).
+    pub target_utilization: f64,
+    /// Relative deadband around the target inside which no decision is
+    /// made (e.g. `0.1` holds while utilization is within ±10% of target).
+    pub deadband: f64,
+    /// Lower replica bound.
+    pub min_replicas: u32,
+    /// Upper replica bound.
+    pub max_replicas: u32,
+    /// Windows after a change during which further changes are suppressed.
+    pub cooldown_windows: usize,
+}
+
+impl Default for ReactiveConfig {
+    fn default() -> Self {
+        Self {
+            target_utilization: 0.65,
+            deadband: 0.1,
+            min_replicas: 1,
+            max_replicas: 8,
+            cooldown_windows: 2,
+        }
+    }
+}
+
+/// Reactive threshold autoscaler for one component.
+///
+/// Feed the observed per-replica utilization of each window to
+/// [`observe`](Self::observe) and deploy the returned target. Entirely
+/// deterministic: the decision sequence is a pure function of the observed
+/// utilization sequence.
+#[derive(Clone, Debug)]
+pub struct ReactiveScaling {
+    config: ReactiveConfig,
+    target: u32,
+    /// First window at which the next change is allowed.
+    cooldown_until: usize,
+}
+
+impl ReactiveScaling {
+    /// Creates a controller starting at `min_replicas`.
+    pub fn new(config: ReactiveConfig) -> Self {
+        let target = config.min_replicas.max(1);
+        Self {
+            config,
+            target,
+            cooldown_until: 0,
+        }
+    }
+
+    /// The current replica target.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    /// The controller's tuning.
+    pub fn config(&self) -> &ReactiveConfig {
+        &self.config
+    }
+
+    /// Observes one window's per-replica utilization (fraction of capacity;
+    /// may exceed 1 under congestion) and returns the replica target for
+    /// the next window: `ceil(current × observed / target_utilization)`,
+    /// clamped to the configured bounds, held inside the deadband and
+    /// during cooldown.
+    pub fn observe(&mut self, window: usize, utilization: f64) -> u32 {
+        let c = &self.config;
+        if window < self.cooldown_until {
+            return self.target;
+        }
+        let tgt = c.target_utilization.max(1e-9);
+        if (utilization - tgt).abs() <= c.deadband * tgt {
+            return self.target;
+        }
+        let raw = (f64::from(self.target) * utilization / tgt).ceil();
+        let desired = (raw.max(1.0) as u32).clamp(c.min_replicas.max(1), c.max_replicas.max(1));
+        if desired != self.target {
+            self.target = desired;
+            self.cooldown_until = window + c.cooldown_windows.max(1);
+        }
+        self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ReactiveConfig {
+        ReactiveConfig {
+            target_utilization: 0.5,
+            deadband: 0.1,
+            min_replicas: 1,
+            max_replicas: 6,
+            cooldown_windows: 2,
+        }
+    }
+
+    #[test]
+    fn scales_up_proportionally_to_overload() {
+        let mut r = ReactiveScaling::new(config());
+        // 1 replica at 150% of capacity → ceil(1 × 1.5 / 0.5) = 3.
+        assert_eq!(r.observe(0, 1.5), 3);
+    }
+
+    #[test]
+    fn holds_inside_the_deadband() {
+        let mut r = ReactiveScaling::new(config());
+        assert_eq!(r.observe(0, 0.54), 1); // Within ±10% of 0.5.
+        assert_eq!(r.observe(1, 0.46), 1);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut r = ReactiveScaling::new(config());
+        assert_eq!(r.observe(0, 100.0), 6, "clamped to max");
+        let mut low = ReactiveScaling::new(ReactiveConfig {
+            min_replicas: 2,
+            ..config()
+        });
+        assert_eq!(low.target(), 2);
+        assert_eq!(low.observe(0, 0.0), 2, "clamped to min");
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_changes() {
+        let mut r = ReactiveScaling::new(config());
+        assert_eq!(r.observe(0, 1.0), 2);
+        // Still overloaded, but the change at window 0 started a 2-window
+        // cooldown.
+        assert_eq!(r.observe(1, 1.0), 2);
+        assert_eq!(r.observe(2, 1.0), 4);
+    }
+
+    #[test]
+    fn scales_down_when_idle() {
+        let mut r = ReactiveScaling::new(config());
+        assert_eq!(r.observe(0, 2.0), 4);
+        // Post-surge: 4 replicas at 10% each → ceil(4 × 0.1 / 0.5) = 1.
+        assert_eq!(r.observe(2, 0.1), 1);
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_observations() {
+        let utils = [0.3, 0.9, 1.4, 0.8, 0.5, 0.2, 0.1, 0.6];
+        let run = || {
+            let mut r = ReactiveScaling::new(config());
+            utils
+                .iter()
+                .enumerate()
+                .map(|(w, &u)| r.observe(w, u))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

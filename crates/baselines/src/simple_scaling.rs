@@ -159,6 +159,103 @@ mod tests {
     }
 
     #[test]
+    fn multi_day_history_averages_into_one_profile() {
+        // Two days with different levels: the profile is their mean, so a
+        // query at the mean level reproduces the mean utilization.
+        let traffic = ApiTraffic::new(
+            vec!["/a".into()],
+            2,
+            vec![vec![10.0], vec![20.0], vec![30.0], vec![40.0]],
+        );
+        let mut metrics = MetricsRegistry::new();
+        metrics.insert(
+            MetricKey::new("C", ResourceKind::Cpu),
+            TimeSeries::from_values(vec![10.0, 20.0, 30.0, 40.0]),
+        );
+        let traces = WindowedTraces::with_windows(1.0, 4);
+        let interner = Interner::new();
+        let mut b = SimpleScaling::new();
+        b.fit(&LearnData {
+            traffic: &traffic,
+            traces: &traces,
+            metrics: &metrics,
+            interner: &interner,
+        });
+        // Profile window 0 = mean(10, 30) = 20; query 20 → ratio 1 → 20.
+        let query = ApiTraffic::new(vec!["/a".into()], 2, vec![vec![20.0], vec![30.0]]);
+        let est = b.estimate(&QueryData {
+            traffic: &query,
+            traces: None,
+            interner: None,
+        });
+        let cpu = &est[&MetricKey::new("C", ResourceKind::Cpu)];
+        assert!((cpu.get(0) - 20.0).abs() < 1e-9);
+        assert!((cpu.get(1) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn night_window_denominator_is_floored() {
+        // Historical window 1 has (near-)zero traffic; a query against it
+        // must divide by the floored denominator, not explode.
+        let traffic = ApiTraffic::new(vec!["/a".into()], 2, vec![vec![100.0], vec![0.0]]);
+        let mut metrics = MetricsRegistry::new();
+        metrics.insert(
+            MetricKey::new("C", ResourceKind::Cpu),
+            TimeSeries::from_values(vec![50.0, 1.0]),
+        );
+        let traces = WindowedTraces::with_windows(1.0, 2);
+        let interner = Interner::new();
+        let mut b = SimpleScaling::new();
+        b.fit(&LearnData {
+            traffic: &traffic,
+            traces: &traces,
+            metrics: &metrics,
+            interner: &interner,
+        });
+        let query = ApiTraffic::new(vec!["/a".into()], 2, vec![vec![100.0], vec![10.0]]);
+        let est = b.estimate(&QueryData {
+            traffic: &query,
+            traces: None,
+            interner: None,
+        });
+        let cpu = &est[&MetricKey::new("C", ResourceKind::Cpu)];
+        assert!(cpu.get(1).is_finite());
+        // Floor = 5% of mean(100, 0) = 2.5, so ratio = 10 / 2.5 = 4.
+        assert!((cpu.get(1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_longer_than_history_wraps_the_day_profile() {
+        let (traffic, metrics, traces, interner) = setup();
+        let mut b = SimpleScaling::new();
+        b.fit(&LearnData {
+            traffic: &traffic,
+            traces: &traces,
+            metrics: &metrics,
+            interner: &interner,
+        });
+        // Two query days over a one-day profile: day 2 repeats day 1.
+        let query = ApiTraffic::new(
+            vec!["/a".into()],
+            4,
+            [10.0, 20.0, 10.0, 5.0, 10.0, 20.0, 10.0, 5.0]
+                .iter()
+                .map(|&v| vec![v])
+                .collect(),
+        );
+        let est = b.estimate(&QueryData {
+            traffic: &query,
+            traces: None,
+            interner: None,
+        });
+        let cpu = &est[&MetricKey::new("C", ResourceKind::Cpu)];
+        assert_eq!(cpu.len(), 8);
+        for t in 0..4 {
+            assert_eq!(cpu.get(t).to_bits(), cpu.get(t + 4).to_bits());
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "before fit")]
     fn estimate_before_fit_panics() {
         let (traffic, ..) = setup();

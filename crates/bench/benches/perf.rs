@@ -9,6 +9,10 @@ use deeprest_core::{DeepRest, DeepRestConfig, FeatureSpace, TraceSynthesizer};
 use deeprest_fault::{self as fault, FaultPlan};
 use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
 use deeprest_nn::GruCell;
+use deeprest_scale::{
+    ScaleLoop, ScaleLoopConfig, Scenario, ScenarioKind, TargetUtilizationPolicy,
+    PROACTIVE_TARGET_UTILIZATION,
+};
 use deeprest_tensor::{kernel, linalg, Graph, ParamStore, Tensor};
 use deeprest_trace::window::WindowedTraces;
 use deeprest_trace::{Interner, SpanNode, Trace};
@@ -400,6 +404,35 @@ fn bench_pca(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full proactive control interval of the closed autoscaling loop:
+/// `control_interval` simulated windows, their trace ingests into the
+/// serving pipeline, and the control tick's what-if estimate + decision.
+/// This is the recurring per-interval cost an operator pays to run the
+/// autoscaler.
+fn bench_scale_control_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(20);
+    let scenario = Scenario::new(ScenarioKind::Surge);
+    let model = scenario.train();
+    let config = ScaleLoopConfig::default();
+    let policy = TargetUtilizationPolicy {
+        target_utilization: PROACTIVE_TARGET_UTILIZATION,
+    };
+    group.bench_function("control_interval", |b| {
+        let mut lp = ScaleLoop::new(&model, &scenario, policy, config);
+        b.iter(|| {
+            for _ in 0..config.control_interval {
+                if !lp.step().expect("scale step") {
+                    // Scenario exhausted: restart the loop and keep going.
+                    lp = ScaleLoop::new(&model, &scenario, policy, config);
+                    lp.step().expect("scale step after restart");
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_feature_extraction,
@@ -415,6 +448,7 @@ criterion_group!(
     bench_gemm_batch,
     bench_gru_step,
     bench_backward,
-    bench_pca
+    bench_pca,
+    bench_scale_control_interval
 );
 criterion_main!(benches);

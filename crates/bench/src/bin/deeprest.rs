@@ -24,11 +24,33 @@
 //!   `experts × window_secs / (step_secs × threads)`;
 //! * `KiB/expert` — resident packed weights + carried state per expert
 //!   (gate slab, attention/head/skip packs, hidden vectors).
+//!
+//! # `deeprest scale`
+//!
+//! Replays the closed-loop autoscaling scenarios, reporting SLO-violation
+//! windows and provisioned cost for the proactive what-if policy against
+//! the reactive threshold baseline:
+//!
+//! ```text
+//! deeprest scale                              # all four scenarios
+//! deeprest scale --scenario surge             # one scenario
+//! deeprest scale --quick                      # surge + flash-crowd (CI smoke)
+//! deeprest scale --assert-better-than-reactive  # exit 1 unless proactive wins
+//! deeprest scale --json                       # machine-readable rows
+//! ```
+//!
+//! The assertion is the repo's headline autoscaling claim: on the
+//! announced surge and the flash crowd the proactive policy must have
+//! strictly fewer violation windows at equal-or-lower cost; on the
+//! remaining scenarios it must never violate more.
 
 use std::time::Instant;
 
 use deeprest_core::{DeepRest, DeepRestConfig};
 use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
+use deeprest_scale::{
+    run_proactive, run_reactive, ScaleLoopConfig, ScaleReport, Scenario, ScenarioKind,
+};
 use deeprest_trace::window::WindowedTraces;
 use deeprest_trace::{Interner, SpanNode, Trace};
 
@@ -289,17 +311,170 @@ fn run_capacity(raw: Vec<String>) {
     }
 }
 
+struct ScaleArgs {
+    /// Scenarios to replay.
+    scenarios: Vec<ScenarioKind>,
+    /// Exit non-zero unless proactive beats reactive (strict on surge and
+    /// flash-crowd, never-worse elsewhere).
+    assert_better: bool,
+    /// Emit one JSON object per (scenario, policy) row.
+    json: bool,
+}
+
+impl Default for ScaleArgs {
+    fn default() -> Self {
+        Self {
+            scenarios: ScenarioKind::all().to_vec(),
+            assert_better: false,
+            json: false,
+        }
+    }
+}
+
+impl ScaleArgs {
+    fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--scenario" => {
+                    let name = iter
+                        .next()
+                        .unwrap_or_else(|| panic!("missing value for --scenario"));
+                    if name == "all" {
+                        out.scenarios = ScenarioKind::all().to_vec();
+                    } else {
+                        out.scenarios = vec![ScenarioKind::from_name(&name).unwrap_or_else(|| {
+                            panic!(
+                                "unknown scenario `{name}` (surge|flash-crowd|diurnal|drift|all)"
+                            )
+                        })];
+                    }
+                }
+                "--quick" => {
+                    // The CI smoke pair: the two scenarios under the
+                    // strict better-than-reactive guarantee.
+                    out.scenarios = vec![ScenarioKind::Surge, ScenarioKind::FlashCrowd];
+                }
+                "--assert-better-than-reactive" => out.assert_better = true,
+                "--json" => out.json = true,
+                other => panic!("unknown flag {other}; see `deeprest` docs for usage"),
+            }
+        }
+        out
+    }
+}
+
+fn scale_row(args: &ScaleArgs, kind: ScenarioKind, report: &ScaleReport) {
+    if args.json {
+        let means: Vec<String> = report
+            .mean_replicas
+            .iter()
+            .map(|m| format!("{m:.4}"))
+            .collect();
+        println!(
+            "{{\"scenario\":\"{}\",\"policy\":\"{}\",\"slo_violation_windows\":{},\
+             \"provisioned_cost\":{:.6},\"mean_replicas\":[{}],\"estimate_errors\":{}}}",
+            kind.name(),
+            report.policy,
+            report.slo_violation_windows,
+            report.provisioned_cost,
+            means.join(","),
+            report.estimate_errors
+        );
+    } else {
+        let means: Vec<String> = report
+            .mean_replicas
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect();
+        println!(
+            "{:<12}  {:<28}  {:>11}  {:>9.4}  [{}]",
+            kind.name(),
+            report.policy,
+            report.slo_violation_windows,
+            report.provisioned_cost,
+            means.join(", ")
+        );
+    }
+}
+
+fn run_scale(raw: Vec<String>) {
+    let args = ScaleArgs::parse(raw);
+    // Every scenario shares the same app and training sweep; train once.
+    let model = Scenario::new(ScenarioKind::Surge).train();
+    let config = ScaleLoopConfig::default();
+    if !args.json {
+        println!("deeprest scale — closed-loop proactive vs reactive replay");
+        println!(
+            "{:<12}  {:<28}  {:>11}  {:>9}  mean replicas",
+            "scenario", "policy", "slo windows", "cost"
+        );
+    }
+    let mut failures = Vec::new();
+    for &kind in &args.scenarios {
+        let scenario = Scenario::new(kind);
+        let proactive = run_proactive(&model, &scenario, config)
+            .unwrap_or_else(|e| panic!("{}: proactive run failed: {e}", kind.name()));
+        let reactive = run_reactive(&model, &scenario, config)
+            .unwrap_or_else(|e| panic!("{}: reactive run failed: {e}", kind.name()));
+        scale_row(&args, kind, &proactive);
+        scale_row(&args, kind, &reactive);
+        if args.assert_better {
+            let strict = matches!(kind, ScenarioKind::Surge | ScenarioKind::FlashCrowd);
+            if strict {
+                if proactive.slo_violation_windows >= reactive.slo_violation_windows {
+                    failures.push(format!(
+                        "{}: proactive {} vs reactive {} violation windows (need strictly fewer)",
+                        kind.name(),
+                        proactive.slo_violation_windows,
+                        reactive.slo_violation_windows
+                    ));
+                }
+                if proactive.provisioned_cost > reactive.provisioned_cost {
+                    failures.push(format!(
+                        "{}: proactive cost {:.4} vs reactive {:.4} (need equal or lower)",
+                        kind.name(),
+                        proactive.provisioned_cost,
+                        reactive.provisioned_cost
+                    ));
+                }
+            } else if proactive.slo_violation_windows > reactive.slo_violation_windows {
+                failures.push(format!(
+                    "{}: proactive {} vs reactive {} violation windows (must never be worse)",
+                    kind.name(),
+                    proactive.slo_violation_windows,
+                    reactive.slo_violation_windows
+                ));
+            }
+        }
+    }
+    if args.assert_better {
+        if failures.is_empty() {
+            println!("scale: PASS — proactive beats reactive on every replayed scenario");
+        } else {
+            for f in &failures {
+                eprintln!("scale: FAIL — {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("capacity") => run_capacity(args.collect()),
+        Some("scale") => run_scale(args.collect()),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("usage: deeprest capacity [--quick] [--experts N,N,..] [--threads N]");
             eprintln!("                         [--window-secs S] [--assert-speedup R] [--json]");
+            eprintln!("       deeprest scale    [--quick] [--scenario NAME|all] [--json]");
+            eprintln!("                         [--assert-better-than-reactive]");
             std::process::exit(if std::env::args().len() > 1 { 0 } else { 2 });
         }
         Some(other) => {
-            eprintln!("deeprest: unknown subcommand `{other}` (try `deeprest capacity`)");
+            eprintln!("deeprest: unknown subcommand `{other}` (try `deeprest capacity` or `deeprest scale`)");
             std::process::exit(2);
         }
     }

@@ -697,6 +697,74 @@ impl DeepRest {
         self.predict(&xs)
     }
 
+    /// What-if continuation of a live stream: estimates the resources the
+    /// next `traffic.window_count()` windows would consume *if* they carried
+    /// `traffic`, continuing every expert's GRU state from `snap` (a
+    /// [`crate::stream::StreamPredictor::snapshot`] of the live serving
+    /// stream) instead of cold zero state.
+    ///
+    /// This is the autoscaler's query primitive: [`estimate_traffic`]
+    /// (Mode 1) answers "what would this traffic cost from a standing
+    /// start", while this answers "what would it cost *now*, given
+    /// everything the live stream has already seen". The snapshot is only
+    /// read — forking many hypotheses off one live stream is cheap and
+    /// leaves serving untouched. Synthetic trace sampling is seeded by
+    /// `seed`, so the same `(snapshot, traffic, seed)` triple reproduces the
+    /// estimate bit-identically at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `snap` does not match this model's shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traffic references an endpoint never observed during
+    /// application learning.
+    ///
+    /// [`estimate_traffic`]: Self::estimate_traffic
+    pub fn estimate_what_if(
+        &self,
+        snap: &crate::stream::StreamSnapshot,
+        traffic: &ApiTraffic,
+        seed: u64,
+    ) -> Result<Estimates, String> {
+        let _span = telemetry::span("estimate.what_if");
+        let mut predictor = crate::stream::StreamPredictor::restore(self, snap)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let api_syms = TraceSynthesizer::resolve_endpoints(traffic, &self.interner);
+        let t = traffic.window_count();
+
+        let e_count = self.experts.len();
+        let mut expected = vec![Vec::with_capacity(t); e_count];
+        let mut lower = vec![Vec::with_capacity(t); e_count];
+        let mut upper = vec![Vec::with_capacity(t); e_count];
+        for w in 0..t {
+            let traces = self
+                .synthesizer
+                .synthesize_window(traffic.window(w), &api_syms, &mut rng);
+            let x = self.features.extract_normalized(&traces);
+            for (e, point) in predictor.step(&x).into_iter().enumerate() {
+                expected[e].push(point.expected);
+                lower[e].push(point.lower);
+                upper[e].push(point.upper);
+            }
+        }
+
+        let mut map = BTreeMap::new();
+        for (e, expert) in self.experts.iter().enumerate() {
+            map.insert(
+                expert.key.clone(),
+                PredictedSeries {
+                    expected: TimeSeries::from_values(std::mem::take(&mut expected[e])),
+                    lower: TimeSeries::from_values(std::mem::take(&mut lower[e])),
+                    upper: TimeSeries::from_values(std::mem::take(&mut upper[e])),
+                    is_delta: expert.is_delta,
+                },
+            );
+        }
+        Ok(Estimates { map })
+    }
+
     /// Rewrites query traces into the model's symbol space.
     fn translate_traces(&self, traces: &WindowedTraces, from: &Interner) -> WindowedTraces {
         let mut out = WindowedTraces::with_windows(traces.window_secs, traces.len());
@@ -1092,6 +1160,78 @@ mod tests {
         let pred = est.get_parts("Frontend", ResourceKind::Cpu).unwrap();
         assert_eq!(pred.expected.len(), 16);
         assert!(pred.expected.mean() > 0.0);
+    }
+
+    #[test]
+    fn what_if_from_cold_snapshot_equals_estimate_traffic() {
+        let (i, traces, metrics) = tiny_dataset(64);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, quick_config().with_epochs(5));
+        let traffic = ApiTraffic::new(vec!["/read".into()], 8, vec![vec![5.0]; 16]);
+
+        let batch = model.estimate_traffic(&traffic, 3);
+        let cold = model.stream_predictor().snapshot();
+        let what_if = model.estimate_what_if(&cold, &traffic, 3).unwrap();
+        let k = MetricKey::new("Frontend", ResourceKind::Cpu);
+        let (a, b) = (batch.get(&k).unwrap(), what_if.get(&k).unwrap());
+        for t in 0..16 {
+            assert_eq!(
+                a.expected.get(t).to_bits(),
+                b.expected.get(t).to_bits(),
+                "window {t}"
+            );
+            assert_eq!(a.lower.get(t).to_bits(), b.lower.get(t).to_bits());
+            assert_eq!(a.upper.get(t).to_bits(), b.upper.get(t).to_bits());
+        }
+    }
+
+    #[test]
+    fn what_if_forks_do_not_disturb_the_live_stream() {
+        let (i, traces, metrics) = tiny_dataset(64);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, quick_config().with_epochs(5));
+
+        // Advance a "live" stream a few windows, snapshot it mid-chunk.
+        let mut live = model.stream_predictor();
+        for w in 0..7 {
+            let x = model.window_features(traces.window(w), &i);
+            live.step(&x);
+        }
+        let snap = live.snapshot();
+
+        // Two identical what-if forks are bit-identical; a different
+        // hypothesis differs; the live snapshot is unchanged throughout.
+        let traffic_hi = ApiTraffic::new(vec!["/read".into()], 8, vec![vec![9.0]; 8]);
+        let traffic_lo = ApiTraffic::new(vec!["/read".into()], 8, vec![vec![2.0]; 8]);
+        let a = model.estimate_what_if(&snap, &traffic_hi, 11).unwrap();
+        let b = model.estimate_what_if(&snap, &traffic_hi, 11).unwrap();
+        let c = model.estimate_what_if(&snap, &traffic_lo, 11).unwrap();
+        let k = MetricKey::new("Frontend", ResourceKind::Cpu);
+        assert_eq!(
+            a.get(&k).unwrap().expected.values(),
+            b.get(&k).unwrap().expected.values()
+        );
+        assert!(a.get(&k).unwrap().expected.mean() > c.get(&k).unwrap().expected.mean());
+        assert_eq!(live.snapshot(), snap);
+
+        // What-if answers continue from the live hidden state: they differ
+        // from the same query asked from a cold start.
+        let cold = model.stream_predictor().snapshot();
+        let d = model.estimate_what_if(&cold, &traffic_hi, 11).unwrap();
+        assert_ne!(
+            a.get(&k).unwrap().expected.values(),
+            d.get(&k).unwrap().expected.values()
+        );
+    }
+
+    #[test]
+    fn what_if_rejects_mismatched_snapshot() {
+        let (i, traces, metrics) = tiny_dataset(64);
+        let (model, _) = DeepRest::fit(&traces, &metrics, &i, quick_config().with_epochs(2));
+        let bad = crate::stream::StreamSnapshot {
+            position: 0,
+            hidden: vec![vec![0.0; 5]],
+        };
+        let traffic = ApiTraffic::new(vec!["/read".into()], 8, vec![vec![5.0]; 4]);
+        assert!(model.estimate_what_if(&bad, &traffic, 0).is_err());
     }
 
     #[test]

@@ -139,7 +139,23 @@ impl TraceSynthesizer {
         seed: u64,
     ) -> WindowedTraces {
         let mut rng = StdRng::seed_from_u64(seed);
-        let api_syms: Vec<Sym> = traffic
+        let api_syms = Self::resolve_endpoints(traffic, interner);
+        let mut out = WindowedTraces::with_windows(1.0, traffic.window_count());
+        for t in 0..traffic.window_count() {
+            out.windows[t] = self.synthesize_window(traffic.window(t), &api_syms, &mut rng);
+        }
+        out
+    }
+
+    /// Resolves a traffic matrix's endpoint strings to trace symbols for
+    /// [`synthesize_window`](Self::synthesize_window) — do this once per
+    /// query, not once per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is unknown to the interner.
+    pub fn resolve_endpoints(traffic: &ApiTraffic, interner: &Interner) -> Vec<Sym> {
+        traffic
             .apis()
             .iter()
             .map(|endpoint| {
@@ -147,17 +163,33 @@ impl TraceSynthesizer {
                     .get(endpoint)
                     .unwrap_or_else(|| panic!("synthesize: endpoint {endpoint} not in interner"))
             })
-            .collect();
-        let mut out = WindowedTraces::with_windows(1.0, traffic.window_count());
-        for t in 0..traffic.window_count() {
-            for (a, &api) in api_syms.iter().enumerate() {
-                // Round the expected count stochastically so fractional
-                // expectations are preserved on average.
-                let expected = traffic.window(t)[a];
-                let base = expected.floor();
-                let n = base as u64 + u64::from(rng.gen_bool((expected - base).clamp(0.0, 1.0)));
-                out.windows[t].extend(self.synthesize_api(api, n, &mut rng));
-            }
+            .collect()
+    }
+
+    /// Synthesizes the traces of a single traffic window: one expected
+    /// request count per API in `api_syms` order, rounded stochastically so
+    /// fractional expectations are preserved on average.
+    ///
+    /// [`synthesize`](Self::synthesize) is this in a loop with a fresh
+    /// seeded RNG; incremental callers (the autoscaler's rolling what-if
+    /// queries) instead carry `rng` across calls to keep the sampled shape
+    /// stream deterministic per control session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an API was never observed during learning.
+    pub fn synthesize_window(
+        &self,
+        window_requests: &[f64],
+        api_syms: &[Sym],
+        rng: &mut StdRng,
+    ) -> Vec<Trace> {
+        let mut out = Vec::new();
+        for (a, &api) in api_syms.iter().enumerate() {
+            let expected = window_requests[a];
+            let base = expected.floor();
+            let n = base as u64 + u64::from(rng.gen_bool((expected - base).clamp(0.0, 1.0)));
+            out.extend(self.synthesize_api(api, n, rng));
         }
         out
     }

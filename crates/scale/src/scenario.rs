@@ -1,0 +1,348 @@
+//! Deterministic autoscaling scenarios: a small demo application, a
+//! training workload that sweeps the demand range, and four live traffic
+//! schedules (surge, flash crowd, diurnal, drift) with an *announced*
+//! forecast the proactive policy queries and an *actual* schedule the
+//! simulator serves (forecast × small deterministic noise).
+
+use deeprest_core::{DeepRest, DeepRestConfig};
+use deeprest_sim::engine::simulate;
+use deeprest_sim::{ApiSpec, AppSpec, CallNode, ComponentSpec, OperationCost, SimConfig};
+use deeprest_workload::ApiTraffic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Requests per window at the quiet baseline level.
+const BASE_TOTAL: f64 = 60.0;
+/// Windows per synthetic day in every scenario schedule.
+const WINDOWS_PER_DAY: usize = 48;
+/// Fraction of traffic that is `/browse` under the normal mix.
+const BASE_READ_FRAC: f64 = 0.7;
+
+/// The four scenario archetypes of the scenario-test harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// An announced, ramped traffic surge (flash sale with a schedule).
+    Surge,
+    /// An abrupt step to several times the baseline and back.
+    FlashCrowd,
+    /// Two synthetic days of two-peak diurnal traffic.
+    Diurnal,
+    /// Constant volume whose API mix drifts from read- to write-heavy,
+    /// shifting load onto the stateful store.
+    Drift,
+}
+
+impl ScenarioKind {
+    /// All scenarios, fixture order.
+    pub fn all() -> [ScenarioKind; 4] {
+        [
+            ScenarioKind::Surge,
+            ScenarioKind::FlashCrowd,
+            ScenarioKind::Diurnal,
+            ScenarioKind::Drift,
+        ]
+    }
+
+    /// Stable name used for fixtures and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Surge => "surge",
+            ScenarioKind::FlashCrowd => "flash-crowd",
+            ScenarioKind::Diurnal => "diurnal",
+            ScenarioKind::Drift => "drift",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back into a kind.
+    pub fn from_name(name: &str) -> Option<ScenarioKind> {
+        ScenarioKind::all().into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One fully specified scenario: application, model-training workload and
+/// the live announced/actual schedules. Construction is a pure function of
+/// the kind — the same scenario is bit-identical in every process.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Which archetype this is.
+    pub kind: ScenarioKind,
+    /// The demo application being scaled.
+    pub app: AppSpec,
+    /// Simulator tuning shared by the training run and the live loop.
+    pub sim: SimConfig,
+    /// Training traffic: a staircase sweep over demand levels and API
+    /// mixes so the model sees the whole range the live phase visits.
+    pub training: ApiTraffic,
+    /// The forecast available to the proactive policy.
+    pub announced: ApiTraffic,
+    /// What actually arrives: `announced` × deterministic ±3% noise.
+    pub actual: ApiTraffic,
+}
+
+/// The three-component demo application the scenarios scale: a stateless
+/// frontend and logic tier (up to 6 replicas) over a stateful store (up to
+/// 3). Costs are tuned so one replica saturates near 4–5× the baseline
+/// traffic — the range the schedules exercise.
+pub fn demo_app() -> AppSpec {
+    let mut app = AppSpec::new("scale-demo");
+    app.add_component(ComponentSpec::stateless("Frontend").with_max_replicas(6));
+    app.add_component(ComponentSpec::stateless("Logic").with_max_replicas(6));
+    app.add_component(
+        ComponentSpec::stateful("Store")
+            .with_memory(96.0, 128.0)
+            .with_max_replicas(3),
+    );
+    app.set_cost("Frontend", "route", OperationCost::cpu(95.0));
+    app.set_cost("Logic", "render", OperationCost::cpu(120.0));
+    app.set_cost("Logic", "validate", OperationCost::cpu(90.0));
+    app.set_cost("Store", "get", OperationCost::cpu(80.0));
+    app.set_cost(
+        "Store",
+        "insert",
+        OperationCost::cpu(170.0)
+            .with_writes(2.0, 6.0)
+            .with_cache(0.02),
+    );
+    app.add_api(ApiSpec::new(
+        "/browse",
+        BASE_READ_FRAC,
+        CallNode::new("Frontend", "route")
+            .child(CallNode::new("Logic", "render").child(CallNode::new("Store", "get"))),
+    ));
+    app.add_api(ApiSpec::new(
+        "/post",
+        1.0 - BASE_READ_FRAC,
+        CallNode::new("Frontend", "route")
+            .child(CallNode::new("Logic", "validate").child(CallNode::new("Store", "insert"))),
+    ));
+    app
+}
+
+/// Builds an [`ApiTraffic`] over `(total, read_fraction)` rows.
+fn traffic_of(rows: &[(f64, f64)]) -> ApiTraffic {
+    ApiTraffic::new(
+        vec!["/browse".into(), "/post".into()],
+        WINDOWS_PER_DAY,
+        rows.iter()
+            .map(|&(total, read)| vec![total * read, total * (1.0 - read)])
+            .collect(),
+    )
+}
+
+/// The training sweep: two passes over a level staircase crossed with an
+/// API-mix cycle, covering quiet troughs through saturating peaks.
+fn training_traffic(seed: u64) -> ApiTraffic {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let levels = [0.8, 1.6, 2.6, 3.6, 4.6, 5.4, 3.0, 1.2];
+    let mixes = [0.85, 0.7, 0.45, 0.3];
+    let mut rows = Vec::new();
+    for pass in 0..2 {
+        for (i, &level) in levels.iter().enumerate() {
+            let mix = mixes[(i + pass) % mixes.len()];
+            for _ in 0..4 {
+                let jitter = 1.0 + rng.gen_range(-0.05..0.05);
+                rows.push((BASE_TOTAL * level * jitter, mix));
+            }
+        }
+    }
+    traffic_of(&rows)
+}
+
+/// Applies deterministic ±3% multiplicative noise to a forecast, yielding
+/// the traffic that "actually" arrives.
+fn perturb(announced: &ApiTraffic, seed: u64) -> ApiTraffic {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..announced.window_count())
+        .map(|t| {
+            announced
+                .window(t)
+                .iter()
+                .map(|&v| (v * (1.0 + rng.gen_range(-0.03..0.03))).max(0.0))
+                .collect()
+        })
+        .collect();
+    ApiTraffic::new(announced.apis().to_vec(), announced.windows_per_day(), rows)
+}
+
+/// Linear interpolation helper for ramps.
+fn lerp(a: f64, b: f64, frac: f64) -> f64 {
+    a + (b - a) * frac.clamp(0.0, 1.0)
+}
+
+fn surge_schedule() -> Vec<(f64, f64)> {
+    // 16 quiet windows, a steep 4-window ramp to 5.2×, a 32-window hold,
+    // an 8-window ramp down, 36 quiet windows. The ramp outpaces one
+    // reactive control interval — only an announced forecast covers it.
+    let mut rows = Vec::new();
+    for _ in 0..16 {
+        rows.push((BASE_TOTAL, BASE_READ_FRAC));
+    }
+    for i in 0..4 {
+        let level = lerp(1.0, 5.2, (i + 1) as f64 / 4.0);
+        rows.push((BASE_TOTAL * level, BASE_READ_FRAC));
+    }
+    for _ in 0..32 {
+        rows.push((BASE_TOTAL * 5.2, BASE_READ_FRAC));
+    }
+    for i in 0..8 {
+        let level = lerp(5.2, 1.0, (i + 1) as f64 / 8.0);
+        rows.push((BASE_TOTAL * level, BASE_READ_FRAC));
+    }
+    for _ in 0..36 {
+        rows.push((BASE_TOTAL, BASE_READ_FRAC));
+    }
+    rows
+}
+
+fn flash_crowd_schedule() -> Vec<(f64, f64)> {
+    // A hard step to 5.4× for 16 windows, no ramp.
+    let mut rows = Vec::new();
+    for _ in 0..24 {
+        rows.push((BASE_TOTAL, BASE_READ_FRAC));
+    }
+    for _ in 0..16 {
+        rows.push((BASE_TOTAL * 5.4, BASE_READ_FRAC));
+    }
+    for _ in 0..56 {
+        rows.push((BASE_TOTAL, BASE_READ_FRAC));
+    }
+    rows
+}
+
+fn diurnal_schedule() -> Vec<(f64, f64)> {
+    // Two synthetic days, each with a morning and an evening peak.
+    let bump = |t: f64, center: f64, width: f64| -> f64 {
+        let d = (t - center) / width;
+        (-d * d).exp()
+    };
+    let mut rows = Vec::new();
+    for _day in 0..2 {
+        for w in 0..WINDOWS_PER_DAY {
+            let t = w as f64;
+            let level = 1.0 + 3.4 * (bump(t, 13.0, 4.5) + bump(t, 34.0, 5.5)).min(1.0);
+            rows.push((BASE_TOTAL * level, BASE_READ_FRAC));
+        }
+    }
+    rows
+}
+
+fn drift_schedule() -> Vec<(f64, f64)> {
+    // Constant 3.2× volume; the mix drifts read-heavy → write-heavy over
+    // the middle 48 windows, shifting demand onto the store.
+    (0..96)
+        .map(|w| {
+            let frac = ((w as f64 - 24.0) / 48.0).clamp(0.0, 1.0);
+            (BASE_TOTAL * 3.2, lerp(0.85, 0.25, frac))
+        })
+        .collect()
+}
+
+impl Scenario {
+    /// Builds the named scenario. Pure and deterministic.
+    pub fn new(kind: ScenarioKind) -> Self {
+        let schedule = match kind {
+            ScenarioKind::Surge => surge_schedule(),
+            ScenarioKind::FlashCrowd => flash_crowd_schedule(),
+            ScenarioKind::Diurnal => diurnal_schedule(),
+            ScenarioKind::Drift => drift_schedule(),
+        };
+        let announced = traffic_of(&schedule);
+        // Per-kind seeds so scenarios do not share noise streams.
+        let noise_seed = 0x5ca1e
+            ^ (kind.name().len() as u64)
+            ^ (schedule.len() as u64)
+            ^ match kind {
+                ScenarioKind::Surge => 1,
+                ScenarioKind::FlashCrowd => 2,
+                ScenarioKind::Diurnal => 3,
+                ScenarioKind::Drift => 4,
+            };
+        Self {
+            kind,
+            app: demo_app(),
+            sim: SimConfig::default(),
+            training: training_traffic(0x7ea1),
+            actual: perturb(&announced, noise_seed),
+            announced,
+        }
+    }
+
+    /// Trains the scenario's DeepRest model: simulates the training sweep
+    /// at one replica and fits a small model on the produced traces and
+    /// metrics. Deterministic — same scenario, same model bits.
+    pub fn train(&self) -> DeepRest {
+        let out = simulate(&self.app, &self.training, &self.sim);
+        let config = DeepRestConfig {
+            hidden_dim: 24,
+            epochs: 48,
+            subseq_len: 16,
+            batch_size: 4,
+            ..DeepRestConfig::default()
+        }
+        .with_seed(7);
+        let (model, _) = DeepRest::fit(&out.traces, &out.metrics, &out.interner, config);
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_app_validates() {
+        demo_app().validate().expect("demo app must validate");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        for kind in ScenarioKind::all() {
+            let a = Scenario::new(kind);
+            let b = Scenario::new(kind);
+            for t in 0..a.actual.window_count() {
+                assert_eq!(a.actual.window(t), b.actual.window(t));
+                assert_eq!(a.announced.window(t), b.announced.window(t));
+            }
+        }
+    }
+
+    #[test]
+    fn actual_tracks_announced_within_noise() {
+        let s = Scenario::new(ScenarioKind::Surge);
+        for t in 0..s.announced.window_count() {
+            let a = s.announced.total_at(t);
+            let b: f64 = s.actual.window(t).iter().sum();
+            assert!((b / a - 1.0).abs() < 0.07, "window {t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in ScenarioKind::all() {
+            assert_eq!(ScenarioKind::from_name(kind.name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn schedules_span_quiet_to_saturating() {
+        for kind in ScenarioKind::all() {
+            let s = Scenario::new(kind);
+            if kind == ScenarioKind::Drift {
+                // Drift holds volume constant; its axis is the API mix.
+                let fracs: Vec<f64> = (0..s.announced.window_count())
+                    .map(|t| s.announced.window(t)[0] / s.announced.total_at(t))
+                    .collect();
+                let max = fracs.iter().copied().fold(0.0, f64::max);
+                let min = fracs.iter().copied().fold(f64::INFINITY, f64::min);
+                assert!(max - min > 0.4, "drift mix span: {min}..{max}");
+                continue;
+            }
+            let totals: Vec<f64> = (0..s.announced.window_count())
+                .map(|t| s.announced.total_at(t))
+                .collect();
+            let max = totals.iter().copied().fold(0.0, f64::max);
+            let min = totals.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(max > 2.5 * min.max(1.0), "{}: {min}..{max}", kind.name());
+        }
+    }
+}

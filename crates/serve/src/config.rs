@@ -43,6 +43,12 @@ pub struct ServeConfig {
     /// this budget loses the alert (counted), never the window.
     #[serde(default)]
     pub sink_timeout_ms: u64,
+    /// Control-loop cadence: [`crate::Pipeline::poll_control`] yields a
+    /// [`crate::ControlTick`] every this many sealed windows. `0` (the
+    /// default, and the value in pre-autoscaling checkpoints) disables
+    /// control ticks.
+    #[serde(default)]
+    pub control_interval: usize,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +64,7 @@ impl Default for ServeConfig {
             sink_attempts: 3,
             sink_backoff_ms: 1,
             sink_timeout_ms: 250,
+            control_interval: 0,
         }
     }
 }
@@ -95,6 +102,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_sanity(mut self, sanity: SanityConfig) -> Self {
         self.sanity = sanity;
+        self
+    }
+
+    /// Sets the control-loop cadence (windows per control tick; 0 disables).
+    #[must_use]
+    pub fn with_control_interval(mut self, windows: usize) -> Self {
+        self.control_interval = windows;
         self
     }
 }

@@ -65,5 +65,7 @@ pub use alert::{Alert, AlertSink, CollectSink, JsonLineSink, SinkError};
 pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use config::ServeConfig;
 pub use error::ServeError;
-pub use pipeline::{batch_reference, Checkpoint, ObservationSource, Pipeline, WindowOutput};
+pub use pipeline::{
+    batch_reference, Checkpoint, ControlTick, ObservationSource, Pipeline, WindowOutput,
+};
 pub use queue::{IngestQueue, OverflowPolicy};

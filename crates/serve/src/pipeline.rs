@@ -81,6 +81,20 @@ pub struct WindowOutput {
     pub alerts: Vec<Alert>,
 }
 
+/// One firing of the control-loop hook: everything an autoscaling
+/// controller needs to run what-if queries against the live stream at this
+/// point — the window the tick fired at and a fork-safe snapshot of the
+/// predictor's carried state (feed it to
+/// [`DeepRest::estimate_what_if`](deeprest_core::DeepRest::estimate_what_if)).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControlTick {
+    /// Stream position (sealed-window count) when the tick fired.
+    pub window: usize,
+    /// Snapshot of the live predictor state at that position; read-only
+    /// fork point — what-if queries leave the pipeline untouched.
+    pub predictor: StreamSnapshot,
+}
+
 /// Serializable pipeline state: together with the model JSON this is
 /// everything needed to resume a stream after a crash with bit-identical
 /// continuation (buffered unsealed arrivals included).
@@ -100,6 +114,10 @@ pub struct Checkpoint {
     /// intervened). Absent in pre-hardening checkpoints.
     #[serde(default)]
     pub ready: Vec<WindowOutput>,
+    /// Stream position of the last control tick. Absent in pre-autoscaling
+    /// checkpoints.
+    #[serde(default)]
+    pub last_control: usize,
 }
 
 impl Checkpoint {
@@ -150,6 +168,8 @@ pub struct Pipeline<'m> {
     pending: Vec<SealedWindow>,
     /// Outputs produced but not yet returned to the caller.
     ready: Vec<WindowOutput>,
+    /// Stream position at the last control tick.
+    last_control: usize,
     /// Experts currently quarantined for non-finite outputs; cleared
     /// automatically when an expert's outputs are finite again.
     quarantined: Vec<bool>,
@@ -179,6 +199,7 @@ impl<'m> Pipeline<'m> {
             config,
             pending: Vec::new(),
             ready: Vec::new(),
+            last_control: 0,
         }
     }
 
@@ -271,6 +292,29 @@ impl<'m> Pipeline<'m> {
     /// finite again.
     pub fn quarantined(&self) -> &[bool] {
         &self.quarantined
+    }
+
+    /// Polls the control-loop hook: yields a [`ControlTick`] when at least
+    /// [`ServeConfig::control_interval`] windows have been sealed since the
+    /// previous tick (and the interval is non-zero). Call after every
+    /// [`ingest`](Self::ingest)/[`flush`](Self::flush); at most one tick is
+    /// due per call even if several intervals elapsed at once — the
+    /// controller acts on the *current* state, stale intermediate ticks
+    /// would only re-decide with older information.
+    pub fn poll_control(&mut self) -> Option<ControlTick> {
+        let interval = self.config.control_interval;
+        let position = self.predictor.position();
+        if interval == 0 || position < self.last_control + interval {
+            return None;
+        }
+        self.last_control = position;
+        if telemetry::enabled() {
+            telemetry::counter("serve.control.tick", 1);
+        }
+        Some(ControlTick {
+            window: position,
+            predictor: self.predictor.snapshot(),
+        })
     }
 
     /// Processes parked windows in order; on failure the failing window is
@@ -430,6 +474,7 @@ impl<'m> Pipeline<'m> {
             sanity: self.sanity.state().clone(),
             pending: self.pending.clone(),
             ready: self.ready.clone(),
+            last_control: self.last_control,
         }
     }
 
@@ -469,6 +514,7 @@ impl<'m> Pipeline<'m> {
             config,
             pending: checkpoint.pending,
             ready: checkpoint.ready,
+            last_control: checkpoint.last_control,
         })
     }
 

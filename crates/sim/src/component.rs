@@ -21,6 +21,13 @@ pub struct ComponentSpec {
     pub mem_cache_max_mib: f64,
     /// Initial on-disk data size, MiB (stateful only; pre-seeded datasets).
     pub disk_initial_mib: f64,
+    /// Horizontal-scaling ceiling: the autoscaler may run up to this many
+    /// replicas of the component. Stateful stores default to a lower bound
+    /// than stateless services (sharding a store is not a scheduler
+    /// decision). A value of 0 (e.g. deserialized from a pre-autoscaling
+    /// spec) is treated as 1 everywhere it is consumed.
+    #[serde(default)]
+    pub max_replicas: u32,
 }
 
 impl ComponentSpec {
@@ -34,6 +41,7 @@ impl ComponentSpec {
             mem_baseline_mib: 64.0,
             mem_cache_max_mib: 96.0,
             disk_initial_mib: 0.0,
+            max_replicas: 8,
         }
     }
 
@@ -47,6 +55,7 @@ impl ComponentSpec {
             mem_baseline_mib: 128.0,
             mem_cache_max_mib: 256.0,
             disk_initial_mib: 512.0,
+            max_replicas: 3,
         }
     }
 
@@ -72,6 +81,12 @@ impl ComponentSpec {
     /// Builder: initial disk size (MiB).
     pub fn with_disk(mut self, initial_mib: f64) -> Self {
         self.disk_initial_mib = initial_mib;
+        self
+    }
+
+    /// Builder: horizontal-scaling ceiling (clamped to at least 1).
+    pub fn with_max_replicas(mut self, max: u32) -> Self {
+        self.max_replicas = max.max(1);
         self
     }
 }

@@ -10,6 +10,7 @@ use deeprest_workload::content::{PayloadModel, SocialGraph};
 use deeprest_workload::ApiTraffic;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::anomaly::Injector;
 use crate::cost::Payload;
@@ -42,6 +43,10 @@ pub struct SimConfig {
     pub transient_mem_factor: f64,
     /// Number of simulated application users backing the social graph.
     pub graph_users: usize,
+    /// Windows a replica *increase* takes to become effective (container
+    /// pull + start + warm-up). Decreases apply immediately. Only exercised
+    /// through [`SimStepper::set_target_replicas`].
+    pub scale_lag_windows: usize,
 }
 
 impl Default for SimConfig {
@@ -56,6 +61,7 @@ impl Default for SimConfig {
             cache_decay: 0.985,
             transient_mem_factor: 0.35,
             graph_users: 2_000,
+            scale_lag_windows: 2,
         }
     }
 }
@@ -107,107 +113,398 @@ pub fn simulate_with(
     config: &SimConfig,
     injectors: &[&dyn Injector],
 ) -> SimOutput {
-    app.validate().expect("simulate: invalid AppSpec");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
-    // Pre-intern every name in app-declaration order so the interner is a
-    // pure function of the application: traces from different runs (learning
-    // vs query) of the same app share one symbol space.
-    let mut interner = Interner::new();
-    for api in &app.apis {
-        interner.intern(&api.endpoint);
-        api.root.visit(&mut |n: &CallNode| {
-            interner.intern(&n.component);
-            interner.intern(&n.operation);
-        });
-    }
-
-    // Resolve API endpoints to specs in traffic column order.
-    let api_specs: Vec<&crate::ApiSpec> = traffic
-        .apis()
-        .iter()
-        .map(|endpoint| {
-            app.api(endpoint)
-                .unwrap_or_else(|| panic!("simulate: unknown API endpoint {endpoint}"))
-        })
-        .collect();
-    let api_syms: Vec<_> = traffic
-        .apis()
-        .iter()
-        .map(|endpoint| interner.intern(endpoint))
-        .collect();
-
-    let comp_index: HashMap<&str, usize> = app
-        .components
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (c.name.as_str(), i))
-        .collect();
-
-    let graph = SocialGraph::generate(config.graph_users, config.seed ^ 0x5f5f);
-    let payload_model = PayloadModel::default();
+    let mut stepper = SimStepper::new(app, traffic.apis(), config);
 
     let window_count = traffic.window_count();
     let mut traces = WindowedTraces::with_windows(config.window_secs, window_count);
 
-    // Per-component dynamic state.
-    let n = app.components.len();
-    let mut cpu_prev = vec![0.0f64; n];
-    let mut cache_state = vec![0.0f64; n];
-    let mut disk_state: Vec<f64> = app.components.iter().map(|c| c.disk_initial_mib).collect();
-
     // Output series.
     let mut series: HashMap<MetricKey, TimeSeries> = HashMap::new();
-    for c in &app.components {
+    for c in &stepper.app.components {
         for &r in ResourceKind::for_component(c.stateful) {
             series.insert(MetricKey::new(&c.name, r), TimeSeries::zeros(0));
         }
     }
 
-    let mut acc = vec![WindowAccum::default(); n];
     for t in 0..window_count {
-        for a in &mut acc {
+        let obs = stepper.step(traffic.window(t), injectors);
+        traces.windows[t] = obs.traces;
+        for (i, comp) in stepper.app.components.iter().enumerate() {
+            let row = &obs.rows[i];
+            push(&mut series, &comp.name, ResourceKind::Cpu, row.cpu_pct);
+            push(&mut series, &comp.name, ResourceKind::Memory, row.mem_mib);
+            if comp.stateful {
+                push(
+                    &mut series,
+                    &comp.name,
+                    ResourceKind::WriteIops,
+                    row.write_iops,
+                );
+                push(
+                    &mut series,
+                    &comp.name,
+                    ResourceKind::WriteThroughput,
+                    row.write_throughput,
+                );
+                push(
+                    &mut series,
+                    &comp.name,
+                    ResourceKind::DiskUsage,
+                    row.disk_mib,
+                );
+            }
+        }
+    }
+
+    let mut metrics = MetricsRegistry::new();
+    for (k, s) in series {
+        metrics.insert(k, s);
+    }
+    SimOutput {
+        traces,
+        metrics,
+        interner: stepper.into_interner(),
+    }
+}
+
+/// Everything one component reported for one stepped window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ComponentRow {
+    /// Per-replica average CPU utilization, percent (post-noise, clamped).
+    pub cpu_pct: f64,
+    /// Resident memory across replicas, MiB (post-noise).
+    pub mem_mib: f64,
+    /// Write operations per second (post-noise; meaningful for stateful
+    /// components, zero otherwise).
+    pub write_iops: f64,
+    /// KiB written per second (post-noise; stateful only).
+    pub write_throughput: f64,
+    /// On-disk data size, MiB (stateful only).
+    pub disk_mib: f64,
+    /// Pre-noise CPU *demand* fraction per replica: `(baseline + busy) /
+    /// 100` before queue amplification, clamping and noise. Values above
+    /// the queueing knee mean latency-inflating congestion — the
+    /// closed-loop autoscaler's SLO signal.
+    pub saturation: f64,
+    /// Replicas that actually served this window (scale-up lag applied).
+    pub replicas: u32,
+}
+
+/// One stepped window: the traces it produced and one row per component,
+/// in app component-declaration order.
+#[derive(Clone, Debug, Default)]
+pub struct StepObservation {
+    /// Window index (0-based since stepper construction).
+    pub window: usize,
+    /// Distributed traces of every request served in this window.
+    pub traces: Vec<Trace>,
+    /// Per-component metrics, `app.components` order.
+    pub rows: Vec<ComponentRow>,
+}
+
+/// Serializable dynamic state of a [`SimStepper`]: together with the
+/// `(AppSpec, api order, SimConfig)` used at construction this is
+/// everything needed to resume a simulation bit-identically.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimStepperState {
+    /// xoshiro256++ RNG state.
+    pub rng: [u64; 4],
+    /// Next window index.
+    pub window: usize,
+    /// Smoothed CPU carry-over, per component.
+    pub cpu_prev: Vec<f64>,
+    /// Cache working set, per component, MiB.
+    pub cache_state: Vec<f64>,
+    /// On-disk data size, per component, MiB.
+    pub disk_state: Vec<f64>,
+    /// Currently effective replica counts.
+    pub replicas: Vec<u32>,
+    /// Scheduled replica targets.
+    pub target_replicas: Vec<u32>,
+    /// Window at which each pending target becomes effective.
+    pub ready_at: Vec<usize>,
+}
+
+/// Interactive, replica-aware variant of the simulation engine: the same
+/// dynamics as [`simulate_with`] (which is implemented on top of it), but
+/// advanced one window at a time so a controller can *act between windows*
+/// — the observe → estimate → scale → observe loop of the `deeprest-scale`
+/// subsystem.
+///
+/// Replicas divide each component's CPU work across `cores × replicas`
+/// capacity and multiply its memory footprint; replica *increases* take
+/// [`SimConfig::scale_lag_windows`] windows to become effective (container
+/// start-up lag), decreases apply immediately. With every component at one
+/// replica the engine is bit-identical to the batch [`simulate_with`]
+/// path, and scaling decisions never consume RNG draws, so the sampled
+/// request stream is invariant across scaling policies — the property the
+/// scenario harness's proactive-vs-reactive comparison rests on.
+pub struct SimStepper {
+    app: AppSpec,
+    config: SimConfig,
+    rng: StdRng,
+    interner: Interner,
+    /// Indices into `app.apis`, in traffic column order.
+    api_order: Vec<usize>,
+    api_syms: Vec<deeprest_trace::Sym>,
+    cpu_prev: Vec<f64>,
+    cache_state: Vec<f64>,
+    disk_state: Vec<f64>,
+    replicas: Vec<u32>,
+    target_replicas: Vec<u32>,
+    ready_at: Vec<usize>,
+    window: usize,
+    acc: Vec<WindowAccum>,
+    graph: SocialGraph,
+    payload_model: PayloadModel,
+}
+
+impl SimStepper {
+    /// Builds a stepper for `app` serving the given API endpoints (the
+    /// column order every later [`step`](Self::step) call uses). All
+    /// components start at one replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app fails validation or an endpoint is unknown —
+    /// same contract as [`simulate_with`].
+    pub fn new(app: &AppSpec, apis: &[String], config: &SimConfig) -> Self {
+        app.validate().expect("simulate: invalid AppSpec");
+        let rng = StdRng::seed_from_u64(config.seed);
+
+        // Pre-intern every name in app-declaration order so the interner is
+        // a pure function of the application: traces from different runs
+        // (learning vs query) of the same app share one symbol space.
+        let mut interner = Interner::new();
+        for api in &app.apis {
+            interner.intern(&api.endpoint);
+            api.root.visit(&mut |n: &CallNode| {
+                interner.intern(&n.component);
+                interner.intern(&n.operation);
+            });
+        }
+
+        // Resolve API endpoints in traffic column order.
+        let api_order: Vec<usize> = apis
+            .iter()
+            .map(|endpoint| {
+                app.apis
+                    .iter()
+                    .position(|a| &a.endpoint == endpoint)
+                    .unwrap_or_else(|| panic!("simulate: unknown API endpoint {endpoint}"))
+            })
+            .collect();
+        let api_syms: Vec<_> = apis.iter().map(|e| interner.intern(e)).collect();
+
+        let n = app.components.len();
+        Self {
+            config: config.clone(),
+            rng,
+            interner,
+            api_order,
+            api_syms,
+            graph: SocialGraph::generate(config.graph_users, config.seed ^ 0x5f5f),
+            payload_model: PayloadModel::default(),
+            cpu_prev: vec![0.0; n],
+            cache_state: vec![0.0; n],
+            disk_state: app.components.iter().map(|c| c.disk_initial_mib).collect(),
+            replicas: vec![1; n],
+            target_replicas: vec![1; n],
+            ready_at: vec![0; n],
+            window: 0,
+            acc: vec![WindowAccum::default(); n],
+            app: app.clone(),
+        }
+    }
+
+    /// The application this stepper simulates.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// The name table for produced trace symbols.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Consumes the stepper, returning the interner (batch-run exit path).
+    fn into_interner(self) -> Interner {
+        self.interner
+    }
+
+    /// Next window index.
+    pub fn position(&self) -> usize {
+        self.window
+    }
+
+    /// Currently *effective* replica counts, component-declaration order.
+    pub fn replicas(&self) -> &[u32] {
+        &self.replicas
+    }
+
+    /// Scheduled replica targets (equal to [`replicas`](Self::replicas)
+    /// when no scale-up is in flight).
+    pub fn target_replicas(&self) -> &[u32] {
+        &self.target_replicas
+    }
+
+    /// Schedules a replica-count change for component `i`. Scale-*downs*
+    /// apply at the next step; scale-*ups* become effective
+    /// [`SimConfig::scale_lag_windows`] windows later (start-up lag).
+    /// Values are clamped to `1..=max_replicas` of the component spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_target_replicas(&mut self, i: usize, target: u32) {
+        let spec = &self.app.components[i];
+        let target = target.clamp(1, spec.max_replicas.max(1));
+        if target == self.target_replicas[i] {
+            return;
+        }
+        self.target_replicas[i] = target;
+        self.ready_at[i] = if target > self.replicas[i] {
+            self.window + self.config.scale_lag_windows
+        } else {
+            self.window // Tear-down is immediate.
+        };
+    }
+
+    /// Captures the dynamic state for bit-identical resume via
+    /// [`restore`](Self::restore).
+    pub fn checkpoint(&self) -> SimStepperState {
+        SimStepperState {
+            rng: self.rng.state(),
+            window: self.window,
+            cpu_prev: self.cpu_prev.clone(),
+            cache_state: self.cache_state.clone(),
+            disk_state: self.disk_state.clone(),
+            replicas: self.replicas.clone(),
+            target_replicas: self.target_replicas.clone(),
+            ready_at: self.ready_at.clone(),
+        }
+    }
+
+    /// Rebuilds a stepper from [`checkpoint`](Self::checkpoint) output;
+    /// `app`, `apis` and `config` must match the original construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the state's shape disagrees with the app.
+    pub fn restore(
+        app: &AppSpec,
+        apis: &[String],
+        config: &SimConfig,
+        state: SimStepperState,
+    ) -> Result<Self, String> {
+        let mut s = Self::new(app, apis, config);
+        let n = s.app.components.len();
+        if state.cpu_prev.len() != n
+            || state.cache_state.len() != n
+            || state.disk_state.len() != n
+            || state.replicas.len() != n
+            || state.target_replicas.len() != n
+            || state.ready_at.len() != n
+        {
+            return Err(format!(
+                "SimStepper::restore: state has {} components, app has {n}",
+                state.cpu_prev.len()
+            ));
+        }
+        s.rng = StdRng::from_state(state.rng);
+        s.window = state.window;
+        s.cpu_prev = state.cpu_prev;
+        s.cache_state = state.cache_state;
+        s.disk_state = state.disk_state;
+        s.replicas = state.replicas;
+        s.target_replicas = state.target_replicas;
+        s.ready_at = state.ready_at;
+        Ok(s)
+    }
+
+    /// Advances one window: serves `window_requests` expected requests per
+    /// API (traffic column order from construction) on the current
+    /// deployment, applying any due replica changes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_requests` length differs from the API count.
+    pub fn step(
+        &mut self,
+        window_requests: &[f64],
+        injectors: &[&dyn Injector],
+    ) -> StepObservation {
+        assert_eq!(
+            window_requests.len(),
+            self.api_order.len(),
+            "step: request vector length must match the API count"
+        );
+        // Apply due replica changes before serving.
+        for i in 0..self.replicas.len() {
+            if self.target_replicas[i] != self.replicas[i] && self.window >= self.ready_at[i] {
+                self.replicas[i] = self.target_replicas[i];
+            }
+        }
+
+        let t = self.window;
+        let config = &self.config;
+        for a in &mut self.acc {
             *a = WindowAccum::default();
         }
 
         // Sample and execute requests.
-        for (api_idx, spec) in api_specs.iter().enumerate() {
-            let expected = traffic.window(t)[api_idx];
-            let count = sample_poisson(&mut rng, expected);
+        let mut traces = Vec::new();
+        let comp_index: HashMap<&str, usize> = self
+            .app
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.as_str(), i))
+            .collect();
+        for (col, &api_idx) in self.api_order.iter().enumerate() {
+            let spec = &self.app.apis[api_idx];
+            let expected = window_requests[col];
+            let count = sample_poisson(&mut self.rng, expected);
             for _ in 0..count {
-                let payload = sample_payload(spec, &payload_model, &graph, &mut rng);
+                let payload = sample_payload(spec, &self.payload_model, &self.graph, &mut self.rng);
                 let root = execute(
                     &spec.root,
-                    app,
+                    &self.app,
                     &comp_index,
                     &payload,
-                    &mut acc,
-                    &mut interner,
-                    &mut rng,
+                    &mut self.acc,
+                    &mut self.interner,
+                    &mut self.rng,
                 );
-                traces.windows[t].push(Trace::new(api_syms[api_idx], root));
+                traces.push(Trace::new(self.api_syms[col], root));
             }
         }
 
         // Turn accumulated work into utilization metrics.
-        for (i, comp) in app.components.iter().enumerate() {
-            let a = &acc[i];
+        let mut rows = vec![ComponentRow::default(); self.app.components.len()];
+        for (i, comp) in self.app.components.iter().enumerate() {
+            let a = &self.acc[i];
+            let r = f64::from(self.replicas[i]);
 
-            // CPU: busy time over capacity, queue-amplified and smoothed.
-            let busy_pct = 100.0 * a.cpu_ms / (config.window_secs * 1_000.0 * comp.cores);
+            // CPU: busy time over *replicated* capacity, queue-amplified
+            // and smoothed. Reported utilization is the per-replica average.
+            let busy_pct = 100.0 * a.cpu_ms / (config.window_secs * 1_000.0 * comp.cores * r);
             let raw = comp.cpu_baseline_pct + busy_pct;
             let rho = (raw / 100.0).min(1.5);
             let amplified = raw * (1.0 + config.queue_gain * (rho - config.queue_knee).max(0.0));
-            let smoothed = config.smoothing * amplified + (1.0 - config.smoothing) * cpu_prev[i];
-            cpu_prev[i] = smoothed;
-            let mut cpu = (smoothed * noise_factor(&mut rng, config.noise)).clamp(0.0, 100.0);
+            let smoothed =
+                config.smoothing * amplified + (1.0 - config.smoothing) * self.cpu_prev[i];
+            self.cpu_prev[i] = smoothed;
+            let mut cpu = (smoothed * noise_factor(&mut self.rng, config.noise)).clamp(0.0, 100.0);
 
-            // Memory: baseline + decaying cache working set + transients.
-            cache_state[i] =
-                (cache_state[i] * config.cache_decay + a.cache_mib).min(comp.mem_cache_max_mib);
-            let mut mem =
-                (comp.mem_baseline_mib + cache_state[i] + config.transient_mem_factor * a.mem_mib)
-                    * noise_factor(&mut rng, config.noise);
+            // Memory: per-replica baseline + decaying cache working set
+            // (capacity scales with replicas) + transients.
+            self.cache_state[i] = (self.cache_state[i] * config.cache_decay + a.cache_mib)
+                .min(comp.mem_cache_max_mib * r);
+            let mut mem = (comp.mem_baseline_mib * r
+                + self.cache_state[i]
+                + config.transient_mem_factor * a.mem_mib)
+                * noise_factor(&mut self.rng, config.noise);
 
             let mut iops = a.write_ops / config.window_secs;
             let mut throughput = a.write_kib / config.window_secs;
@@ -223,39 +520,29 @@ pub fn simulate_with(
             }
             cpu = cpu.clamp(0.0, 100.0);
 
-            push(&mut series, &comp.name, ResourceKind::Cpu, cpu);
-            push(&mut series, &comp.name, ResourceKind::Memory, mem);
+            let row = &mut rows[i];
+            row.cpu_pct = cpu;
+            row.mem_mib = mem;
+            row.saturation = raw / 100.0;
+            row.replicas = self.replicas[i];
             if comp.stateful {
-                let iops_noisy = iops * noise_factor(&mut rng, config.noise);
-                let thr_noisy = throughput * noise_factor(&mut rng, config.noise);
+                let iops_noisy = iops * noise_factor(&mut self.rng, config.noise);
+                let thr_noisy = throughput * noise_factor(&mut self.rng, config.noise);
                 // Disk grows by what was actually written (post-injection:
                 // e.g. ransomware re-encrypting data does churn the disk).
-                disk_state[i] += thr_noisy * config.window_secs / 1024.0;
-                push(&mut series, &comp.name, ResourceKind::WriteIops, iops_noisy);
-                push(
-                    &mut series,
-                    &comp.name,
-                    ResourceKind::WriteThroughput,
-                    thr_noisy,
-                );
-                push(
-                    &mut series,
-                    &comp.name,
-                    ResourceKind::DiskUsage,
-                    disk_state[i],
-                );
+                self.disk_state[i] += thr_noisy * config.window_secs / 1024.0;
+                row.write_iops = iops_noisy;
+                row.write_throughput = thr_noisy;
+                row.disk_mib = self.disk_state[i];
             }
         }
-    }
 
-    let mut metrics = MetricsRegistry::new();
-    for (k, s) in series {
-        metrics.insert(k, s);
-    }
-    SimOutput {
-        traces,
-        metrics,
-        interner,
+        self.window += 1;
+        StepObservation {
+            window: t,
+            traces,
+            rows,
+        }
     }
 }
 
@@ -577,6 +864,166 @@ mod tests {
         let busy1 = cpu1 - 1.5;
         let busy6 = cpu6 - 1.5;
         assert!(busy6 > 6.0 * busy1 * 0.9, "busy1={busy1} busy6={busy6}");
+    }
+
+    #[test]
+    fn stepper_matches_batch_simulation_at_one_replica() {
+        let app = tiny_app();
+        let traffic = tiny_traffic(1);
+        let cfg = SimConfig::default();
+        let batch = simulate(&app, &traffic, &cfg);
+
+        let mut stepper = SimStepper::new(&app, traffic.apis(), &cfg);
+        let mut cpu = Vec::new();
+        let mut trace_count = 0usize;
+        for t in 0..traffic.window_count() {
+            let obs = stepper.step(traffic.window(t), &[]);
+            cpu.push(obs.rows[1].cpu_pct);
+            trace_count += obs.traces.len();
+        }
+        assert_eq!(
+            cpu,
+            batch
+                .metrics
+                .get_parts("Store", ResourceKind::Cpu)
+                .unwrap()
+                .values()
+        );
+        assert_eq!(trace_count, batch.traces.trace_count());
+    }
+
+    #[test]
+    fn replicas_spread_cpu_and_multiply_memory() {
+        let app = tiny_app();
+        let traffic = tiny_traffic(1);
+        // Noise off so the capacity arithmetic is exact.
+        let cfg = SimConfig {
+            noise: 0.0,
+            scale_lag_windows: 0,
+            ..SimConfig::default()
+        };
+
+        let run = |replicas: u32| {
+            let mut s = SimStepper::new(&app, traffic.apis(), &cfg);
+            s.set_target_replicas(0, replicas);
+            let mut rows = Vec::new();
+            for t in 0..traffic.window_count() {
+                rows.push(obs_row(&mut s.step(traffic.window(t), &[]), 0));
+            }
+            rows
+        };
+        let one = run(1);
+        let three = run(3);
+        for (a, b) in one.iter().zip(&three) {
+            assert_eq!(b.replicas, 3);
+            // Same sampled work (RNG invariance) spread over 3x capacity.
+            assert!(b.saturation < a.saturation);
+            // Memory baseline is provisioned per replica.
+            assert!(b.mem_mib > a.mem_mib);
+        }
+    }
+
+    #[test]
+    fn scale_up_lags_and_scale_down_is_immediate() {
+        let app = tiny_app();
+        let traffic = tiny_traffic(1);
+        let cfg = SimConfig {
+            scale_lag_windows: 2,
+            ..SimConfig::default()
+        };
+        let mut s = SimStepper::new(&app, traffic.apis(), &cfg);
+
+        s.set_target_replicas(0, 4);
+        let r0 = s.step(traffic.window(0), &[]).rows[0].replicas;
+        let r1 = s.step(traffic.window(1), &[]).rows[0].replicas;
+        let r2 = s.step(traffic.window(2), &[]).rows[0].replicas;
+        assert_eq!((r0, r1, r2), (1, 1, 4), "scale-up waits out the lag");
+
+        s.set_target_replicas(0, 2);
+        let r3 = s.step(traffic.window(3), &[]).rows[0].replicas;
+        assert_eq!(r3, 2, "scale-down applies at the next step");
+    }
+
+    #[test]
+    fn replica_targets_are_clamped_to_spec_bounds() {
+        let app = tiny_app(); // Stateless max 8, stateful max 3.
+        let traffic = tiny_traffic(1);
+        let mut s = SimStepper::new(&app, traffic.apis(), &SimConfig::default());
+        s.set_target_replicas(0, 100);
+        s.set_target_replicas(1, 100);
+        assert_eq!(s.target_replicas(), &[8, 3]);
+        s.set_target_replicas(0, 0);
+        assert_eq!(s.target_replicas()[0], 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let app = tiny_app();
+        let traffic = tiny_traffic(1);
+        let cfg = SimConfig::default();
+
+        let mut full = SimStepper::new(&app, traffic.apis(), &cfg);
+        full.set_target_replicas(0, 2);
+        let mut expected = Vec::new();
+        for t in 0..24 {
+            let obs = full.step(traffic.window(t), &[]);
+            expected.push((obs.rows[0].cpu_pct, obs.rows[1].disk_mib, obs.traces.len()));
+        }
+
+        let mut first = SimStepper::new(&app, traffic.apis(), &cfg);
+        first.set_target_replicas(0, 2);
+        for t in 0..12 {
+            first.step(traffic.window(t), &[]);
+        }
+        let state = first.checkpoint();
+        // Round-trip through serialization like a real checkpoint file.
+        let json = serde_json::to_string(&state).unwrap();
+        let state: SimStepperState = serde_json::from_str(&json).unwrap();
+        let mut resumed = SimStepper::restore(&app, traffic.apis(), &cfg, state).unwrap();
+        assert_eq!(resumed.position(), 12);
+        for (t, want) in expected.iter().enumerate().skip(12) {
+            let obs = resumed.step(traffic.window(t), &[]);
+            assert_eq!(
+                (obs.rows[0].cpu_pct, obs.rows[1].disk_mib, obs.traces.len()),
+                *want,
+                "window {t} diverged after restore"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_decisions_do_not_perturb_the_request_stream() {
+        let app = tiny_app();
+        let traffic = tiny_traffic(1);
+        let cfg = SimConfig::default();
+
+        let mut plain = SimStepper::new(&app, traffic.apis(), &cfg);
+        let mut scaled = SimStepper::new(&app, traffic.apis(), &cfg);
+        for t in 0..24 {
+            // Aggressively flap replicas on one stepper only.
+            scaled.set_target_replicas(0, 1 + (t as u32 % 4));
+            let a = plain.step(traffic.window(t), &[]);
+            let b = scaled.step(traffic.window(t), &[]);
+            assert_eq!(
+                a.traces.len(),
+                b.traces.len(),
+                "replica changes must not consume RNG draws"
+            );
+        }
+    }
+
+    fn obs_row(obs: &mut StepObservation, i: usize) -> ComponentRow {
+        obs.rows[i]
+    }
+
+    #[test]
+    fn provision_cost_scales_with_replicas() {
+        let spec = ComponentSpec::stateless("Svc").with_cores(2.0);
+        let price = crate::ProvisionCost::default();
+        let one = price.window_cost(&spec, 1, 3600.0);
+        let four = price.window_cost(&spec, 4, 3600.0);
+        assert!(one > 0.0);
+        assert!((four - 4.0 * one).abs() < 1e-12);
     }
 
     #[test]

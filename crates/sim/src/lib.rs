@@ -37,8 +37,10 @@ pub mod engine;
 
 pub use api::{ApiSpec, CallEdge, CallNode, Condition, Repeat};
 pub use component::ComponentSpec;
-pub use cost::{CostDriver, CostTerm, OperationCost};
-pub use engine::{SimConfig, SimOutput};
+pub use cost::{CostDriver, CostTerm, OperationCost, ProvisionCost};
+pub use engine::{
+    ComponentRow, SimConfig, SimOutput, SimStepper, SimStepperState, StepObservation,
+};
 
 use std::collections::HashMap;
 

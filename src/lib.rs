@@ -17,6 +17,9 @@
 //!   inference, live sanity alerts, checkpoint/restore.
 //! * [`baselines`] — resource-aware DL, simple scaling, component-aware
 //!   scaling comparison estimators.
+//! * [`scale`] — closed-loop proactive autoscaling: what-if-driven replica
+//!   planning against a reactive threshold baseline, with deterministic
+//!   scenario replay.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -26,6 +29,7 @@ pub use deeprest_baselines as baselines;
 pub use deeprest_core as core;
 pub use deeprest_metrics as metrics;
 pub use deeprest_nn as nn;
+pub use deeprest_scale as scale;
 pub use deeprest_serve as serve;
 pub use deeprest_sim as sim;
 pub use deeprest_tensor as tensor;

@@ -277,3 +277,44 @@ fn privacy_hashed_traces_train_equally_well() {
         assert!(!name.contains("NGINX"), "leaked name {name}");
     }
 }
+
+/// The closed autoscaling loop through the facade: on the announced surge
+/// the proactive what-if-driven policy strictly beats the reactive
+/// threshold baseline on SLO-violation windows at equal-or-lower
+/// provisioned cost, and a rerun reproduces the decision trace bit for
+/// bit.
+#[test]
+fn proactive_autoscaler_beats_reactive_through_facade() {
+    use deeprest::scale::{run_proactive, run_reactive, ScaleLoopConfig, Scenario, ScenarioKind};
+
+    let scenario = Scenario::new(ScenarioKind::Surge);
+    let model = scenario.train();
+    let config = ScaleLoopConfig::default();
+    let proactive = run_proactive(&model, &scenario, config).unwrap();
+    let reactive = run_reactive(&model, &scenario, config).unwrap();
+
+    assert!(
+        proactive.slo_violation_windows < reactive.slo_violation_windows,
+        "surge: proactive {} vs reactive {} violation windows",
+        proactive.slo_violation_windows,
+        reactive.slo_violation_windows
+    );
+    assert!(
+        proactive.provisioned_cost <= reactive.provisioned_cost,
+        "surge: proactive cost {} vs reactive {}",
+        proactive.provisioned_cost,
+        reactive.provisioned_cost
+    );
+    assert_eq!(proactive.estimate_errors, 0);
+
+    let rerun = run_proactive(&model, &scenario, config).unwrap();
+    assert_eq!(
+        proactive.decisions, rerun.decisions,
+        "decision trace replays"
+    );
+    assert_eq!(
+        proactive.provisioned_cost.to_bits(),
+        rerun.provisioned_cost.to_bits(),
+        "provisioned cost replays bitwise"
+    );
+}
