@@ -12,7 +12,9 @@ use std::time::Instant;
 
 use deeprest_metrics::{MetricKey, MetricsRegistry, MinMaxScaler, TimeSeries};
 use deeprest_nn::loss::quantiles_for;
-use deeprest_nn::{Adam, GruCell, Linear, Sgd};
+use deeprest_nn::{
+    Adam, AnalyticTrainer, ExpertSpec, GruCell, Linear, Sgd, TrainerConfig as NnTrainerConfig,
+};
 use deeprest_telemetry as telemetry;
 use deeprest_tensor::{GradBuffer, Graph, ParamId, ParamStore, Pool, Tensor, Var};
 use deeprest_trace::window::WindowedTraces;
@@ -425,6 +427,142 @@ impl DeepRest {
     /// Joint training over all experts (quantile loss, Eq. 6). Returns the
     /// per-epoch mean loss plus the same series split by expert (keyed by
     /// the expert's display name).
+    fn train(
+        &mut self,
+        xs: &[Vec<f32>],
+        targets: &[Vec<f32>],
+    ) -> (Vec<f32>, BTreeMap<String, Vec<f32>>) {
+        self.train_epochs(xs, targets, self.config.epochs)
+    }
+
+    /// Runs `epochs` optimizer epochs on the configured backend. Both
+    /// backends shuffle, batch, fold, clip and step identically, and their
+    /// gradients are bit-for-bit equal (`deeprest-nn`'s
+    /// `prop_analytic_train` proves it), so the trained parameters do not
+    /// depend on the backend choice — only wall-clock time does.
+    fn train_epochs(
+        &mut self,
+        xs: &[Vec<f32>],
+        targets: &[Vec<f32>],
+        epochs: usize,
+    ) -> (Vec<f32>, BTreeMap<String, Vec<f32>>) {
+        match self.config.backend {
+            crate::TrainingBackend::Analytic => self.train_analytic(xs, targets, epochs),
+            crate::TrainingBackend::Tape => self.train_tape(xs, targets, epochs),
+        }
+    }
+
+    /// The analytic engine: tape-free truncated BPTT over the packed expert
+    /// slab ([`AnalyticTrainer`]), batching gate GEMMs across experts and
+    /// sharding expert ranges over the pool. Gradients fold in subsequence
+    /// order, so training is bit-identical at any thread count, and every
+    /// arena is preallocated — a warm step performs zero allocations.
+    fn train_analytic(
+        &mut self,
+        xs: &[Vec<f32>],
+        targets: &[Vec<f32>],
+        epochs: usize,
+    ) -> (Vec<f32>, BTreeMap<String, Vec<f32>>) {
+        let t = xs.len();
+        let len = self.config.subseq_len.max(2);
+        let starts: Vec<usize> = (0..t).step_by(len).collect();
+        let pool = self.pool();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
+
+        let mut sgd;
+        let mut adam;
+        enum Opt<'a> {
+            S(&'a mut Sgd),
+            A(&'a mut Adam),
+        }
+        let mut opt = match self.config.optimizer {
+            OptimizerKind::Sgd { lr, momentum } => {
+                sgd = Sgd::new(lr, momentum);
+                Opt::S(&mut sgd)
+            }
+            OptimizerKind::Adam { lr } => {
+                adam = Adam::new(lr);
+                Opt::A(&mut adam)
+            }
+        };
+
+        let e_count = self.experts.len();
+        let expert_names: Vec<String> = self.experts.iter().map(|e| format!("{}", e.key)).collect();
+        let specs: Vec<ExpertSpec> = self
+            .experts
+            .iter()
+            .map(|ex| ExpertSpec {
+                mask: ex.mask,
+                cell: ex.gru,
+                alpha: ex.alpha,
+                head: ex.head,
+                skip: ex.skip,
+            })
+            .collect();
+        let dim = self.features.dim().max(1);
+        let trainer_cfg = NnTrainerConfig {
+            input_dim: self.features.dim(),
+            hidden_dim: self.config.hidden_dim,
+            max_steps: len,
+            batch_slots: self.config.batch_size.max(1).min(starts.len()),
+            api_mask: self.config.api_mask,
+            attention: self.config.attention,
+            penalty: (self.config.mask_l1 > 0.0 && self.config.api_mask)
+                .then(|| self.config.mask_l1 / (dim * e_count) as f32),
+            quantiles: quantiles_for(self.config.delta),
+        };
+        let mut trainer = AnalyticTrainer::new(&self.store, specs, trainer_cfg, &pool);
+
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        let mut expert_epoch_losses: Vec<Vec<f32>> = vec![Vec::with_capacity(epochs); e_count];
+        let mut order = Vec::with_capacity(starts.len());
+        for _epoch in 0..epochs {
+            order.clear();
+            order.extend_from_slice(&starts);
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_terms = 0usize;
+            let mut epoch_expert_sums = vec![0.0f32; e_count];
+
+            for batch in order.chunks(self.config.batch_size.max(1)) {
+                self.store.zero_grads();
+                let stats = trainer.run_batch(&mut self.store, &pool, xs, targets, batch);
+                for slot in stats {
+                    epoch_loss += slot.loss_sum;
+                    epoch_terms += slot.n_terms;
+                    for (acc, s) in epoch_expert_sums.iter_mut().zip(slot.expert_sums.iter()) {
+                        *acc += s;
+                    }
+                }
+                self.store.clip_grad_norm(self.config.grad_clip);
+                match &mut opt {
+                    Opt::S(o) => o.step_with(&mut self.store, &pool),
+                    Opt::A(o) => o.step_with(&mut self.store, &pool),
+                }
+                trainer.refresh(&self.store);
+            }
+            epoch_losses.push(epoch_loss / epoch_terms.max(1) as f32);
+            let per_expert_terms = (epoch_terms / e_count.max(1)).max(1) as f32;
+            for (e, sum) in epoch_expert_sums.iter().enumerate() {
+                expert_epoch_losses[e].push(sum / per_expert_terms);
+            }
+            if telemetry::enabled() {
+                telemetry::counter("train.epochs", 1);
+                telemetry::gauge("train.epoch_loss", f64::from(*epoch_losses.last().unwrap()));
+                for (name, series) in expert_names.iter().zip(expert_epoch_losses.iter()) {
+                    telemetry::gauge(
+                        format!("train.loss.{name}"),
+                        f64::from(*series.last().unwrap()),
+                    );
+                }
+            }
+        }
+        let expert_losses = expert_names.into_iter().zip(expert_epoch_losses).collect();
+        (epoch_losses, expert_losses)
+    }
+
+    /// The tape backend: one autodiff graph per subsequence, retained as
+    /// the differential-testing oracle for the analytic engine.
     ///
     /// Batches fan out across the pool at subsequence granularity: each
     /// batch position owns a persistent [`JobSlot`] whose graph arena and
@@ -432,10 +570,11 @@ impl DeepRest {
     /// the shared store in subsequence order, so training is bit-identical
     /// at any thread count, and after warm-up each step performs zero
     /// kernel allocations.
-    fn train(
+    fn train_tape(
         &mut self,
         xs: &[Vec<f32>],
         targets: &[Vec<f32>],
+        epochs: usize,
     ) -> (Vec<f32>, BTreeMap<String, Vec<f32>>) {
         let t = xs.len();
         let len = self.config.subseq_len.max(2);
@@ -462,11 +601,10 @@ impl DeepRest {
         };
 
         let xs_tensors: Vec<Tensor> = xs.iter().map(|x| Tensor::vector(x.clone())).collect();
-        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut epoch_losses = Vec::with_capacity(epochs);
         let e_count = self.experts.len();
         let expert_names: Vec<String> = self.experts.iter().map(|e| format!("{}", e.key)).collect();
-        let mut expert_epoch_losses: Vec<Vec<f32>> =
-            vec![Vec::with_capacity(self.config.epochs); e_count];
+        let mut expert_epoch_losses: Vec<Vec<f32>> = vec![Vec::with_capacity(epochs); e_count];
 
         // One persistent slot per batch position: each slot owns a tape
         // arena (with its recycled scratch pool), a private gradient buffer
@@ -488,7 +626,7 @@ impl DeepRest {
             .collect();
         let mut order = Vec::with_capacity(starts.len());
 
-        for _epoch in 0..self.config.epochs {
+        for _epoch in 0..epochs {
             order.clear();
             order.extend_from_slice(&starts);
             order.shuffle(&mut rng);
@@ -666,6 +804,61 @@ impl DeepRest {
             outputs.push(row);
         }
         Forward { outputs, mask_sig }
+    }
+
+    /// Continued training on freshly collected data: runs `epochs` extra
+    /// optimizer epochs against `traces`/`metrics` without rebuilding the
+    /// model. The existing feature space, expert swarm and per-expert
+    /// target scalers are reused (targets are normalized with the scalers
+    /// fitted during application learning, so the loss stays on the
+    /// original scale), and cumulative resources are delta-encoded exactly
+    /// as in [`DeepRest::fit`]. Query traces may come from any producer:
+    /// symbols are translated into the model's own space first.
+    ///
+    /// This drives the periodic-retraining loop (§6): keep serving from
+    /// the model while folding in the latest windows, paying only the
+    /// incremental training cost. Runs on the configured
+    /// [`crate::TrainingBackend`] — on the analytic engine the step reuses
+    /// the same packed slab machinery as a full fit.
+    ///
+    /// Returns the per-epoch mean losses and the per-expert split, like
+    /// [`TrainReport::epoch_losses`] / [`TrainReport::expert_losses`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` and `metrics` disagree on window count, or a
+    /// metric series for one of the model's experts is missing.
+    pub fn fit_incremental(
+        &mut self,
+        traces: &WindowedTraces,
+        metrics: &MetricsRegistry,
+        interner: &Interner,
+        epochs: usize,
+    ) -> (Vec<f32>, BTreeMap<String, Vec<f32>>) {
+        assert_eq!(
+            Some(traces.len()),
+            metrics.window_count(),
+            "fit_incremental: traces and metrics must cover the same windows"
+        );
+        let _span = telemetry::span("fit.incremental");
+        let translated = self.translate_traces(traces, interner);
+        let xs = self.features.extract_all_normalized(&translated);
+        let targets: Vec<Vec<f32>> = self
+            .experts
+            .iter()
+            .map(|ex| {
+                let series = metrics
+                    .get(&ex.key)
+                    .unwrap_or_else(|| panic!("fit_incremental: no metric series for {}", ex.key));
+                let raw: Vec<f64> = if ex.is_delta {
+                    delta_encode(series.values())
+                } else {
+                    series.values().to_vec()
+                };
+                raw.iter().map(|&v| ex.scaler.transform(v) as f32).collect()
+            })
+            .collect();
+        self.train_epochs(&xs, &targets, epochs)
     }
 
     /// Mode 2 (§3, Fig. 4): estimates expected utilization for *real* traces

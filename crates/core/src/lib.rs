@@ -48,7 +48,7 @@ pub mod sanity;
 pub mod stream;
 mod synthesizer;
 
-pub use config::{DeepRestConfig, OptimizerKind};
+pub use config::{DeepRestConfig, OptimizerKind, TrainingBackend};
 pub use estimator::{DeepRest, Estimates, ExpertKey, PhaseSeconds, PredictedSeries, TrainReport};
 pub use features::FeatureSpace;
 pub use synthesizer::TraceSynthesizer;

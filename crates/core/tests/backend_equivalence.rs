@@ -1,0 +1,170 @@
+//! Cross-backend differential test: a fit on the analytic training engine
+//! must be **bit-for-bit identical** to a fit on the autodiff tape — same
+//! training trajectory, same trained parameters, same estimates — at any
+//! thread count. The tape backend is retained exactly so this statement
+//! stays executable.
+
+use deeprest_core::{DeepRest, DeepRestConfig, OptimizerKind, TrainingBackend};
+use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
+use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::{Interner, SpanNode, Trace};
+use deeprest_workload::ApiTraffic;
+
+/// One API driving three metric series across two components, so masks,
+/// GRUs, cross-expert attention, heads, skip paths and the delta encoding
+/// of a cumulative resource are all live.
+fn dataset(windows: usize) -> (Interner, WindowedTraces, MetricsRegistry) {
+    let mut i = Interner::new();
+    let f = i.intern("Frontend");
+    let s = i.intern("Storage");
+    let read = i.intern("read");
+    let write = i.intern("write");
+    let api = i.intern("/read");
+    let mut traces = WindowedTraces::with_windows(1.0, windows);
+    let mut cpu = TimeSeries::zeros(0);
+    let mut mem = TimeSeries::zeros(0);
+    let mut disk = TimeSeries::zeros(0);
+    let mut disk_level = 100.0;
+    for t in 0..windows {
+        let count = 2 + ((t % 12) as i32 - 6).unsigned_abs() as usize;
+        for _ in 0..count {
+            let root = SpanNode::with_children(f, read, vec![SpanNode::leaf(s, write)]);
+            traces.windows[t].push(Trace::new(api, root));
+        }
+        cpu.push(2.0 + 1.5 * count as f64);
+        mem.push(64.0 + 0.5 * count as f64);
+        disk_level += 0.25 * count as f64;
+        disk.push(disk_level);
+    }
+    let mut metrics = MetricsRegistry::new();
+    metrics.insert(MetricKey::new("Frontend", ResourceKind::Cpu), cpu);
+    metrics.insert(MetricKey::new("Frontend", ResourceKind::Memory), mem);
+    metrics.insert(MetricKey::new("Storage", ResourceKind::DiskUsage), disk);
+    (i, traces, metrics)
+}
+
+fn config(backend: TrainingBackend, threads: usize, adam: bool) -> DeepRestConfig {
+    let optimizer = if adam {
+        OptimizerKind::Adam { lr: 0.005 }
+    } else {
+        OptimizerKind::Sgd {
+            lr: 0.01,
+            momentum: 0.9,
+        }
+    };
+    DeepRestConfig {
+        hidden_dim: 10,
+        epochs: 4,
+        subseq_len: 12,
+        batch_size: 3,
+        ..DeepRestConfig::default()
+    }
+    .with_seed(11)
+    .with_optimizer(optimizer)
+    .with_threads(threads)
+    .with_backend(backend)
+}
+
+fn assert_bitwise_equal(tape: &DeepRest, analytic: &DeepRest, tag: &str) {
+    let pt = tape.parameters();
+    let pa = analytic.parameters();
+    assert_eq!(pt.len(), pa.len(), "{tag}: parameter count");
+    for ((nt, vt), (na, va)) in pt.iter().zip(pa.iter()) {
+        assert_eq!(nt, na, "{tag}: parameter order");
+        assert_eq!(
+            vt.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            va.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{tag}: parameter {nt} diverged"
+        );
+    }
+}
+
+#[test]
+fn analytic_fit_is_bitwise_identical_to_tape_fit() {
+    let (i, traces, metrics) = dataset(48);
+    for adam in [true, false] {
+        for threads in [1usize, 4] {
+            let (tape, rt) = DeepRest::fit(
+                &traces,
+                &metrics,
+                &i,
+                config(TrainingBackend::Tape, threads, adam),
+            );
+            let (analytic, ra) = DeepRest::fit(
+                &traces,
+                &metrics,
+                &i,
+                config(TrainingBackend::Analytic, threads, adam),
+            );
+            let tag = format!("adam={adam} threads={threads}");
+
+            // Identical training trajectory, not merely a similar end state.
+            assert_eq!(
+                rt.epoch_losses
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                ra.epoch_losses
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "{tag}: epoch losses"
+            );
+            for (name, series_t) in rt.expert_losses.iter() {
+                let series_a = &ra.expert_losses[name];
+                assert_eq!(
+                    series_t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    series_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{tag}: per-expert losses for {name}"
+                );
+            }
+
+            assert_bitwise_equal(&tape, &analytic, &tag);
+
+            // Identical hypothetical-traffic estimates, bit for bit.
+            let traffic = ApiTraffic::new(vec!["/read".into()], 8, vec![vec![5.0]; 16]);
+            let et = tape.estimate_traffic(&traffic, 3);
+            let ea = analytic.estimate_traffic(&traffic, 3);
+            assert_eq!(et.len(), ea.len(), "{tag}: estimate count");
+            for ((kt, st), (ka, sa)) in et.iter().zip(ea.iter()) {
+                assert_eq!(kt, ka, "{tag}: estimate keys");
+                for (t, a) in [
+                    (&st.expected, &sa.expected),
+                    (&st.lower, &sa.lower),
+                    (&st.upper, &sa.upper),
+                ] {
+                    assert_eq!(
+                        t.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        a.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{tag}: estimates for {kt}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fit_incremental_continues_identically_on_both_backends() {
+    let (i, traces, metrics) = dataset(48);
+    let mut models = Vec::new();
+    for backend in [TrainingBackend::Tape, TrainingBackend::Analytic] {
+        let (mut model, _) = DeepRest::fit(&traces, &metrics, &i, config(backend, 2, true));
+        let (losses, expert_losses) = model.fit_incremental(&traces, &metrics, &i, 2);
+        assert_eq!(losses.len(), 2);
+        assert!(losses.iter().all(|l| l.is_finite()));
+        assert_eq!(expert_losses.len(), 3);
+        models.push((model, losses));
+    }
+    let (tape, tape_losses) = &models[0];
+    let (analytic, analytic_losses) = &models[1];
+    assert_eq!(
+        tape_losses.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        analytic_losses
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "incremental losses"
+    );
+    assert_bitwise_equal(tape, analytic, "after fit_incremental");
+}

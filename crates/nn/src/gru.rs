@@ -146,9 +146,13 @@ impl BoundGruCell {
     /// Panics if `x` is not `(input_dim, 1)` or `h_prev` is not
     /// `(hidden_dim, 1)`.
     pub fn step(&self, g: &mut Graph, x: Var, h_prev: Var) -> Var {
-        // Fused gate nodes (`gate_sigmoid`/`gate_tanh`/`lerp`) shrink the
-        // tape from 19 to 11 nodes per step with bit-identical values and
-        // gradients versus the unfused add/activation chain.
+        // Fused gate nodes (`gate_sigmoid`/`gate_tanh`/`lerp`) keep the
+        // tape at 11 nodes per step with bit-identical values and gradients
+        // versus the unfused add/activation chain. Training no longer runs
+        // through here — [`crate::AnalyticTrainer`] replays this exact op
+        // sequence tape-free over the packed slab — so this graph step now
+        // serves prediction and the differential-testing oracle the
+        // analytic engine is proven against.
         let tape_before = g.len();
         let z = {
             let wx = g.matmul(self.wz, x);
@@ -168,6 +172,10 @@ impl BoundGruCell {
         };
         let h = g.lerp(z, h_prev, h_tilde);
         if telemetry::enabled() {
+            // `gru.steps`/`gru.step.tape_nodes` count graph-built steps
+            // only: prediction, streaming inference and the tape oracle.
+            // Analytic-backend training emits `train.analytic.batches`
+            // instead and records no tape nodes at all.
             telemetry::counter("gru.steps", 1);
             telemetry::counter("gru.step.tape_nodes", (g.len() - tape_before) as u64);
         }

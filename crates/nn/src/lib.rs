@@ -48,8 +48,10 @@ mod linear;
 pub mod loss;
 mod optim;
 pub mod slab;
+pub mod train;
 
 pub use gru::{BoundGruCell, GruCell};
 pub use linear::{BoundLinear, Linear};
 pub use optim::{Adam, Sgd};
 pub use slab::ExpertSlab;
+pub use train::{AnalyticTrainer, ExpertSpec, SlotStats, TrainerConfig};

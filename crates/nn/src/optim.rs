@@ -2,7 +2,7 @@
 
 use deeprest_fault as fault;
 use deeprest_telemetry as telemetry;
-use deeprest_tensor::{ParamStore, Pool, Tensor};
+use deeprest_tensor::{BufferPool, ParamStore, Pool, Tensor};
 
 /// Emits the per-step telemetry shared by all optimizers. The gradient
 /// norm is a full pass over every gradient tensor, so it is only computed
@@ -26,10 +26,8 @@ fn record_step(store: &ParamStore) {
 /// training remains bit-identical. Returns the number of zeroed tensors
 /// (also published as the `optim.skipped_nonfinite` telemetry counter).
 fn sanitize_grads(store: &mut ParamStore) -> u64 {
-    let ids: Vec<_> = store.ids().collect();
     let mut skipped = 0u64;
-    for id in ids {
-        let grad = store.grad_mut(id);
+    for grad in store.grads_mut() {
         fault::poison_f32s("optim.grad", grad.data_mut());
         if grad.data().iter().any(|g| !g.is_finite()) {
             grad.fill_zero();
@@ -46,13 +44,27 @@ fn sanitize_grads(store: &mut ParamStore) -> u64 {
 ///
 /// The paper trains DeepRest with plain SGD at learning rate `0.001` (§5.1);
 /// `momentum = 0.0` reproduces that setting.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Sgd {
     /// Learning rate.
     pub lr: f32,
     /// Momentum coefficient in `[0, 1)`; `0` disables momentum.
     pub momentum: f32,
     velocity: Vec<Tensor>,
+    scratch: BufferPool,
+}
+
+impl Clone for Sgd {
+    /// Clones the optimizer state; the clone starts with an empty scratch
+    /// pool (recycled buffers are not shared).
+    fn clone(&self) -> Self {
+        Self {
+            lr: self.lr,
+            momentum: self.momentum,
+            velocity: self.velocity.clone(),
+            scratch: BufferPool::new(),
+        }
+    }
 }
 
 impl Sgd {
@@ -62,6 +74,7 @@ impl Sgd {
             lr,
             momentum,
             velocity: Vec::new(),
+            scratch: BufferPool::new(),
         }
     }
 
@@ -98,14 +111,15 @@ impl Sgd {
         while self.velocity.len() < store.len() {
             let id = store.ids().nth(self.velocity.len()).expect("in range");
             let shape = store.value(id).shape();
-            self.velocity.push(Tensor::zeros(shape.0, shape.1));
+            self.velocity
+                .push(self.scratch.take_tensor(shape.0, shape.1));
         }
     }
 }
 
 /// Adam optimizer (Kingma & Ba), offered as a faster-converging alternative
 /// to the paper's SGD; the experiment binaries expose it behind a flag.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Adam {
     /// Learning rate.
     pub lr: f32,
@@ -118,6 +132,24 @@ pub struct Adam {
     t: i32,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    scratch: BufferPool,
+}
+
+impl Clone for Adam {
+    /// Clones the optimizer state; the clone starts with an empty scratch
+    /// pool (recycled buffers are not shared).
+    fn clone(&self) -> Self {
+        Self {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+            scratch: BufferPool::new(),
+        }
+    }
 }
 
 impl Adam {
@@ -131,6 +163,7 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            scratch: BufferPool::new(),
         }
     }
 
@@ -158,8 +191,14 @@ impl Adam {
             });
             pool.for_each_mut(&mut self.v, |i, v| {
                 v.scale_assign(beta2);
-                let grad_sq = grads[i].mul(&grads[i]);
-                v.axpy(1.0 - beta2, &grad_sq);
+                // Fused g² update: rounds (g·g) first and then the scaled
+                // add, exactly like the former materialize-then-axpy pair,
+                // so the bits match while the per-step `grad_sq` tensor
+                // allocation disappears.
+                let one_minus_beta2 = 1.0 - beta2;
+                for (v, &g) in v.data_mut().iter_mut().zip(grads[i].data().iter()) {
+                    *v += one_minus_beta2 * (g * g);
+                }
             });
         }
         let (m, v) = (&self.m, &self.v);
@@ -178,8 +217,8 @@ impl Adam {
         while self.m.len() < store.len() {
             let id = store.ids().nth(self.m.len()).expect("in range");
             let shape = store.value(id).shape();
-            self.m.push(Tensor::zeros(shape.0, shape.1));
-            self.v.push(Tensor::zeros(shape.0, shape.1));
+            self.m.push(self.scratch.take_tensor(shape.0, shape.1));
+            self.v.push(self.scratch.take_tensor(shape.0, shape.1));
         }
     }
 }

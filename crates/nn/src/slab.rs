@@ -89,6 +89,43 @@ impl ExpertSlab {
         slab
     }
 
+    /// Refreshes the packed slabs in place from the current parameter
+    /// values, reusing the existing allocations. Training repacks after
+    /// every optimizer step; a warm repack performs zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` does not match the packed expert count or shape.
+    pub fn repack(&mut self, store: &ParamStore, cells: &[GruCell]) {
+        assert_eq!(
+            cells.len(),
+            self.experts,
+            "ExpertSlab::repack: expert count changed"
+        );
+        let (d, h) = (self.input_dim, self.hidden_dim);
+        self.w.clear();
+        self.u_zk.clear();
+        self.u_h.clear();
+        self.bias.clear();
+        for cell in cells {
+            assert_eq!(
+                (cell.input_dim(), cell.hidden_dim()),
+                (d, h),
+                "ExpertSlab::repack: cells must share the packed shape"
+            );
+            for id in [cell.wz, cell.wk, cell.wh] {
+                self.w.extend_from_slice(store.value(id).data());
+            }
+            for id in [cell.uz, cell.uk] {
+                self.u_zk.extend_from_slice(store.value(id).data());
+            }
+            self.u_h.extend_from_slice(store.value(cell.uh).data());
+            for id in [cell.bz, cell.bk, cell.bh] {
+                self.bias.extend_from_slice(store.value(id).data());
+            }
+        }
+    }
+
     /// Number of packed experts.
     pub fn experts(&self) -> usize {
         self.experts
@@ -210,6 +247,133 @@ impl ExpertSlab {
         scratch.put(uzk);
         scratch.put(wx);
     }
+
+    /// [`ExpertSlab::step_range`] with gate-activation stashing: in addition
+    /// to advancing `hidden`, writes the update gate `z`, reset gate `k`,
+    /// and candidate `h̃` of every expert in the range into the caller's
+    /// arenas (`count · hidden_dim` each). The analytic training engine's
+    /// forward pass records these per timestep so the closed-form backward
+    /// can consume them without a tape.
+    ///
+    /// The arithmetic is line-for-line [`ExpertSlab::step_range`] — every
+    /// kernel call, association, and activation expression is identical, so
+    /// the advanced `hidden` carries exactly the same bits (asserted by this
+    /// module's tests and the analytic-vs-tape proptests in
+    /// `tests/prop_analytic_train.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on range, slab, or arena length mismatch.
+    #[allow(clippy::too_many_arguments)] // flat arena slices, one per stashed gate
+    pub fn step_range_stash(
+        &self,
+        lo: usize,
+        count: usize,
+        xs: &[f32],
+        hidden: &mut [f32],
+        scratch: &mut BufferPool,
+        z_out: &mut [f32],
+        k_out: &mut [f32],
+        ht_out: &mut [f32],
+    ) {
+        let (d, h) = (self.input_dim, self.hidden_dim);
+        debug_assert!(
+            lo + count <= self.experts,
+            "ExpertSlab: range out of bounds"
+        );
+        debug_assert_eq!(xs.len(), count * d, "ExpertSlab: bad input slab");
+        debug_assert_eq!(hidden.len(), count * h, "ExpertSlab: bad hidden slab");
+        debug_assert_eq!(z_out.len(), count * h, "ExpertSlab: bad z arena");
+        debug_assert_eq!(k_out.len(), count * h, "ExpertSlab: bad k arena");
+        debug_assert_eq!(ht_out.len(), count * h, "ExpertSlab: bad h̃ arena");
+
+        let mut wx = scratch.take(count * 3 * h);
+        gemv_batch_into(
+            &mut wx,
+            &self.w[lo * 3 * h * d..(lo + count) * 3 * h * d],
+            3 * h,
+            d,
+            xs,
+            count,
+        );
+        let mut uzk = scratch.take(count * 2 * h);
+        gemv_batch_into(
+            &mut uzk,
+            &self.u_zk[lo * 2 * h * h..(lo + count) * 2 * h * h],
+            2 * h,
+            h,
+            hidden,
+            count,
+        );
+
+        let mut gated = scratch.take(count * h);
+        for e in 0..count {
+            let wx_e = &wx[e * 3 * h..];
+            let uzk_e = &uzk[e * 2 * h..];
+            let b_e = &self.bias[(lo + e) * 3 * h..];
+            let h_e = &hidden[e * h..(e + 1) * h];
+            for i in 0..h {
+                let zi = sigmoid((wx_e[i] + uzk_e[i]) + b_e[i]);
+                let ki = sigmoid((wx_e[h + i] + uzk_e[h + i]) + b_e[h + i]);
+                z_out[e * h + i] = zi;
+                k_out[e * h + i] = ki;
+                gated[e * h + i] = ki * h_e[i];
+            }
+        }
+
+        let mut uh = scratch.take(count * h);
+        gemv_batch_into(
+            &mut uh,
+            &self.u_h[lo * h * h..(lo + count) * h * h],
+            h,
+            h,
+            &gated,
+            count,
+        );
+
+        for e in 0..count {
+            let wx_e = &wx[e * 3 * h..];
+            let b_e = &self.bias[(lo + e) * 3 * h..];
+            for i in 0..h {
+                let ht = ((wx_e[2 * h + i] + uh[e * h + i]) + b_e[2 * h + i]).tanh();
+                let zi = z_out[e * h + i];
+                let hp = hidden[e * h + i];
+                ht_out[e * h + i] = ht;
+                hidden[e * h + i] = (zi * hp) + ((1.0 - zi) * ht);
+            }
+        }
+
+        scratch.put(uh);
+        scratch.put(gated);
+        scratch.put(uzk);
+        scratch.put(wx);
+    }
+
+    /// Expert `e`'s packed `[W_z; W_k; W_h]` stack, row-major
+    /// `(3·hidden, input)` — the backward pass's view into the slab.
+    pub fn w_of(&self, e: usize) -> &[f32] {
+        let blk = 3 * self.hidden_dim * self.input_dim;
+        &self.w[e * blk..(e + 1) * blk]
+    }
+
+    /// Expert `e`'s packed `[U_z; U_k]` stack, row-major
+    /// `(2·hidden, hidden)`.
+    pub fn u_zk_of(&self, e: usize) -> &[f32] {
+        let blk = 2 * self.hidden_dim * self.hidden_dim;
+        &self.u_zk[e * blk..(e + 1) * blk]
+    }
+
+    /// Expert `e`'s `U_h`, row-major `(hidden, hidden)`.
+    pub fn u_h_of(&self, e: usize) -> &[f32] {
+        let blk = self.hidden_dim * self.hidden_dim;
+        &self.u_h[e * blk..(e + 1) * blk]
+    }
+
+    /// Expert `e`'s packed `[b_z; b_k; b_h]` biases (`3·hidden` values).
+    pub fn bias_of(&self, e: usize) -> &[f32] {
+        let blk = 3 * self.hidden_dim;
+        &self.bias[e * blk..(e + 1) * blk]
+    }
 }
 
 /// The tape's logistic sigmoid, verbatim (`Graph::sigmoid` /
@@ -279,6 +443,68 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The stash variant must advance the hidden state with exactly the
+    /// bits of the plain step and record the gate activations the step
+    /// itself computed.
+    #[test]
+    fn step_range_stash_matches_plain_step_bitwise() {
+        let (n, d, h) = (4, 5, 6);
+        let (store, cells) = cells(n, d, h);
+        let slab = ExpertSlab::pack(&store, &cells);
+        let mut scratch = BufferPool::new();
+
+        let mut h_plain = vec![0.0f32; n * h];
+        let mut h_stash = vec![0.0f32; n * h];
+        let mut z = vec![0.0f32; n * h];
+        let mut k = vec![0.0f32; n * h];
+        let mut ht = vec![0.0f32; n * h];
+        for t in 0..3 {
+            let xs: Vec<f32> = (0..n * d)
+                .map(|i| ((t * 31 + i) as f32 * 0.2).sin())
+                .collect();
+            slab.step_range(0, n, &xs, &mut h_plain, &mut scratch);
+            slab.step_range_stash(
+                0,
+                n,
+                &xs,
+                &mut h_stash,
+                &mut scratch,
+                &mut z,
+                &mut k,
+                &mut ht,
+            );
+            for i in 0..n * h {
+                assert_eq!(h_stash[i].to_bits(), h_plain[i].to_bits(), "t={t} i={i}");
+                // h = z ⊙ h_prev + (1-z) ⊙ h̃ must reassemble from the
+                // stashed activations (sanity that the right values landed).
+                assert!(z[i] > 0.0 && z[i] < 1.0, "z out of sigmoid range");
+                assert!(k[i] > 0.0 && k[i] < 1.0, "k out of sigmoid range");
+                assert!(ht[i].abs() <= 1.0, "h̃ out of tanh range");
+            }
+        }
+    }
+
+    #[test]
+    fn repack_tracks_updated_parameters() {
+        let (n, d, h) = (3, 4, 5);
+        let (mut store, cells) = cells(n, d, h);
+        let mut slab = ExpertSlab::pack(&store, &cells);
+        // Perturb one weight of every cell, repack, and check a step sees it.
+        for cell in &cells {
+            store.value_mut(cell.wz).data_mut()[0] += 1.0;
+        }
+        slab.repack(&store, &cells);
+        let fresh = ExpertSlab::pack(&store, &cells);
+        let xs = vec![0.25f32; n * d];
+        let (mut ha, mut hb) = (vec![0.0f32; n * h], vec![0.0f32; n * h]);
+        let mut scratch = BufferPool::new();
+        slab.step_range(0, n, &xs, &mut ha, &mut scratch);
+        fresh.step_range(0, n, &xs, &mut hb, &mut scratch);
+        for i in 0..n * h {
+            assert_eq!(ha[i].to_bits(), hb[i].to_bits(), "i={i}");
         }
     }
 

@@ -1,0 +1,1021 @@
+//! Tape-free analytic training engine for the multi-expert estimator.
+//!
+//! The general autodiff tape records ~19 nodes per expert per timestep and
+//! walks them one by one in the reverse sweep. This module replaces that hot
+//! path with hand-derived truncated-BPTT over the packed [`ExpertSlab`]:
+//!
+//! * **Forward** — [`ExpertSlab::step_range_stash`] advances a whole shard of
+//!   experts per timestep with three batched GEMVs, stashing the gate
+//!   activations `z`, `k`, `h̃` (and the hidden states) into preallocated
+//!   strided arenas instead of tape nodes.
+//! * **Backward** — closed-form GRU gate gradients consume the stashed
+//!   activations with batched GEMV/GEMM kernels (including the accumulate
+//!   variants `gemv_t_acc_into` / `gemm_nt_acc_into`), walking timesteps in
+//!   descending order exactly as the tape's reverse sweep would.
+//!
+//! # Bit-identity with the tape oracle
+//!
+//! The tape path is retained (`crates/core`'s `TrainingBackend::Tape`) as a
+//! differential-testing oracle, and this engine reproduces its accumulated
+//! gradients *bit for bit*:
+//!
+//! * Every contraction calls the same lane-blocked kernels on the same
+//!   operands the tape's `matmul`/`matmul_nt`/`matmul_tn` would, so each
+//!   partial gradient carries identical bits.
+//! * Per-parameter accumulation replays the tape's reverse-sweep order:
+//!   timesteps descending, and within a gradient slot the exact operand
+//!   order of the tape's node sequence (e.g. the carried-state gradient is
+//!   `g⊙z`, then `+ (U_hᵀd_h̃)⊙k`-path, then `+ U_kᵀd_k`, then `+ U_zᵀd_z`).
+//! * The tape normalizes `-0.0` partial sums when a [`deeprest_tensor::GradBuffer`]
+//!   slot (zero-initialized) absorbs them; the engine's zero-initialized
+//!   arenas folded through [`deeprest_tensor::ParamStore::grad_add_slice`]
+//!   perform the same normalization, and a zero's sign is the only thing
+//!   that can differ mid-chain (IEEE-754 `x + ±0.0 = x` for `x ≠ 0`).
+//! * Sharding never splits a contraction: experts are data-parallel except
+//!   for the attention term, whose cross-expert sums are computed per expert
+//!   from a serially gathered global arena in a fixed expert-descending
+//!   order. Gradients are therefore identical at any thread count, and the
+//!   serial fold (batch position → shard → expert) matches the tape's
+//!   per-subsequence `absorb` order.
+//!
+//! `tests/prop_analytic_train.rs` proves the equivalence property-based;
+//! `crates/core/tests/determinism.rs` holds it end to end.
+
+use deeprest_telemetry as telemetry;
+use deeprest_tensor::kernel::{
+    gemm_into, gemm_nt_acc_into, gemv_batch_into, gemv_t_acc_into, gemv_t_into,
+};
+use deeprest_tensor::{BufferPool, ParamId, ParamStore, Pool};
+
+use crate::slab::ExpertSlab;
+use crate::{GruCell, Linear};
+
+/// Below this many experts per shard the fan-out overhead beats the win
+/// (mirrors the serving-side shard plan in `deeprest-core::stream`).
+const MIN_EXPERTS_PER_SHARD: usize = 8;
+
+/// Parameter handles of one expert, in the estimator's architecture:
+/// sigmoid feature mask → GRU → cross-expert attention → quantile head,
+/// with an optional linear skip path from the masked features.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpertSpec {
+    /// Mask logits `m^{c,r}`, shape `(input_dim, 1)`. Ignored (no gradient,
+    /// mask treated as all-ones) when the trainer's `api_mask` is off.
+    pub mask: ParamId,
+    /// Recurrent core.
+    pub cell: GruCell,
+    /// Attention weights over all experts, shape `(experts, 1)`; the self
+    /// entry is masked out. Ignored when `attention` is off.
+    pub alpha: ParamId,
+    /// Output head mapping `(a_t || h_t)` to the three quantile outputs.
+    pub head: Linear,
+    /// Optional skip path from the masked features to the outputs. Must be
+    /// uniformly present or absent across experts.
+    pub skip: Option<Linear>,
+}
+
+/// Static configuration of an [`AnalyticTrainer`].
+#[derive(Clone, Copy, Debug)]
+pub struct TrainerConfig {
+    /// Feature dimensionality `d`.
+    pub input_dim: usize,
+    /// GRU hidden units `h`.
+    pub hidden_dim: usize,
+    /// Maximum truncated-BPTT subsequence length (the last subsequence of a
+    /// series may be shorter).
+    pub max_steps: usize,
+    /// Number of persistent batch-position slots (the optimizer batch size
+    /// capped by the subsequence count).
+    pub batch_slots: usize,
+    /// Whether the sigmoid feature mask is trained (`false` freezes it at
+    /// all-ones with no gradient, matching the tape's ablation).
+    pub api_mask: bool,
+    /// Whether cross-expert attention is active.
+    pub attention: bool,
+    /// `Some(mask_l1 / (dim · experts))` when the L1 mask penalty is active
+    /// (the tape's exact coefficient); `None` disables the penalty.
+    pub penalty: Option<f32>,
+    /// The three pinball-loss quantiles.
+    pub quantiles: [f32; 3],
+}
+
+/// Per-batch-position training statistics, matching the tape path's
+/// bookkeeping bit for bit.
+#[derive(Clone, Debug)]
+pub struct SlotStats {
+    /// `loss · n_terms` for this subsequence (pre-batch-scale loss,
+    /// including the mask penalty).
+    pub loss_sum: f32,
+    /// Number of pinball terms (`steps · experts`).
+    pub n_terms: usize,
+    /// Sum of pinball terms per expert, timestep-ascending.
+    pub expert_sums: Vec<f32>,
+}
+
+/// One contiguous expert range owned by a worker.
+#[derive(Clone, Copy, Debug)]
+struct Shard {
+    lo: usize,
+    count: usize,
+}
+
+/// Per-(batch position, shard) state: activation stashes, gradient arenas
+/// and scratch. Everything is allocated once at trainer construction; a warm
+/// training step performs zero heap allocations.
+struct ShardJob {
+    lo: usize,
+    count: usize,
+    /// Subsequence start/window count for the current batch.
+    start: usize,
+    steps: usize,
+    /// Upstream pinball seed `(1·scale)·(1/n_terms)` for the current batch.
+    s2: f32,
+    /// Mask-penalty seed `(1·scale)·penalty` (0 when inactive).
+    s3: f32,
+    scratch: BufferPool,
+    // Forward stashes, strided `[t][expert][element]`.
+    z: Vec<f32>,
+    k: Vec<f32>,
+    ht: Vec<f32>,
+    h: Vec<f32>,
+    g_y: Vec<f32>,
+    terms: Vec<f32>,
+    g_att: Vec<f32>,
+    g_hh: Vec<f32>,
+    // Gradient arenas, one block per expert in the shard.
+    gw: Vec<f32>,
+    gu_zk: Vec<f32>,
+    gu_h: Vec<f32>,
+    gbias: Vec<f32>,
+    gmask: Vec<f32>,
+    galpha: Vec<f32>,
+    ghead_w: Vec<f32>,
+    ghead_b: Vec<f32>,
+    gskip_w: Vec<f32>,
+    gskip_b: Vec<f32>,
+    // Per-timestep work buffers.
+    xbuf: Vec<f32>,
+    hidden: Vec<f32>,
+    att: Vec<f32>,
+    cat: Vec<f32>,
+    ybuf: Vec<f32>,
+    sbuf: Vec<f32>,
+    gcat: Vec<f32>,
+    dzkh: Vec<f32>,
+    zpre: Vec<f32>,
+    ggated: Vec<f32>,
+    gated: Vec<f32>,
+    gx: Vec<f32>,
+    dh: Vec<f32>,
+    dhp: Vec<f32>,
+    zeros_h: Vec<f32>,
+}
+
+impl ShardJob {
+    fn new(shard: Shard, e_total: usize, cfg: &TrainerConfig, has_skip: bool) -> Self {
+        let (d, h, t) = (cfg.input_dim, cfg.hidden_dim, cfg.max_steps);
+        let c = shard.count;
+        let att_len = if cfg.attention { t * c * h } else { 0 };
+        let skip_w_len = if has_skip { c * 3 * d } else { 0 };
+        let skip_b_len = if has_skip { c * 3 } else { 0 };
+        Self {
+            lo: shard.lo,
+            count: c,
+            start: 0,
+            steps: 0,
+            s2: 0.0,
+            s3: 0.0,
+            scratch: BufferPool::new(),
+            z: vec![0.0; t * c * h],
+            k: vec![0.0; t * c * h],
+            ht: vec![0.0; t * c * h],
+            h: vec![0.0; t * c * h],
+            g_y: vec![0.0; t * c * 3],
+            terms: vec![0.0; t * c],
+            g_att: vec![0.0; att_len],
+            g_hh: vec![0.0; t * c * h],
+            gw: vec![0.0; c * 3 * h * d],
+            gu_zk: vec![0.0; c * 2 * h * h],
+            gu_h: vec![0.0; c * h * h],
+            gbias: vec![0.0; c * 3 * h],
+            gmask: vec![0.0; if cfg.api_mask { c * d } else { 0 }],
+            galpha: vec![0.0; if cfg.attention { c * e_total } else { 0 }],
+            ghead_w: vec![0.0; c * 3 * 2 * h],
+            ghead_b: vec![0.0; c * 3],
+            gskip_w: vec![0.0; skip_w_len],
+            gskip_b: vec![0.0; skip_b_len],
+            xbuf: vec![0.0; c * d],
+            hidden: vec![0.0; c * h],
+            att: vec![0.0; h * c],
+            cat: vec![0.0; c * 2 * h],
+            ybuf: vec![0.0; c * 3],
+            sbuf: vec![0.0; skip_b_len],
+            gcat: vec![0.0; 2 * h],
+            dzkh: vec![0.0; 3 * h],
+            zpre: vec![0.0; h],
+            ggated: vec![0.0; h],
+            gated: vec![0.0; h],
+            gx: vec![0.0; d],
+            dh: vec![0.0; h],
+            dhp: vec![0.0; h],
+            zeros_h: vec![0.0; h],
+        }
+    }
+
+    /// Resets the gradient arenas for a new optimizer step and records the
+    /// subsequence bounds plus upstream seeds.
+    fn arm(&mut self, start: usize, steps: usize, s1: f32, e_total: usize, cfg: &TrainerConfig) {
+        self.start = start;
+        self.steps = steps;
+        let n_terms = steps * e_total;
+        self.s2 = s1 * (1.0 / n_terms as f32);
+        self.s3 = cfg.penalty.map_or(0.0, |c| s1 * c);
+        for buf in [
+            &mut self.gw,
+            &mut self.gu_zk,
+            &mut self.gu_h,
+            &mut self.gbias,
+            &mut self.galpha,
+            &mut self.ghead_w,
+            &mut self.ghead_b,
+            &mut self.gskip_w,
+            &mut self.gskip_b,
+        ] {
+            buf.fill(0.0);
+        }
+        // The tape seeds the mask-sigmoid slot with the penalty's `SumAll`
+        // backward fill *before* the per-timestep contributions arrive
+        // (highest node index first); pre-filling reproduces that exactly.
+        self.gmask
+            .fill(if cfg.penalty.is_some() { self.s3 } else { 0.0 });
+        self.hidden.fill(0.0);
+    }
+}
+
+/// The analytic trainer: owns the packed slab, the per-step value packs and
+/// every per-worker arena. One instance serves a whole `fit` — arenas are
+/// allocated at construction and reused by every batch of every epoch.
+pub struct AnalyticTrainer {
+    cfg: TrainerConfig,
+    specs: Vec<ExpertSpec>,
+    cells: Vec<GruCell>,
+    slab: ExpertSlab,
+    shards: Vec<Shard>,
+    /// `expert → (shard index, local index)`.
+    expert_loc: Vec<(usize, usize)>,
+    has_skip: bool,
+    // Value packs, refreshed from the store after every optimizer step.
+    mask_sig: Vec<f32>,
+    alpha_rows: Vec<f32>,
+    alpha_cols: Vec<Vec<f32>>,
+    head_w: Vec<f32>,
+    head_b: Vec<f32>,
+    skip_w: Vec<f32>,
+    skip_b: Vec<f32>,
+    jobs: Vec<ShardJob>,
+    /// Per batch slot: `H_t` gathered across shards, `[t][element][expert]`.
+    hmats: Vec<Vec<f32>>,
+    /// Per batch slot: attention-head gradients `[t][expert][element]`.
+    g_att_all: Vec<Vec<f32>>,
+    stats: Vec<SlotStats>,
+}
+
+impl AnalyticTrainer {
+    /// Builds the trainer: packs the slab, plans expert shards over `pool`'s
+    /// worker count, and allocates every arena for `cfg.batch_slots`
+    /// persistent batch positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or mixes skip-path presence.
+    pub fn new(
+        store: &ParamStore,
+        specs: Vec<ExpertSpec>,
+        cfg: TrainerConfig,
+        pool: &Pool,
+    ) -> Self {
+        let e = specs.len();
+        assert!(e > 0, "AnalyticTrainer: no experts");
+        let has_skip = specs[0].skip.is_some();
+        assert!(
+            specs.iter().all(|s| s.skip.is_some() == has_skip),
+            "AnalyticTrainer: skip path must be uniform across experts"
+        );
+        let cells: Vec<GruCell> = specs.iter().map(|s| s.cell).collect();
+        let slab = ExpertSlab::pack(store, &cells);
+
+        let shard_count = pool.threads().min(e.div_ceil(MIN_EXPERTS_PER_SHARD)).max(1);
+        let chunk = e.div_ceil(shard_count);
+        let shards: Vec<Shard> = (0..shard_count)
+            .map(|s| {
+                let lo = (s * chunk).min(e);
+                Shard {
+                    lo,
+                    count: ((s + 1) * chunk).min(e) - lo,
+                }
+            })
+            .filter(|s| s.count > 0)
+            .collect();
+        let mut expert_loc = vec![(0usize, 0usize); e];
+        for (si, shard) in shards.iter().enumerate() {
+            for c in 0..shard.count {
+                expert_loc[shard.lo + c] = (si, c);
+            }
+        }
+
+        let (d, h, t) = (cfg.input_dim, cfg.hidden_dim, cfg.max_steps);
+        let jobs = (0..cfg.batch_slots)
+            .flat_map(|_| shards.iter().map(|&s| ShardJob::new(s, e, &cfg, has_skip)))
+            .collect();
+        let mut trainer = Self {
+            specs,
+            cells,
+            slab,
+            shards,
+            expert_loc,
+            has_skip,
+            mask_sig: vec![0.0; e * d],
+            alpha_rows: vec![0.0; if cfg.attention { e * e } else { 0 }],
+            alpha_cols: Vec::new(),
+            head_w: vec![0.0; e * 3 * 2 * h],
+            head_b: vec![0.0; e * 3],
+            skip_w: vec![0.0; if has_skip { e * 3 * d } else { 0 }],
+            skip_b: vec![0.0; if has_skip { e * 3 } else { 0 }],
+            jobs,
+            hmats: (0..cfg.batch_slots).map(|_| vec![0.0; t * h * e]).collect(),
+            g_att_all: (0..cfg.batch_slots)
+                .map(|_| vec![0.0; if cfg.attention { t * e * h } else { 0 }])
+                .collect(),
+            stats: (0..cfg.batch_slots)
+                .map(|_| SlotStats {
+                    loss_sum: 0.0,
+                    n_terms: 0,
+                    expert_sums: vec![0.0; e],
+                })
+                .collect(),
+            cfg,
+        };
+        if trainer.cfg.attention {
+            trainer.alpha_cols = trainer
+                .shards
+                .iter()
+                .map(|s| vec![0.0; e * s.count])
+                .collect();
+        }
+        trainer.refresh(store);
+        trainer
+    }
+
+    /// Re-reads every parameter value out of `store`: repacks the GRU slab
+    /// in place and refreshes the mask/attention/head value packs. Call
+    /// after each optimizer step; a warm refresh performs no allocations.
+    pub fn refresh(&mut self, store: &ParamStore) {
+        let e = self.specs.len();
+        let (d, h) = (self.cfg.input_dim, self.cfg.hidden_dim);
+        self.slab.repack(store, &self.cells);
+        for (i, spec) in self.specs.iter().enumerate() {
+            let msig = &mut self.mask_sig[i * d..(i + 1) * d];
+            if self.cfg.api_mask {
+                // The tape's `Graph::sigmoid` expression, verbatim.
+                for (o, &x) in msig.iter_mut().zip(store.value(spec.mask).data()) {
+                    *o = 1.0 / (1.0 + (-x).exp());
+                }
+            } else {
+                msig.fill(1.0);
+            }
+            self.head_w[i * 6 * h..(i + 1) * 6 * h]
+                .copy_from_slice(store.value(spec.head.w).data());
+            self.head_b[i * 3..(i + 1) * 3].copy_from_slice(store.value(spec.head.b).data());
+            if let Some(skip) = &spec.skip {
+                self.skip_w[i * 3 * d..(i + 1) * 3 * d].copy_from_slice(store.value(skip.w).data());
+                self.skip_b[i * 3..(i + 1) * 3].copy_from_slice(store.value(skip.b).data());
+            }
+            if self.cfg.attention {
+                let row = &mut self.alpha_rows[i * e..(i + 1) * e];
+                row.copy_from_slice(store.value(spec.alpha).data());
+                // Self-exclusion: the tape's `mask_out(α, i)`.
+                row[i] = 0.0;
+            }
+        }
+        if self.cfg.attention {
+            for (s, shard) in self.shards.iter().enumerate() {
+                let cols = &mut self.alpha_cols[s];
+                for kk in 0..e {
+                    for c in 0..shard.count {
+                        cols[kk * shard.count + c] = self.alpha_rows[(shard.lo + c) * e + kk];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs forward + backward for one optimizer batch of subsequence
+    /// `starts`, folding gradients into `store` in a fixed order (batch
+    /// position → shard → expert) so the result is bit-identical to the tape
+    /// path at any thread count. Returns per-slot statistics in batch order.
+    ///
+    /// The caller owns the surrounding loop: `store.zero_grads()` before,
+    /// gradient clipping / optimizer step / [`AnalyticTrainer::refresh`]
+    /// after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` exceeds the configured slot count.
+    pub fn run_batch(
+        &mut self,
+        store: &mut ParamStore,
+        pool: &Pool,
+        xs: &[Vec<f32>],
+        targets: &[Vec<f32>],
+        batch: &[usize],
+    ) -> &[SlotStats] {
+        let nb = batch.len();
+        assert!(nb <= self.cfg.batch_slots, "run_batch: batch too large");
+        let e_total = self.specs.len();
+        let shard_count = self.shards.len();
+        let h = self.cfg.hidden_dim;
+        let t_total = xs.len();
+        // Backward seed of the batch-mean scale node: `1.0 · scale`.
+        let s1 = 1.0f32 * (1.0 / nb as f32);
+
+        let Self {
+            cfg,
+            specs,
+            slab,
+            shards,
+            expert_loc,
+            has_skip,
+            mask_sig,
+            alpha_rows,
+            alpha_cols,
+            head_w,
+            head_b,
+            skip_w,
+            skip_b,
+            jobs,
+            hmats,
+            g_att_all,
+            stats,
+            ..
+        } = self;
+        let has_skip = *has_skip;
+
+        for (b, &start) in batch.iter().enumerate() {
+            let steps = (start + cfg.max_steps).min(t_total) - start;
+            for s in 0..shard_count {
+                jobs[b * shard_count + s].arm(start, steps, s1, e_total, cfg);
+            }
+        }
+        let active = &mut jobs[..nb * shard_count];
+
+        // Phase A — forward: advance every shard through its subsequence,
+        // stashing gate activations and hidden states per timestep.
+        pool.for_each_mut(active, |_, job| {
+            forward_stash(job, cfg, slab, mask_sig, xs);
+        });
+
+        // Serial: gather the per-timestep hidden matrix `H_t` (rows =
+        // elements, cols = experts) across shards for each batch position.
+        for b in 0..nb {
+            let hmat = &mut hmats[b];
+            for s in 0..shard_count {
+                let job = &active[b * shard_count + s];
+                for t in 0..job.steps {
+                    for c in 0..job.count {
+                        let src = &job.h[(t * job.count + c) * h..][..h];
+                        let e = job.lo + c;
+                        for (r, &v) in src.iter().enumerate() {
+                            hmat[t * h * e_total + r * e_total + e] = v;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase B — heads: attention, concat, quantile outputs, pinball
+        // terms and the full output-stage backward, timestep-descending.
+        {
+            let hmats = &*hmats;
+            let alpha_cols = &*alpha_cols;
+            pool.for_each_mut(active, |i, job| {
+                let b = i / shard_count;
+                let s = i % shard_count;
+                let acols: &[f32] = if cfg.attention { &alpha_cols[s] } else { &[] };
+                heads_sweep(
+                    job, cfg, e_total, has_skip, &hmats[b], acols, mask_sig, head_w, head_b,
+                    skip_w, skip_b, xs, targets,
+                );
+            });
+        }
+
+        // Serial: publish every shard's attention-head gradients into the
+        // per-batch-position global arena for the cross-expert backward.
+        if cfg.attention {
+            for b in 0..nb {
+                let dst = &mut g_att_all[b];
+                for s in 0..shard_count {
+                    let job = &active[b * shard_count + s];
+                    for t in 0..job.steps {
+                        for c in 0..job.count {
+                            let e = job.lo + c;
+                            dst[(t * e_total + e) * h..][..h]
+                                .copy_from_slice(&job.g_att[(t * job.count + c) * h..][..h]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase C — recurrent backward: per expert, walk timesteps in
+        // descending order applying the closed-form gate gradients.
+        {
+            let g_att_all = &*g_att_all;
+            pool.for_each_mut(active, |i, job| {
+                let b = i / shard_count;
+                gru_sweep(
+                    job,
+                    cfg,
+                    e_total,
+                    has_skip,
+                    slab,
+                    mask_sig,
+                    alpha_rows,
+                    skip_w,
+                    &g_att_all[b],
+                    xs,
+                );
+            });
+        }
+
+        // Serial fold + statistics, in the tape's subsequence order.
+        for b in 0..nb {
+            let b_jobs = &active[b * shard_count..(b + 1) * shard_count];
+            fold_gradients(store, specs, cfg, has_skip, b_jobs, e_total);
+            slot_stats(
+                &mut stats[b],
+                cfg,
+                mask_sig,
+                expert_loc,
+                b_jobs,
+                shards,
+                e_total,
+            );
+        }
+        if telemetry::enabled() {
+            telemetry::counter("train.analytic.batches", 1);
+        }
+        &self.stats[..nb]
+    }
+}
+
+/// Phase A body: masked inputs → slab step → stash, for one job.
+fn forward_stash(
+    job: &mut ShardJob,
+    cfg: &TrainerConfig,
+    slab: &ExpertSlab,
+    mask_sig: &[f32],
+    xs: &[Vec<f32>],
+) {
+    let (d, h) = (cfg.input_dim, cfg.hidden_dim);
+    let (lo, count) = (job.lo, job.count);
+    for t in 0..job.steps {
+        let x = &xs[job.start + t];
+        for c in 0..count {
+            let msig = &mask_sig[(lo + c) * d..][..d];
+            let row = &mut job.xbuf[c * d..(c + 1) * d];
+            for ((o, &m), &xi) in row.iter_mut().zip(msig).zip(x.iter()) {
+                // The tape's `mul(mask_sig, x)`, elementwise.
+                *o = m * xi;
+            }
+        }
+        let span = count * h;
+        slab.step_range_stash(
+            lo,
+            count,
+            &job.xbuf,
+            &mut job.hidden,
+            &mut job.scratch,
+            &mut job.z[t * span..(t + 1) * span],
+            &mut job.k[t * span..(t + 1) * span],
+            &mut job.ht[t * span..(t + 1) * span],
+        );
+        job.h[t * span..(t + 1) * span].copy_from_slice(&job.hidden);
+    }
+}
+
+/// Phase B body: the whole output stage (attention, concat, head, skip,
+/// pinball) forward *and* backward for one job, timestep-descending. Head
+/// and skip parameter gradients accumulate here; the attention-head and
+/// carried-state gradients are stashed for phase C.
+#[allow(clippy::too_many_arguments)] // flat value packs, one per parameter group
+fn heads_sweep(
+    job: &mut ShardJob,
+    cfg: &TrainerConfig,
+    e_total: usize,
+    has_skip: bool,
+    hmat_b: &[f32],
+    alpha_cols: &[f32],
+    mask_sig: &[f32],
+    head_w: &[f32],
+    head_b: &[f32],
+    skip_w: &[f32],
+    skip_b: &[f32],
+    xs: &[Vec<f32>],
+    targets: &[Vec<f32>],
+) {
+    let (d, h) = (cfg.input_dim, cfg.hidden_dim);
+    let (lo, count) = (job.lo, job.count);
+    let two_h = 2 * h;
+    for t in (0..job.steps).rev() {
+        let hmat_t = &hmat_b[t * h * e_total..(t + 1) * h * e_total];
+        if cfg.attention {
+            // a_e = H_t · α_e for the whole shard: one GEMM, whose
+            // per-element dots are bit-identical to the tape's per-expert
+            // GEMV against the same `H_t` rows and masked α columns.
+            gemm_into(&mut job.att, hmat_t, h, e_total, alpha_cols, count);
+        } else {
+            job.att.fill(0.0);
+        }
+        for c in 0..count {
+            let cat = &mut job.cat[c * two_h..(c + 1) * two_h];
+            let h_t = &job.h[(t * count + c) * h..][..h];
+            for r in 0..h {
+                cat[r] = job.att[r * count + c];
+                cat[h + r] = h_t[r];
+            }
+        }
+        if has_skip {
+            for c in 0..count {
+                let msig = &mask_sig[(lo + c) * d..][..d];
+                let row = &mut job.xbuf[c * d..(c + 1) * d];
+                let x = &xs[job.start + t];
+                for ((o, &m), &xi) in row.iter_mut().zip(msig).zip(x.iter()) {
+                    *o = m * xi;
+                }
+            }
+        }
+        // Quantile heads for the shard: batched GEMVs (per-item dispatch
+        // identical to the tape's per-expert `matmul`).
+        gemv_batch_into(
+            &mut job.ybuf,
+            &head_w[lo * 3 * two_h..(lo + count) * 3 * two_h],
+            3,
+            two_h,
+            &job.cat,
+            count,
+        );
+        if has_skip {
+            gemv_batch_into(
+                &mut job.sbuf,
+                &skip_w[lo * 3 * d..(lo + count) * 3 * d],
+                3,
+                d,
+                &job.xbuf,
+                count,
+            );
+        }
+        for c in 0..count {
+            let e = lo + c;
+            let target = targets[e][job.start + t];
+            let mut term = 0.0f32;
+            let gy = &mut job.g_y[(t * count + c) * 3..][..3];
+            for q in 0..3 {
+                // `y = (W·cat + b) + (S·x̃ + b_s)`, associating exactly as
+                // the tape's add chain.
+                let mut y = job.ybuf[c * 3 + q] + head_b[e * 3 + q];
+                if has_skip {
+                    y += job.sbuf[c * 3 + q] + skip_b[e * 3 + q];
+                }
+                let qv = cfg.quantiles[q];
+                let u = target - y;
+                term += if u >= 0.0 { qv * u } else { (qv - 1.0) * u };
+                // Pinball backward: the upstream seed is known a priori
+                // (`s2` per term), so the gradient is emitted in the same
+                // sweep.
+                gy[q] = job.s2 * if u >= 0.0 { -qv } else { 1.0 - qv };
+            }
+            job.terms[t * count + c] = term;
+        }
+        for c in 0..count {
+            let e = lo + c;
+            let gy = &job.g_y[(t * count + c) * 3..][..3];
+            for (dst, &g) in job.ghead_b[c * 3..][..3].iter_mut().zip(gy) {
+                *dst += g;
+            }
+            gemm_nt_acc_into(
+                &mut job.ghead_w[c * 3 * two_h..(c + 1) * 3 * two_h],
+                gy,
+                3,
+                1,
+                &job.cat[c * two_h..(c + 1) * two_h],
+                two_h,
+            );
+            if has_skip {
+                for (dst, &g) in job.gskip_b[c * 3..][..3].iter_mut().zip(gy) {
+                    *dst += g;
+                }
+                gemm_nt_acc_into(
+                    &mut job.gskip_w[c * 3 * d..(c + 1) * 3 * d],
+                    gy,
+                    3,
+                    1,
+                    &job.xbuf[c * d..(c + 1) * d],
+                    d,
+                );
+            }
+            // g_cat = Wᵀ·g_y; the top half feeds the attention backward,
+            // the bottom half joins the carried-state gradient in phase C.
+            gemv_t_into(
+                &mut job.gcat,
+                &head_w[e * 3 * two_h..(e + 1) * 3 * two_h],
+                3,
+                two_h,
+                gy,
+            );
+            job.g_hh[(t * count + c) * h..][..h].copy_from_slice(&job.gcat[h..two_h]);
+            if cfg.attention {
+                job.g_att[(t * count + c) * h..][..h].copy_from_slice(&job.gcat[..h]);
+                // g_α += H_tᵀ · g_att, timestep-descending like the tape's
+                // attention matmul backward.
+                gemv_t_acc_into(
+                    &mut job.galpha[c * e_total..(c + 1) * e_total],
+                    hmat_t,
+                    h,
+                    e_total,
+                    &job.gcat[..h],
+                );
+            }
+        }
+    }
+    if cfg.attention {
+        // The tape's `mask_out` backward zeroes the self entry.
+        for c in 0..count {
+            job.galpha[c * e_total + lo + c] = 0.0;
+        }
+    }
+}
+
+/// Phase C body: the closed-form GRU backward for one job. Per expert,
+/// timesteps descend; every accumulation replays the tape's reverse-sweep
+/// operand order (see the module docs).
+#[allow(clippy::too_many_arguments)] // flat value packs, one per parameter group
+fn gru_sweep(
+    job: &mut ShardJob,
+    cfg: &TrainerConfig,
+    e_total: usize,
+    has_skip: bool,
+    slab: &ExpertSlab,
+    mask_sig: &[f32],
+    alpha_rows: &[f32],
+    skip_w: &[f32],
+    g_att_b: &[f32],
+    xs: &[Vec<f32>],
+) {
+    let (d, h) = (cfg.input_dim, cfg.hidden_dim);
+    let (lo, count) = (job.lo, job.count);
+    for c in 0..count {
+        let e = lo + c;
+        job.dh.fill(0.0);
+        for t in (0..job.steps).rev() {
+            let at = (t * count + c) * h;
+            // Carried-state gradient entering step t: phase-C carry-over
+            // (+0 at t = steps-1), then the head's `h` slice, then the
+            // attention column — the tape's output-stage order.
+            for (o, &g) in job.dh.iter_mut().zip(&job.g_hh[at..at + h]) {
+                *o += g;
+            }
+            if cfg.attention {
+                // Column e of Σ_{e' desc} g_att[e'] ⊗ α_{e'}ᵀ. Each product
+                // passes through the kernels' `p + 0.0` tail in the tape
+                // (k = 1 dot), reproduced literally.
+                for (r, o) in job.dh.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for e2 in (0..e_total).rev() {
+                        let p = g_att_b[(t * e_total + e2) * h + r] * alpha_rows[e2 * e_total + e];
+                        acc += p + 0.0;
+                    }
+                    *o += acc;
+                }
+            }
+            // g_x̃: skip path first (output stage), GRU gates appended below.
+            if has_skip {
+                gemv_t_into(
+                    &mut job.gx,
+                    &skip_w[e * 3 * d..(e + 1) * 3 * d],
+                    3,
+                    d,
+                    &job.g_y[(t * count + c) * 3..][..3],
+                );
+            } else {
+                job.gx.fill(0.0);
+            }
+            let (z, k, htl) = (&job.z[at..at + h], &job.k[at..at + h], &job.ht[at..at + h]);
+            let hp: &[f32] = if t > 0 {
+                let hp_start = ((t - 1) * count + c) * h;
+                &job.h[hp_start..hp_start + h]
+            } else {
+                &job.zeros_h
+            };
+            // Elementwise gate backward, in the tape's per-node expressions:
+            //   lerp: g_z_pre = (-(g·h̃)) + (g·h_prev); g_h_prev = g·z (set);
+            //         g_h̃ = g·(1-z)
+            //   tanh: d_h̃ = g_h̃ · (1 - h̃²)
+            for i in 0..h {
+                let g = job.dh[i];
+                job.zpre[i] = (-(g * htl[i])) + (g * hp[i]);
+                job.dhp[i] = g * z[i];
+                let db = g * (1.0 - z[i]);
+                job.dzkh[2 * h + i] = db * (1.0 - htl[i] * htl[i]);
+                job.gated[i] = k[i] * hp[i];
+            }
+            let d_h = &job.dzkh[2 * h..3 * h];
+            // U_h grad and the reset-product gradient.
+            gemm_nt_acc_into(
+                &mut job.gu_h[c * h * h..(c + 1) * h * h],
+                d_h,
+                h,
+                1,
+                &job.gated,
+                h,
+            );
+            gemv_t_into(&mut job.ggated, slab.u_h_of(e), h, h, d_h);
+            gemv_t_acc_into(&mut job.gx, &slab.w_of(e)[2 * h * d..3 * h * d], h, d, d_h);
+            // mul(k, h_prev) backward, then the k gate's σ'.
+            for i in 0..h {
+                job.dhp[i] += job.ggated[i] * k[i];
+                job.dzkh[h + i] = ((job.ggated[i] * hp[i]) * k[i]) * (1.0 - k[i]);
+            }
+            gemv_t_acc_into(
+                &mut job.dhp,
+                &slab.u_zk_of(e)[h * h..2 * h * h],
+                h,
+                h,
+                &job.dzkh[h..2 * h],
+            );
+            gemv_t_acc_into(
+                &mut job.gx,
+                &slab.w_of(e)[h * d..2 * h * d],
+                h,
+                d,
+                &job.dzkh[h..2 * h],
+            );
+            // z gate σ', then its U/W pullbacks.
+            for ((dz, &zp), &zv) in job.dzkh[..h].iter_mut().zip(job.zpre.iter()).zip(z) {
+                *dz = (zp * zv) * (1.0 - zv);
+            }
+            gemv_t_acc_into(
+                &mut job.dhp,
+                &slab.u_zk_of(e)[..h * h],
+                h,
+                h,
+                &job.dzkh[..h],
+            );
+            gemv_t_acc_into(&mut job.gx, &slab.w_of(e)[..h * d], h, d, &job.dzkh[..h]);
+            // Weight gradients: one stacked rank-1 update per family, with
+            // per-gate rows in the slab's pack order.
+            let x = &xs[job.start + t];
+            let msig = &mask_sig[e * d..(e + 1) * d];
+            for ((o, &m), &xi) in job.xbuf[..d].iter_mut().zip(msig).zip(x.iter()) {
+                *o = m * xi;
+            }
+            gemm_nt_acc_into(
+                &mut job.gw[c * 3 * h * d..(c + 1) * 3 * h * d],
+                &job.dzkh,
+                3 * h,
+                1,
+                &job.xbuf[..d],
+                d,
+            );
+            gemm_nt_acc_into(
+                &mut job.gu_zk[c * 2 * h * h..(c + 1) * 2 * h * h],
+                &job.dzkh[..2 * h],
+                2 * h,
+                1,
+                hp,
+                h,
+            );
+            for (o, &g) in job.gbias[c * 3 * h..(c + 1) * 3 * h]
+                .iter_mut()
+                .zip(job.dzkh.iter())
+            {
+                *o += g;
+            }
+            if cfg.api_mask {
+                // mul(mask_sig, x) backward: g ⊙ x, timestep-descending on
+                // top of the penalty pre-fill.
+                for ((gm, &gxv), &xv) in job.gmask[c * d..(c + 1) * d]
+                    .iter_mut()
+                    .zip(job.gx.iter())
+                    .zip(x.iter())
+                {
+                    *gm += gxv * xv;
+                }
+            }
+            std::mem::swap(&mut job.dh, &mut job.dhp);
+        }
+        if cfg.api_mask {
+            // The mask-sigmoid node's σ' applies once, after all fan-in.
+            for i in 0..d {
+                let s = mask_sig[e * d + i];
+                job.gmask[c * d + i] = (job.gmask[c * d + i] * s) * (1.0 - s);
+            }
+        }
+    }
+}
+
+/// Folds one batch position's arenas into the store, expert-ascending with
+/// per-expert parameters in registration order — one add per parameter per
+/// batch position, exactly like the tape's `absorb`.
+fn fold_gradients(
+    store: &mut ParamStore,
+    specs: &[ExpertSpec],
+    cfg: &TrainerConfig,
+    has_skip: bool,
+    b_jobs: &[ShardJob],
+    _e_total: usize,
+) {
+    let (d, h) = (cfg.input_dim, cfg.hidden_dim);
+    for job in b_jobs {
+        for c in 0..job.count {
+            let spec = &specs[job.lo + c];
+            if cfg.api_mask {
+                store.grad_add_slice(spec.mask, &job.gmask[c * d..(c + 1) * d]);
+            }
+            let cell = &spec.cell;
+            let gw = &job.gw[c * 3 * h * d..(c + 1) * 3 * h * d];
+            store.grad_add_slice(cell.wz, &gw[..h * d]);
+            store.grad_add_slice(cell.wk, &gw[h * d..2 * h * d]);
+            store.grad_add_slice(cell.wh, &gw[2 * h * d..]);
+            let gu = &job.gu_zk[c * 2 * h * h..(c + 1) * 2 * h * h];
+            store.grad_add_slice(cell.uz, &gu[..h * h]);
+            store.grad_add_slice(cell.uk, &gu[h * h..]);
+            store.grad_add_slice(cell.uh, &job.gu_h[c * h * h..(c + 1) * h * h]);
+            let gb = &job.gbias[c * 3 * h..(c + 1) * 3 * h];
+            store.grad_add_slice(cell.bz, &gb[..h]);
+            store.grad_add_slice(cell.bk, &gb[h..2 * h]);
+            store.grad_add_slice(cell.bh, &gb[2 * h..]);
+            if cfg.attention {
+                let e_total = specs.len();
+                store.grad_add_slice(spec.alpha, &job.galpha[c * e_total..(c + 1) * e_total]);
+            }
+            store.grad_add_slice(spec.head.w, &job.ghead_w[c * 6 * h..(c + 1) * 6 * h]);
+            store.grad_add_slice(spec.head.b, &job.ghead_b[c * 3..(c + 1) * 3]);
+            if has_skip {
+                let skip = spec.skip.as_ref().expect("uniform skip");
+                store.grad_add_slice(skip.w, &job.gskip_w[c * 3 * d..(c + 1) * 3 * d]);
+                store.grad_add_slice(skip.b, &job.gskip_b[c * 3..(c + 1) * 3]);
+            }
+        }
+    }
+}
+
+/// Recomputes one batch position's loss bookkeeping with the tape's exact
+/// fold orders: pinball terms timestep-ascending then expert-ascending
+/// (`add_n` copies the first part), the optional mask penalty, and
+/// `loss_sum = loss · n_terms`.
+fn slot_stats(
+    stats: &mut SlotStats,
+    cfg: &TrainerConfig,
+    mask_sig: &[f32],
+    expert_loc: &[(usize, usize)],
+    b_jobs: &[ShardJob],
+    _shards: &[Shard],
+    e_total: usize,
+) {
+    let steps = b_jobs.first().map_or(0, |j| j.steps);
+    let n_terms = steps * e_total;
+    stats.n_terms = n_terms;
+    stats.expert_sums.fill(0.0);
+    let mut total = 0.0f32;
+    let mut first = true;
+    for t in 0..steps {
+        for (e, &(s, c)) in expert_loc.iter().enumerate() {
+            let v = b_jobs[s].terms[t * b_jobs[s].count + c];
+            stats.expert_sums[e] += v;
+            if first {
+                total = v;
+                first = false;
+            } else {
+                total += v;
+            }
+        }
+    }
+    let mut loss = total * (1.0 / n_terms as f32);
+    if let Some(cpen) = cfg.penalty {
+        let d = cfg.input_dim;
+        // `add_n` over per-expert `sum_all(σ(m))` scalars: copy the first,
+        // add the rest; each inner sum folds ascending from 0.0 like
+        // `Tensor::sum`.
+        let mut mask_total = 0.0f32;
+        for e in 0..e_total {
+            let s: f32 = mask_sig[e * d..(e + 1) * d].iter().sum();
+            if e == 0 {
+                mask_total = s;
+            } else {
+                mask_total += s;
+            }
+        }
+        loss += mask_total * cpen;
+    }
+    stats.loss_sum = loss * n_terms as f32;
+}

@@ -611,6 +611,15 @@ pub fn gemm_nt_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n
     debug_assert_eq!(a.len(), m * k, "kernel::gemm_nt: bad lhs length");
     debug_assert_eq!(b.len(), n * k, "kernel::gemm_nt: bad rhs length");
     debug_assert_eq!(out.len(), m * n, "kernel::gemm_nt: bad output length");
+    if n == 1 {
+        // `b` is a single `k`-length row shared by every output element, so
+        // this is exactly [`gemv_into`]'s shape — the same `n == 1` fix
+        // `gemm_tn` got its dedicated [`gemv_t_into`] path for. The GEMV
+        // dispatch (sparse / AVX2 / portable) is bit-identical to the
+        // per-element dot below for finite inputs.
+        gemv_into(out, a, m, k, b);
+        return;
+    }
     #[cfg(target_arch = "x86_64")]
     {
         if avx2::available() {
@@ -633,6 +642,43 @@ pub fn gemm_nt_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n
         let out_row = &mut out[i * n..(i + 1) * n];
         for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k.max(1))) {
             *o = dot_portable(a_row, b_row);
+        }
+    }
+}
+
+/// Accumulating `a * b^T`: `out[i*n + j] += a_row_i . b_row_j` with `a`
+/// `(m, k)` and `b` `(n, k)`, both row-major.
+///
+/// Each contribution runs the dispatching [`dot`] kernel on two contiguous
+/// rows — the exact per-element bits of [`gemm_nt_into`] — so
+/// `gemm_nt_acc_into(out, ..)` is bit-identical to `gemm_nt_into(tmp, ..)`
+/// followed by `out += tmp`, without the temporary. The analytic training
+/// backward uses this for outer-product weight gradients (`d ⊗ x^T` is the
+/// `k == 1` case) accumulated across timesteps.
+pub fn gemm_nt_acc_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
+    debug_assert_eq!(a.len(), m * k, "kernel::gemm_nt_acc: bad lhs length");
+    debug_assert_eq!(b.len(), n * k, "kernel::gemm_nt_acc: bad rhs length");
+    debug_assert_eq!(out.len(), m * n, "kernel::gemm_nt_acc: bad output length");
+    if k == 1 {
+        // Rank-1 outer product: a length-1 dot is `0.0 + a·b` (the
+        // zero-seeded lane accumulator absorbs the product and the tree
+        // reduce adds only `+0.0`s), so `(a·b) + 0.0` reproduces its bits
+        // exactly — including the `-0.0 → +0.0` normalization — without a
+        // kernel-dispatch call per output element. This path carries the
+        // analytic backward's per-timestep weight gradients, where the
+        // per-element `dot` overhead would dominate the whole sweep.
+        for (av, out_row) in a.iter().zip(out.chunks_exact_mut(n.max(1))) {
+            for (o, &bv) in out_row.iter_mut().zip(b.iter()) {
+                *o += (av * bv) + 0.0;
+            }
+        }
+        return;
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k.max(1))) {
+            *o += dot(a_row, b_row);
         }
     }
 }
@@ -743,6 +789,36 @@ fn gemm_tn_partial_rows(out: &mut [f32], a: &[f32], k: usize, m: usize, b: &[f32
 /// identical to [`gemm_tn_into`]'s packed path and to [`gemm_into`] on a
 /// materialized transpose.
 pub fn gemv_t_into(out: &mut [f32], a: &[f32], k: usize, m: usize, x: &[f32]) {
+    gemv_t_impl(out, a, k, m, x, |o, v| *o = v);
+}
+
+/// Accumulating transposed GEMV: `out[i] += (a^T * x)[i]`.
+///
+/// Each contribution carries exactly the bits of the corresponding
+/// [`gemv_t_into`] element (the shared [`gemm_tn_block`] tile and tail), so
+/// `gemv_t_acc_into(out, ..)` is bit-identical to `gemv_t_into(tmp, ..)`
+/// followed by `out[i] += tmp[i]` — without the temporary. This is the
+/// analytic training backward's accumulation primitive for
+/// `U^T · d` hidden-state and `W^T · d` input gradients.
+pub fn gemv_t_acc_into(out: &mut [f32], a: &[f32], k: usize, m: usize, x: &[f32]) {
+    gemv_t_impl(out, a, k, m, x, |o, v| *o += v);
+}
+
+/// Shared body of [`gemv_t_into`] / [`gemv_t_acc_into`]: computes each
+/// contract-ordered output element and hands it to `store` (plain
+/// assignment or `+=`). Full-width blocks run the shared
+/// [`gemm_tn_block`] tile; the ragged tail replays
+/// [`gemm_tn_partial_rows`]'s dynamic-width tile with `n == 1`, so element
+/// bits are independent of which `store` is used.
+#[inline(always)]
+fn gemv_t_impl(
+    out: &mut [f32],
+    a: &[f32],
+    k: usize,
+    m: usize,
+    x: &[f32],
+    store: impl Fn(&mut f32, f32),
+) {
     debug_assert_eq!(a.len(), k * m, "kernel::gemv_t: bad matrix length");
     debug_assert_eq!(x.len(), k, "kernel::gemv_t: bad vector length");
     debug_assert_eq!(out.len(), m, "kernel::gemv_t: bad output length");
@@ -750,10 +826,39 @@ pub fn gemv_t_into(out: &mut [f32], a: &[f32], k: usize, m: usize, x: &[f32]) {
     let mut ib = 0;
     while ib + LANES <= m {
         gemm_tn_block(&mut vals, a, ib, m, x, 1, 0, k);
-        out[ib..ib + LANES].copy_from_slice(&vals);
+        for (o, &v) in out[ib..ib + LANES].iter_mut().zip(vals.iter()) {
+            store(o, v);
+        }
         ib += LANES;
     }
-    gemm_tn_partial_rows(out, a, k, m, x, 1);
+    if ib < m {
+        let w = m - ib;
+        let chunks = k / LANES;
+        let mut acc = [[0.0f32; LANES]; LANES];
+        for c in 0..chunks {
+            for (l, acc_l) in acc.iter_mut().enumerate() {
+                let kk = c * LANES + l;
+                let xv = x[kk];
+                let a_blk = &a[kk * m + ib..kk * m + ib + w];
+                for (ii, &av) in a_blk.iter().enumerate() {
+                    acc_l[ii] += av * xv;
+                }
+            }
+        }
+        for (l, kk) in (chunks * LANES..k).enumerate() {
+            let xv = x[kk];
+            let a_blk = &a[kk * m + ib..kk * m + ib + w];
+            for (ii, &av) in a_blk.iter().enumerate() {
+                acc[l][ii] += av * xv;
+            }
+        }
+        for ii in 0..w {
+            store(
+                &mut out[ib + ii],
+                reduce(core::array::from_fn(|l| acc[l][ii])),
+            );
+        }
+    }
 }
 
 /// The output is produced in `LANES`-wide blocks of `a`'s columns; for each
@@ -1093,6 +1198,79 @@ mod tests {
                     .collect::<Vec<_>>(),
                 single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 "item {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_per_element_dot() {
+        // Includes `n == 1` shapes, which dispatch to the dedicated GEMV
+        // path, and `k == 1` outer products (the backward's weight grads).
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (9, 7, 11),
+            (16, 8, 1),
+            (13, 20, 1),
+            (5, 1, 7),
+        ] {
+            let a = ramp(m * k, |i| (i as f32 * 0.29).sin() + 0.2);
+            let b = ramp(n * k, |i| (i as f32 * 0.17).cos() - 0.3);
+            let mut out = vec![0.0f32; m * n];
+            gemm_nt_into(&mut out, &a, m, k, &b, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let want = dot_reference(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                    assert_eq!(
+                        out[i * n + j].to_bits(),
+                        want.to_bits(),
+                        "({m},{k},{n}) at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_t_acc_matches_set_then_add_bitwise() {
+        for (k, m) in [(1, 1), (5, 3), (8, 16), (20, 13), (64, 70)] {
+            let a = ramp(k * m, |i| (i as f32 * 0.23).sin() - 0.1);
+            let x = ramp(k, |i| (i as f32 * 0.17).cos() + 0.3);
+            let mut set = vec![0.0f32; m];
+            gemv_t_into(&mut set, &a, k, m, &x);
+            let mut acc = ramp(m, |i| (i as f32 * 0.31).sin() * 0.7);
+            let want: Vec<u32> = acc
+                .iter()
+                .zip(set.iter())
+                .map(|(&p, &v)| (p + v).to_bits())
+                .collect();
+            gemv_t_acc_into(&mut acc, &a, k, m, &x);
+            assert_eq!(
+                acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want,
+                "({k},{m})"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_nt_acc_matches_set_then_add_bitwise() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (9, 7, 11), (16, 8, 1), (3, 1, 4)] {
+            let a = ramp(m * k, |i| (i as f32 * 0.29).sin() + 0.2);
+            let b = ramp(n * k, |i| (i as f32 * 0.17).cos() - 0.3);
+            let mut set = vec![0.0f32; m * n];
+            gemm_nt_into(&mut set, &a, m, k, &b, n);
+            let mut acc = ramp(m * n, |i| (i as f32 * 0.41).cos() * 0.5);
+            let want: Vec<u32> = acc
+                .iter()
+                .zip(set.iter())
+                .map(|(&p, &v)| (p + v).to_bits())
+                .collect();
+            gemm_nt_acc_into(&mut acc, &a, m, k, &b, n);
+            assert_eq!(
+                acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want,
+                "({m},{k},{n})"
             );
         }
     }

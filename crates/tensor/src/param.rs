@@ -112,6 +112,38 @@ impl ParamStore {
             .sqrt()
     }
 
+    /// Mutable access to every accumulated gradient, in parameter order.
+    ///
+    /// Lets optimizers sanitize or rescale gradients in one pass without
+    /// materializing a list of ids (which would allocate every step).
+    pub fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut self.grads
+    }
+
+    /// Adds a raw gradient slice elementwise into the slot for `id`.
+    ///
+    /// The analytic training engine accumulates gradients in flat per-shard
+    /// arenas rather than [`GradBuffer`]s; this is its fold entry point.
+    /// Callers must fold arenas in a fixed order (batch position, then
+    /// shard, then expert) independent of the thread schedule — the same
+    /// contract [`ParamStore::absorb`] relies on — so accumulated gradients
+    /// are bit-for-bit identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not match the parameter's element count.
+    pub fn grad_add_slice(&mut self, id: ParamId, data: &[f32]) {
+        let g = self.grads[id.0].data_mut();
+        assert_eq!(
+            g.len(),
+            data.len(),
+            "ParamStore::grad_add_slice: length mismatch"
+        );
+        for (gi, &di) in g.iter_mut().zip(data.iter()) {
+            *gi += di;
+        }
+    }
+
     /// Scales all gradients so the global norm is at most `max_norm`.
     ///
     /// Returns the pre-clipping norm. This is the standard remedy for the

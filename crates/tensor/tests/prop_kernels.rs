@@ -9,8 +9,8 @@
 //! `crates/core/tests/determinism.rs` honest on AVX2 hardware.
 
 use deeprest_tensor::kernel::{
-    self, dot_avx2, dot_portable, dot_sparse, gemm_batch_into, gemm_into, gemm_nt_into,
-    gemm_tn_into, gemv_batch_into, gemv_into, gemv_t_into,
+    self, dot_avx2, dot_portable, dot_sparse, gemm_batch_into, gemm_into, gemm_nt_acc_into,
+    gemm_nt_into, gemm_tn_into, gemv_batch_into, gemv_into, gemv_t_acc_into, gemv_t_into,
 };
 use deeprest_tensor::Tensor;
 use proptest::prelude::*;
@@ -186,6 +186,57 @@ proptest! {
                 "item {} of ({}, {}, {}, {})", i, m, k, n, batch
             );
         }
+    }
+
+    #[test]
+    fn gemv_t_acc_matches_set_then_add(
+        k in 1usize..25,
+        m in 1usize..35,
+        seed in proptest::collection::vec(zero_laden(), 25 * 35 + 25 + 35),
+    ) {
+        let a: Vec<f32> = seed[..k * m].to_vec(); // (k, m)
+        let x: Vec<f32> = seed[k * m..k * m + k].to_vec();
+        let prior: Vec<f32> = seed[seed.len() - m..].to_vec();
+        let mut set = vec![0.0f32; m];
+        gemv_t_into(&mut set, &a, k, m, &x);
+        let want: Vec<u32> = prior
+            .iter()
+            .zip(set.iter())
+            .map(|(&p, &v)| (p + v).to_bits())
+            .collect();
+        let mut acc = prior;
+        gemv_t_acc_into(&mut acc, &a, k, m, &x);
+        prop_assert_eq!(
+            acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want,
+            "({}, {})", k, m
+        );
+    }
+
+    #[test]
+    fn gemm_nt_acc_matches_set_then_add(
+        m in 1usize..7,
+        k in 1usize..19,
+        n in 1usize..7,
+        seed in proptest::collection::vec(zero_laden(), 7 * 19 + 19 * 7 + 7 * 7),
+    ) {
+        let a: Vec<f32> = seed[..m * k].to_vec();
+        let b: Vec<f32> = seed[m * k..m * k + n * k].to_vec(); // (n, k)
+        let prior: Vec<f32> = seed[seed.len() - m * n..].to_vec();
+        let mut set = vec![0.0f32; m * n];
+        gemm_nt_into(&mut set, &a, m, k, &b, n);
+        let want: Vec<u32> = prior
+            .iter()
+            .zip(set.iter())
+            .map(|(&p, &v)| (p + v).to_bits())
+            .collect();
+        let mut acc = prior;
+        gemm_nt_acc_into(&mut acc, &a, m, k, &b, n);
+        prop_assert_eq!(
+            acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want,
+            "({}, {}, {})", m, k, n
+        );
     }
 
     #[test]
