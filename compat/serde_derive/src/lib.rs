@@ -11,7 +11,7 @@
 //! * generic parameters copied verbatim (bounds must already include
 //!   `serde::Serialize` / `serde::Deserialize` where required)
 //! * field attributes `#[serde(rename = "...")]`, `#[serde(default)]`,
-//!   `#[serde(skip)]`
+//!   `#[serde(skip)]`, `#[serde(skip_serializing_if = "...")]`
 //!
 //! The generated code targets the mini-serde data model: `Serialize` is
 //! `fn to_value(&self) -> serde::Value` and `Deserialize` is
@@ -28,6 +28,10 @@ struct FieldAttrs {
     rename: Option<String>,
     default: bool,
     skip: bool,
+    /// Path of a `fn(&T) -> bool` predicate; when it returns `true` the
+    /// field is omitted from the serialized object
+    /// (`#[serde(skip_serializing_if = "Option::is_none")]`).
+    skip_serializing_if: Option<String>,
 }
 
 struct NamedField {
@@ -119,6 +123,16 @@ fn parse_attr_group(stream: &TokenStream, attrs: &mut FieldAttrs) {
                         if let TokenTree::Literal(lit) = &inner[i + 2] {
                             let text = lit.to_string();
                             attrs.rename = Some(text.trim_matches('"').to_string());
+                        }
+                    }
+                    i += 3;
+                }
+                "skip_serializing_if" => {
+                    // skip_serializing_if = "path::to::predicate"
+                    if i + 2 < inner.len() && is_punct(&inner[i + 1], '=') {
+                        if let TokenTree::Literal(lit) = &inner[i + 2] {
+                            let text = lit.to_string();
+                            attrs.skip_serializing_if = Some(text.trim_matches('"').to_string());
                         }
                     }
                     i += 3;
@@ -380,11 +394,16 @@ fn gen_serialize(item: &Item) -> String {
                 if f.attrs.skip {
                     continue;
                 }
-                s.push_str(&format!(
+                let insert = format!(
                     "object.insert(\"{}\", ::serde::Serialize::to_value(&self.{}));\n",
                     json_key(f),
                     f.name
-                ));
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    s.push_str(&format!("if !{pred}(&self.{}) {{\n{insert}}}\n", f.name));
+                } else {
+                    s.push_str(&insert);
+                }
             }
             s.push_str("::serde::Value::Object(object)");
             s
@@ -439,11 +458,16 @@ fn gen_serialize(item: &Item) -> String {
                             if f.attrs.skip {
                                 continue;
                             }
-                            inner.push_str(&format!(
+                            let insert = format!(
                                 "inner.insert(\"{}\", ::serde::Serialize::to_value({}));\n",
                                 json_key(f),
                                 f.name
-                            ));
+                            );
+                            if let Some(pred) = &f.attrs.skip_serializing_if {
+                                inner.push_str(&format!("if !{pred}({}) {{\n{insert}}}\n", f.name));
+                            } else {
+                                inner.push_str(&insert);
+                            }
                         }
                         arms.push_str(&format!(
                             "{ty}::{vn} {{ {} }} => {{\n{inner}\

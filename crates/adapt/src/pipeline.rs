@@ -1,0 +1,703 @@
+//! The adaptive serving pipeline: observe → detect → adapt → recalibrate.
+//!
+//! [`AdaptivePipeline`] is the continual-learning counterpart of
+//! [`deeprest_serve::Pipeline`]: the same watermark windowing, incremental
+//! inference and causal sanity alerting, but the model is **owned and
+//! mutable** — between windows the pipeline seals `(features, targets)`
+//! segments from what it just served and scored, and on a fixed cadence
+//! folds them (mixed with deterministic replay samples) back into the
+//! model through [`OnlineUpdater`].
+//!
+//! # Determinism
+//!
+//! Every source of nondeterminism is pinned:
+//!
+//! * inference and the analytic update are bit-identical across
+//!   `DEEPREST_THREADS` by construction (fixed fold orders);
+//! * replay sampling is a pure function of `(seed, draw counter, buffer
+//!   length)` — no RNG state beyond the checkpointed counter;
+//! * the update cadence counts sealed segments, not wall-clock;
+//! * interval calibration is serial `f64` arithmetic over checkpointed
+//!   rings.
+//!
+//! A [`checkpoint`](AdaptivePipeline::checkpoint) therefore captures the
+//! *entire* adaptation trajectory — adapted parameters (the momentum-free
+//! SGD's only state), replay buffer, drift statistics, calibration rings
+//! and counters — and a [`restore`](AdaptivePipeline::restore)d pipeline
+//! continues bit-identically to the uninterrupted run, even mid-segment
+//! between two updates.
+//!
+//! # Fail-safety
+//!
+//! Update failures never reach serving: an injected `adapt.update` fault
+//! rejects the step before any mutation, and a poisoned parameter after
+//! the step (`adapt.update.poison`, or a genuine numeric blow-up) rolls
+//! the store back bit-for-bit. Either way the packed serving state is
+//! still valid and the pipeline keeps serving from the pre-update
+//! parameters; the outcome is recorded in
+//! [`last_update`](AdaptivePipeline::last_update), not thrown.
+//!
+//! # Frozen mode
+//!
+//! With [`AdaptConfig::enabled`] off the pipeline performs no updates, no
+//! calibration and no drift tracking: its outputs are bit-identical to a
+//! plain [`deeprest_serve::Pipeline`] over the same stream.
+
+use deeprest_core::adapt::{OnlineUpdater, TrainSegment};
+use deeprest_core::stream::{DetachedPredictor, PointEstimate, StreamPredictor, StreamSnapshot};
+use deeprest_core::{DeepRest, ExpertKey};
+use deeprest_metrics::MetricsRegistry;
+use deeprest_serve::sanity::OnlineSanity;
+use deeprest_serve::{
+    contributing_apis, Alert, Checkpoint, ControlTick, ObservationSource, WindowOutput,
+};
+use deeprest_telemetry as telemetry;
+use deeprest_trace::stream::{SealedWindow, WindowAssembler};
+use deeprest_trace::window::TimestampedTrace;
+use deeprest_trace::Interner;
+use serde::{Deserialize, Serialize};
+
+use crate::calibrate::{CalibrationState, Calibrator};
+use crate::config::AdaptConfig;
+use crate::drift::{DriftDetector, DriftState};
+use crate::error::{AdaptError, UpdateOutcome};
+use crate::replay::{ReplayBuffer, Segment};
+
+/// The serializable adaptation state carried inside a serve
+/// [`Checkpoint`]'s `adapter` field, alongside the adapted model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdapterState {
+    /// Replay-buffer segments, oldest first.
+    pub replay: Vec<Segment>,
+    /// Drift-detector state.
+    pub drift: DriftState,
+    /// Conformal-calibrator state.
+    pub calibration: CalibrationState,
+    /// Features of the partially-filled current segment
+    /// (`cur_len × feature_dim`, window-major; trailing slots stale).
+    pub cur_xs: Vec<f32>,
+    /// Targets of the current segment (`experts × segment_len`,
+    /// expert-major; columns ≥ `cur_len` stale).
+    pub cur_targets: Vec<f32>,
+    /// Windows accumulated into the current segment.
+    pub cur_len: usize,
+    /// Stream index of the current segment's first window.
+    pub cur_start: usize,
+    /// Whether every expert was observed in every window of the current
+    /// segment so far (incomplete segments are dropped, not trained on).
+    pub cur_observed: bool,
+    /// Last raw observation per expert (delta-encoding base); `None`
+    /// until first observed.
+    pub prev_actual: Vec<Option<f64>>,
+    /// Total segments sealed (complete or dropped).
+    pub segments_sealed: u64,
+    /// Complete segments sealed since the last update attempt.
+    pub segments_since_update: u64,
+    /// Successful updates applied.
+    pub updates_run: u64,
+    /// Update attempts rejected or rolled back.
+    pub updates_failed: u64,
+}
+
+/// The envelope serialized into [`Checkpoint::adapter`]: the adapted
+/// model (its parameters are the optimizer state — momentum-free SGD)
+/// plus the adaptation trajectory.
+#[derive(Serialize, Deserialize)]
+struct AdapterEnvelope {
+    /// Adapted model JSON ([`DeepRest::to_json`], bit-exact round-trip).
+    model: String,
+    /// Everything else.
+    state: AdapterState,
+}
+
+/// Owning, self-adapting counterpart of [`deeprest_serve::Pipeline`] —
+/// see the module docs.
+pub struct AdaptivePipeline {
+    model: DeepRest,
+    source: Interner,
+    observations: MetricsRegistry,
+    config: AdaptConfig,
+    keys: Vec<ExpertKey>,
+    is_delta: Vec<bool>,
+    contributing: Vec<Vec<String>>,
+    assembler: WindowAssembler,
+    /// Packed serving state between windows. Invariant: exactly one of
+    /// `detached` / `resume` is `Some` (`resume` right after a model
+    /// update invalidated the packed weights, `detached` otherwise).
+    detached: Option<DetachedPredictor>,
+    resume: Option<StreamSnapshot>,
+    sanity: OnlineSanity,
+    updater: OnlineUpdater,
+    replay: ReplayBuffer,
+    drift: DriftDetector,
+    calib: Calibrator,
+    quarantined: Vec<bool>,
+    /// Current-segment staging arenas (fixed size, reused).
+    cur_xs: Vec<f32>,
+    cur_targets: Vec<f32>,
+    cur_len: usize,
+    cur_start: usize,
+    cur_observed: bool,
+    prev_actual: Vec<Option<f64>>,
+    segments_sealed: u64,
+    segments_since_update: u64,
+    updates_run: u64,
+    updates_failed: u64,
+    last_update: Option<UpdateOutcome>,
+    last_control: usize,
+    position: usize,
+    /// Sealed windows awaiting processing (drained in order).
+    pending: Vec<SealedWindow>,
+    ready: Vec<WindowOutput>,
+    /// Replay-sampling arenas (capacity `replay_capacity`, reused).
+    sample_scratch: Vec<usize>,
+    sample_out: Vec<usize>,
+}
+
+impl AdaptivePipeline {
+    /// Creates an adaptive pipeline owning `model`. `source` is the name
+    /// table incoming traces use; `observations` supplies both the sanity
+    /// check's ground truth and the online-training targets.
+    pub fn new(
+        model: DeepRest,
+        source: &Interner,
+        observations: MetricsRegistry,
+        config: AdaptConfig,
+    ) -> Self {
+        let keys = model.expert_keys();
+        let experts = keys.len();
+        let nominal = f64::from(model.config().delta);
+        let seg_len = config.update.segment_len;
+        let dim = model.feature_space().dim();
+        let detached = Some(model.stream_predictor().detach());
+        let updater = OnlineUpdater::new(&model, config.update);
+        Self {
+            sanity: OnlineSanity::new(config.serve.sanity, experts),
+            is_delta: keys
+                .iter()
+                .map(|k| model.expert_is_delta(k).unwrap_or(false))
+                .collect(),
+            contributing: contributing_apis(&model, &keys, config.serve.api_threshold),
+            assembler: WindowAssembler::new(config.serve.window_secs, config.serve.lateness_secs),
+            detached,
+            resume: None,
+            updater,
+            replay: ReplayBuffer::new(config.replay_capacity.max(1)),
+            drift: DriftDetector::new(nominal, config.drift, experts),
+            calib: Calibrator::new(nominal, config.calibration, experts),
+            quarantined: vec![false; experts],
+            cur_xs: vec![0.0; seg_len * dim],
+            cur_targets: vec![0.0; experts * seg_len],
+            cur_len: 0,
+            cur_start: 0,
+            cur_observed: true,
+            prev_actual: vec![None; experts],
+            segments_sealed: 0,
+            segments_since_update: 0,
+            updates_run: 0,
+            updates_failed: 0,
+            last_update: None,
+            last_control: 0,
+            position: 0,
+            pending: Vec::new(),
+            ready: Vec::new(),
+            sample_scratch: Vec::with_capacity(config.replay_capacity.max(1)),
+            sample_out: Vec::with_capacity(config.replay_capacity.max(1)),
+            keys,
+            source: source.clone(),
+            observations,
+            config,
+            model,
+        }
+    }
+
+    /// The live (possibly adapted) model — read-only; feed its
+    /// [`estimate_what_if`](DeepRest::estimate_what_if) with
+    /// [`poll_control`](Self::poll_control) snapshots for what-if queries
+    /// that reflect everything learned so far.
+    pub fn model(&self) -> &DeepRest {
+        &self.model
+    }
+
+    /// Expert keys, in the order estimates and scores are reported.
+    pub fn keys(&self) -> &[ExpertKey] {
+        &self.keys
+    }
+
+    /// Number of windows sealed and served so far.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The configuration the pipeline runs with.
+    pub fn config(&self) -> &AdaptConfig {
+        &self.config
+    }
+
+    /// Per-expert drift watch flags (in [`keys`](Self::keys) order).
+    pub fn drift_watching(&self) -> &[bool] {
+        &self.drift.state().watching
+    }
+
+    /// Empirical raw-interval coverage over everything observed, if any.
+    pub fn raw_coverage(&self) -> Option<f64> {
+        self.calib.raw_coverage()
+    }
+
+    /// Outcome of the most recent update attempt (`None` before the first
+    /// cadence firing). Failures here never interrupt serving.
+    pub fn last_update(&self) -> Option<&UpdateOutcome> {
+        self.last_update.as_ref()
+    }
+
+    /// Successful updates applied so far.
+    pub fn updates_run(&self) -> u64 {
+        self.updates_run
+    }
+
+    /// Update attempts rejected by a fault or rolled back.
+    pub fn updates_failed(&self) -> u64 {
+        self.updates_failed
+    }
+
+    /// Replay segments currently buffered.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Feeds one arrival; returns the outputs of every window the
+    /// advancing watermark sealed, same contract as
+    /// [`deeprest_serve::Pipeline::ingest`].
+    ///
+    /// # Errors
+    ///
+    /// Only state-mismatch errors ([`AdaptError::Predictor`]) surface
+    /// here; update failures are contained (see
+    /// [`last_update`](Self::last_update)).
+    pub fn ingest(&mut self, t: TimestampedTrace) -> Result<Vec<WindowOutput>, AdaptError> {
+        let sealed = self.assembler.push(t);
+        self.pending.extend(sealed);
+        self.drain_pending()?;
+        Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// Seals and processes everything still buffered (end of stream).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ingest`](Self::ingest).
+    pub fn flush(&mut self) -> Result<Vec<WindowOutput>, AdaptError> {
+        let sealed = self.assembler.flush();
+        self.pending.extend(sealed);
+        self.drain_pending()?;
+        Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// Polls the control-loop hook — same cadence semantics as
+    /// [`deeprest_serve::Pipeline::poll_control`], but the snapshot forks
+    /// the *adapted* model's live state.
+    pub fn poll_control(&mut self) -> Option<ControlTick> {
+        let interval = self.config.serve.control_interval;
+        if interval == 0 || self.position < self.last_control + interval {
+            return None;
+        }
+        let predictor = self.snapshot_predictor().ok()?;
+        self.last_control = self.position;
+        if telemetry::enabled() {
+            telemetry::counter("adapt.control.tick", 1);
+        }
+        Some(ControlTick {
+            window: self.position,
+            predictor,
+        })
+    }
+
+    fn drain_pending(&mut self) -> Result<(), AdaptError> {
+        while !self.pending.is_empty() {
+            let w = self.pending.remove(0);
+            match self.process_window(&w) {
+                Ok(out) => self.ready.push(out),
+                Err(err) => {
+                    self.pending.insert(0, w);
+                    return Err(err);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the carried hidden state, whichever form it is
+    /// currently held in.
+    fn snapshot_predictor(&mut self) -> Result<StreamSnapshot, AdaptError> {
+        if let Some(snap) = &self.resume {
+            return Ok(snap.clone());
+        }
+        match self.detached.take() {
+            Some(d) => {
+                let pred =
+                    StreamPredictor::attach(&self.model, d).map_err(AdaptError::Predictor)?;
+                let snap = pred.snapshot();
+                self.detached = Some(pred.detach());
+                Ok(snap)
+            }
+            None => Err(AdaptError::Predictor(
+                "pipeline holds neither packed state nor a resume snapshot".to_owned(),
+            )),
+        }
+    }
+
+    fn process_window(&mut self, w: &SealedWindow) -> Result<WindowOutput, AdaptError> {
+        let _span = telemetry::span("adapt.window");
+        let x = self.model.window_features(&w.traces, &self.source);
+
+        // Serve: one O(1) attach of the packed state (or one repack right
+        // after a model update), one incremental step, detach.
+        let mut pred = match self.detached.take() {
+            Some(d) => StreamPredictor::attach(&self.model, d).map_err(AdaptError::Predictor)?,
+            None => {
+                let snap = self.resume.take().ok_or_else(|| {
+                    AdaptError::Predictor(
+                        "pipeline holds neither packed state nor a resume snapshot".to_owned(),
+                    )
+                })?;
+                StreamPredictor::restore(&self.model, &snap).map_err(AdaptError::Predictor)?
+            }
+        };
+        let raw = pred.step(&x);
+        self.position = pred.position();
+        self.detached = Some(pred.detach());
+
+        // Recalibrate: widen each expert's interval by its conformal
+        // scale (computed from *past* windows only — causal). Scale 1.0
+        // is a bitwise no-op, so a cold or frozen pipeline reproduces the
+        // raw estimates exactly.
+        let estimates: Vec<PointEstimate> = if self.config.enabled {
+            (0..raw.len())
+                .map(|e| {
+                    let s = self.calib.scale(e, self.drift.watching(e));
+                    Calibrator::apply(&raw[e], s)
+                })
+                .collect()
+        } else {
+            raw.clone()
+        };
+
+        // Quarantine guard — identical semantics to the serve pipeline.
+        for (e, est) in estimates.iter().enumerate() {
+            let finite = est.expected.is_finite() && est.lower.is_finite() && est.upper.is_finite();
+            if !finite && !self.quarantined[e] {
+                self.quarantined[e] = true;
+                telemetry::counter("adapt.quarantined", 1);
+            } else if finite && self.quarantined[e] {
+                self.quarantined[e] = false;
+            }
+        }
+
+        // Observe: score the calibrated intervals, feed the drift CUSUM
+        // and calibration rings from the raw ones, and stage training
+        // targets for the current segment.
+        let seg_len = self.config.update.segment_len;
+        let dim = self.model.feature_space().dim();
+        if self.config.enabled && self.cur_len < seg_len {
+            self.cur_xs[self.cur_len * dim..(self.cur_len + 1) * dim].copy_from_slice(&x);
+        }
+        let mut scores = Vec::with_capacity(self.keys.len());
+        let mut alerts = Vec::new();
+        for (e, key) in self.keys.iter().enumerate() {
+            if self.quarantined[e] {
+                scores.push(f64::NAN);
+                if self.config.enabled {
+                    self.cur_observed = false;
+                }
+                continue;
+            }
+            let Some(actual) = self.observations.observe(key, w.index) else {
+                scores.push(f64::NAN);
+                if self.config.enabled {
+                    self.cur_observed = false;
+                }
+                continue;
+            };
+            let outcome = self
+                .sanity
+                .observe(e, actual, &estimates[e], self.is_delta[e]);
+            scores.push(outcome.score);
+            if outcome.alerting {
+                if telemetry::enabled() {
+                    telemetry::counter("adapt.alerts", 1);
+                }
+                alerts.push(Alert {
+                    component: key.component.clone(),
+                    resource: key.resource,
+                    window: w.index,
+                    score: outcome.score,
+                    deviation_pct: outcome.deviation_pct,
+                    contributing_apis: self.contributing[e].clone(),
+                });
+            }
+            if self.config.enabled {
+                // Cumulative resources are estimated as increments: put the
+                // observation into the experts' output space before scoring
+                // interval coverage (mirrors the sanity scorer's encoding).
+                let prev = self.prev_actual[e].unwrap_or(actual);
+                let in_space = if self.is_delta[e] {
+                    (actual - prev).max(0.0)
+                } else {
+                    actual
+                };
+                let covered = self.calib.observe_raw(e, in_space, &raw[e]);
+                let was = self.drift.watching(e);
+                let watching = self.drift.observe(e, covered);
+                if watching && !was && telemetry::enabled() {
+                    telemetry::counter("adapt.drift.watch", 1);
+                }
+                let t = self.cur_len.min(seg_len - 1);
+                self.cur_targets[e * seg_len + t] = self.model.normalize_target(e, actual, prev);
+                self.prev_actual[e] = Some(actual);
+            }
+        }
+
+        // Adapt: seal the segment when full; on the cadence, fold replay
+        // plus the fresh segment back into the model.
+        if self.config.enabled {
+            self.cur_len += 1;
+            if self.cur_len == seg_len {
+                self.seal_segment(w.index + 1)?;
+            }
+        }
+
+        Ok(WindowOutput {
+            window: w.index,
+            trace_count: w.traces.len(),
+            estimates,
+            scores,
+            alerts,
+        })
+    }
+
+    /// Seals the staged segment (window `next_start` begins the next one)
+    /// and runs the update when the cadence is due.
+    fn seal_segment(&mut self, next_start: usize) -> Result<(), AdaptError> {
+        self.segments_sealed += 1;
+        let complete = self.cur_observed;
+        if complete {
+            self.segments_since_update += 1;
+            let due = self.segments_since_update
+                >= self
+                    .config
+                    .effective_update_every(self.drift.any_watching());
+            if due {
+                self.run_update()?;
+                self.segments_since_update = 0;
+            }
+            // The fresh segment enters the replay buffer *after* the
+            // update sampled from it, so one update never stages the same
+            // windows twice.
+            self.replay
+                .push_copy(self.cur_start, &self.cur_xs, &self.cur_targets);
+        } else if telemetry::enabled() {
+            telemetry::counter("adapt.segment.dropped", 1);
+        }
+        self.cur_len = 0;
+        self.cur_start = next_start;
+        self.cur_observed = true;
+        Ok(())
+    }
+
+    /// One cadence firing: deterministic replay sample + the fresh
+    /// segment → one analytic update step, with calibration-aware
+    /// gradient modulation. Failures leave the model bit-identical to the
+    /// pre-update state and are recorded, never thrown.
+    fn run_update(&mut self) -> Result<(), AdaptError> {
+        // Snapshot the carried hidden state first: if the update lands,
+        // the packed weights are stale and serving resumes (with one
+        // repack) from this snapshot against the adapted model.
+        let snap = self.snapshot_predictor()?;
+
+        let draw = self.updates_run + self.updates_failed;
+        self.replay.sample_into(
+            self.config.sample_seed,
+            draw,
+            self.config.update.replay_slots,
+            &mut self.sample_scratch,
+            &mut self.sample_out,
+        );
+        let seg_len = self.config.update.segment_len;
+        let mut segments: Vec<TrainSegment<'_>> = Vec::with_capacity(self.sample_out.len() + 1);
+        for &i in &self.sample_out {
+            let s = &self.replay.segments()[i];
+            segments.push(TrainSegment {
+                xs: &s.xs,
+                targets: &s.targets,
+            });
+        }
+        segments.push(TrainSegment {
+            xs: &self.cur_xs[..seg_len * self.model.feature_space().dim()],
+            targets: &self.cur_targets,
+        });
+
+        self.updater
+            .set_modulation(self.calib.gradient_modulation());
+        let outcome = self.updater.update(&mut self.model, &segments);
+        drop(segments);
+        match &outcome {
+            Ok(_) => {
+                self.updates_run += 1;
+                // Invalidate the packed weights; the next window rebuilds
+                // from the snapshot against the adapted parameters.
+                self.detached = None;
+                self.resume = Some(snap);
+            }
+            Err(err) => {
+                // Rejected before mutation or rolled back bit-for-bit:
+                // the packed state is still exactly the serving model.
+                self.updates_failed += 1;
+                if telemetry::enabled() {
+                    telemetry::counter("adapt.update.failed", 1);
+                }
+                let _ = err;
+            }
+        }
+        self.last_update = Some(outcome);
+        Ok(())
+    }
+
+    /// Captures the full adaptive state as a standard serve
+    /// [`Checkpoint`]: the serving half in the regular fields (so
+    /// [`deeprest_serve::CheckpointStore`]'s framed, CRC-checked,
+    /// atomically-rotated persistence works unchanged) and the adaptation
+    /// half — adapted model included — in the `adapter` envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptError::Codec`] when serialization fails,
+    /// [`AdaptError::Predictor`] when the carried state is unreadable.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, AdaptError> {
+        let predictor = self.snapshot_predictor()?;
+        let envelope = AdapterEnvelope {
+            model: self
+                .model
+                .to_json()
+                .map_err(|e| AdaptError::Codec(e.to_string()))?,
+            state: AdapterState {
+                replay: self.replay.segments().to_vec(),
+                drift: self.drift.state().clone(),
+                calibration: self.calib.state().clone(),
+                cur_xs: self.cur_xs.clone(),
+                cur_targets: self.cur_targets.clone(),
+                cur_len: self.cur_len,
+                cur_start: self.cur_start,
+                cur_observed: self.cur_observed,
+                prev_actual: self.prev_actual.clone(),
+                segments_sealed: self.segments_sealed,
+                segments_since_update: self.segments_since_update,
+                updates_run: self.updates_run,
+                updates_failed: self.updates_failed,
+            },
+        };
+        Ok(Checkpoint {
+            assembler: self.assembler.clone(),
+            predictor,
+            sanity: self.sanity.state().clone(),
+            pending: self.pending.clone(),
+            ready: self.ready.clone(),
+            last_control: self.last_control,
+            adapter: Some(
+                serde_json::to_string(&envelope).map_err(|e| AdaptError::Codec(e.to_string()))?,
+            ),
+        })
+    }
+
+    /// Rebuilds an adaptive pipeline from a [`checkpoint`](Self::checkpoint),
+    /// resuming bit-identically — mid-segment, between updates, with the
+    /// replay and calibration trajectory intact. The observation source is
+    /// not part of the checkpoint; pass it again.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptError::MissingAdapterState`] for plain serve checkpoints;
+    /// [`AdaptError::Codec`]/[`AdaptError::Predictor`]/
+    /// [`AdaptError::Sanity`]/[`AdaptError::Adapter`] when any piece of
+    /// state disagrees with the model geometry.
+    pub fn restore(
+        source: &Interner,
+        observations: MetricsRegistry,
+        config: AdaptConfig,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self, AdaptError> {
+        let adapter = checkpoint
+            .adapter
+            .as_deref()
+            .ok_or(AdaptError::MissingAdapterState)?;
+        let envelope: AdapterEnvelope =
+            serde_json::from_str(adapter).map_err(|e| AdaptError::Codec(e.to_string()))?;
+        let model =
+            DeepRest::from_json(&envelope.model).map_err(|e| AdaptError::Codec(e.to_string()))?;
+        let st = envelope.state;
+        let keys = model.expert_keys();
+        let experts = keys.len();
+        let nominal = f64::from(model.config().delta);
+        let seg_len = config.update.segment_len;
+        let dim = model.feature_space().dim();
+        if st.cur_xs.len() != seg_len * dim
+            || st.cur_targets.len() != experts * seg_len
+            || st.prev_actual.len() != experts
+        {
+            return Err(AdaptError::Adapter(format!(
+                "segment arenas ({} xs, {} targets, {} prev) do not match geometry \
+                 ({seg_len} windows × {dim} features, {experts} experts)",
+                st.cur_xs.len(),
+                st.cur_targets.len(),
+                st.prev_actual.len()
+            )));
+        }
+        let pred = StreamPredictor::restore(&model, &checkpoint.predictor)
+            .map_err(AdaptError::Predictor)?;
+        let detached = Some(pred.detach());
+        let sanity = OnlineSanity::restore(config.serve.sanity, checkpoint.sanity.clone(), experts)
+            .map_err(AdaptError::Sanity)?;
+        let drift = DriftDetector::restore(nominal, config.drift, st.drift, experts)
+            .map_err(AdaptError::Adapter)?;
+        let calib = Calibrator::restore(nominal, config.calibration, st.calibration, experts)
+            .map_err(AdaptError::Adapter)?;
+        let updater = OnlineUpdater::new(&model, config.update);
+        Ok(Self {
+            sanity,
+            is_delta: keys
+                .iter()
+                .map(|k| model.expert_is_delta(k).unwrap_or(false))
+                .collect(),
+            contributing: contributing_apis(&model, &keys, config.serve.api_threshold),
+            assembler: checkpoint.assembler.clone(),
+            detached,
+            resume: None,
+            updater,
+            replay: ReplayBuffer::restore(config.replay_capacity.max(1), st.replay),
+            drift,
+            calib,
+            quarantined: vec![false; experts],
+            cur_xs: st.cur_xs,
+            cur_targets: st.cur_targets,
+            cur_len: st.cur_len,
+            cur_start: st.cur_start,
+            cur_observed: st.cur_observed,
+            prev_actual: st.prev_actual,
+            segments_sealed: st.segments_sealed,
+            segments_since_update: st.segments_since_update,
+            updates_run: st.updates_run,
+            updates_failed: st.updates_failed,
+            last_update: None,
+            last_control: checkpoint.last_control,
+            position: checkpoint.predictor.position,
+            pending: checkpoint.pending.clone(),
+            ready: checkpoint.ready.clone(),
+            sample_scratch: Vec::with_capacity(config.replay_capacity.max(1)),
+            sample_out: Vec::with_capacity(config.replay_capacity.max(1)),
+            keys,
+            source: source.clone(),
+            observations,
+            config,
+            model,
+        })
+    }
+}

@@ -1,0 +1,148 @@
+//! Chaos for the adaptation loop: the `adapt.update` fail and
+//! `adapt.update.poison` probes, asserting the hardening contract — a
+//! faulted update never reaches serving. The model is rolled back (or
+//! never mutated) bit-for-bit, the serving trajectory is exactly the one
+//! of a pipeline whose updates never apply, and once the fault clears
+//! adaptation resumes.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{
+    adapt_config, assert_outputs_bitwise_equal, assert_params_bitwise_equal, clone_model,
+    parameter_values, run_adaptive, stream_of, trained,
+};
+use deeprest_core::adapt::UpdateError;
+use deeprest_fault::{self as fault, FaultPlan};
+use deeprest_telemetry::{self as telemetry, MemorySink};
+
+#[test]
+fn injected_update_fault_never_corrupts_serving() {
+    let (model, interner, traces, metrics) = trained(48);
+    let stream = stream_of(&traces);
+
+    let sink = Arc::new(MemorySink::new());
+    let plan = Arc::new(FaultPlan::new(11).always("adapt.update"));
+    let (pipeline, outputs) = telemetry::with_sink(sink.clone(), || {
+        fault::with_plan(plan, || {
+            run_adaptive(
+                clone_model(&model),
+                &interner,
+                &metrics,
+                &stream,
+                adapt_config(),
+            )
+        })
+    });
+
+    assert_eq!(pipeline.updates_run(), 0);
+    assert!(pipeline.updates_failed() >= 2, "the cadence kept firing");
+    assert!(matches!(
+        pipeline.last_update(),
+        Some(Err(UpdateError::Injected))
+    ));
+    assert!(sink.counter("adapt.update.injected") >= 2);
+    assert_eq!(
+        sink.counter("adapt.update.failed"),
+        pipeline.updates_failed()
+    );
+
+    // The probe fires before any mutation: parameters are bit-identical to
+    // the trained model.
+    assert_eq!(
+        pipeline.model().to_json().expect("model"),
+        model.to_json().expect("trained"),
+        "a rejected update must leave the parameters untouched"
+    );
+
+    // And serving saw exactly the trajectory of a pipeline whose updates
+    // never land: same calibration, same alerts, same estimates.
+    assert_eq!(outputs.len(), 48, "no window may be lost under the fault");
+}
+
+#[test]
+fn poisoned_update_rolls_back_bit_identical_to_pre_update_state() {
+    let (model, interner, traces, metrics) = trained(48);
+    let stream = stream_of(&traces);
+
+    // Reference: every update rejected up front (model provably never
+    // mutated). A poisoned-then-rolled-back run must serve bit-identically
+    // to this — rollback means *rollback*, not "close".
+    let rejected = Arc::new(FaultPlan::new(11).always("adapt.update"));
+    let (_, expected) = fault::with_plan(rejected, || {
+        run_adaptive(
+            clone_model(&model),
+            &interner,
+            &metrics,
+            &stream,
+            adapt_config(),
+        )
+    });
+
+    let sink = Arc::new(MemorySink::new());
+    let plan = Arc::new(FaultPlan::new(11).always("adapt.update.poison"));
+    let (pipeline, outputs) = telemetry::with_sink(sink.clone(), || {
+        fault::with_plan(plan, || {
+            run_adaptive(
+                clone_model(&model),
+                &interner,
+                &metrics,
+                &stream,
+                adapt_config(),
+            )
+        })
+    });
+
+    assert_eq!(pipeline.updates_run(), 0);
+    assert!(pipeline.updates_failed() >= 2);
+    match pipeline.last_update() {
+        Some(Err(UpdateError::PoisonedRolledBack { tensors })) => {
+            assert!(*tensors > 0, "PAYLOAD_ALL must poison parameter tensors")
+        }
+        other => panic!("expected a rolled-back poison, got {other:?}"),
+    }
+    assert!(sink.counter("adapt.rollback") >= 2);
+
+    // Bit-exact rollback of the parameters (the gradient scratch buffers
+    // legitimately carry the aborted backward pass — they never influence
+    // serving or the next update, which zeroes them first)...
+    assert_params_bitwise_equal(
+        &parameter_values(pipeline.model()),
+        &parameter_values(&model),
+    );
+    // ...and of the serving trajectory.
+    assert_outputs_bitwise_equal(&outputs, &expected);
+}
+
+#[test]
+fn adaptation_resumes_after_a_transient_update_fault() {
+    let (model, interner, traces, metrics) = trained(48);
+    let stream = stream_of(&traces);
+
+    // Only the first update attempt is rejected; later cadence firings
+    // must adapt normally.
+    let plan = Arc::new(FaultPlan::new(11).once("adapt.update", 0));
+    let (pipeline, outputs) = fault::with_plan(plan, || {
+        run_adaptive(
+            clone_model(&model),
+            &interner,
+            &metrics,
+            &stream,
+            adapt_config(),
+        )
+    });
+
+    assert_eq!(pipeline.updates_failed(), 1);
+    assert!(
+        pipeline.updates_run() >= 1,
+        "updates must resume once the fault clears"
+    );
+    assert!(matches!(pipeline.last_update(), Some(Ok(_))));
+    assert_eq!(outputs.len(), 48);
+    assert_ne!(
+        pipeline.model().to_json().expect("model"),
+        model.to_json().expect("trained"),
+        "post-fault updates must move the parameters again"
+    );
+}

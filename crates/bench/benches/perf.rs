@@ -5,6 +5,8 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deeprest_adapt::{AdaptConfig, AdaptivePipeline};
+use deeprest_core::adapt::{OnlineUpdater, TrainSegment, UpdateConfig};
 use deeprest_core::{DeepRest, DeepRestConfig, FeatureSpace, TraceSynthesizer};
 use deeprest_fault::{self as fault, FaultPlan};
 use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
@@ -14,8 +16,9 @@ use deeprest_scale::{
     ScaleLoop, ScaleLoopConfig, Scenario, ScenarioKind, TargetUtilizationPolicy,
     PROACTIVE_TARGET_UTILIZATION,
 };
+use deeprest_serve::{Pipeline, ServeConfig};
 use deeprest_tensor::{kernel, linalg, Graph, ParamStore, Pool, Tensor};
-use deeprest_trace::window::WindowedTraces;
+use deeprest_trace::window::{TimestampedTrace, WindowedTraces};
 use deeprest_trace::{Interner, SpanNode, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -403,6 +406,7 @@ fn bench_backward(c: &mut Criterion) {
             attention: true,
             penalty: None,
             quantiles: quantiles_for(0.90),
+            modulation: [1.0; 3],
         };
         let pool = Pool::with_threads(1);
         let mut store = store.clone();
@@ -477,6 +481,119 @@ fn bench_pca(c: &mut Criterion) {
 /// serving pipeline, and the control tick's what-if estimate + decision.
 /// This is the recurring per-interval cost an operator pays to run the
 /// autoscaler.
+/// Online-adaptation benches: the warm incremental-update step, plus the
+/// frozen adaptive pipeline's steady-state per-window cost next to the
+/// plain serving pipeline it wraps. Pinning both window entries in
+/// `BENCH_perf.json` makes bench_guard hold the disabled-adaptation
+/// overhead inside the serving noise floor on every CI run, instead of
+/// trusting a one-off measurement.
+fn bench_adapt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adapt");
+    group.sample_size(20);
+
+    let (interner, traces, metrics) = synthetic(64, 96);
+    let (mut model, _) = DeepRest::fit(&traces, &metrics, &interner, quick_config());
+
+    // One warm `OnlineUpdater::update` over a fresh + replay segment pair —
+    // the extra cost an adaptation window pays over a plain serving window.
+    // Steady state performs zero kernel allocations (the adapt crate's
+    // zero_alloc test), so this measures pure compute.
+    let cfg = UpdateConfig::default();
+    let mut updater = OnlineUpdater::new(&model, cfg);
+    let dim = model.feature_space().dim();
+    let experts = model.expert_count();
+    let stage = |salt: f32| {
+        let xs: Vec<f32> = (0..cfg.segment_len * dim)
+            .map(|i| (i as f32 * 0.01 + salt).sin() * 0.5)
+            .collect();
+        let targets: Vec<f32> = (0..experts * cfg.segment_len)
+            .map(|i| (i as f32 * 0.07 + salt).cos() * 0.3 + 0.5)
+            .collect();
+        (xs, targets)
+    };
+    let (fresh_xs, fresh_targets) = stage(0.1);
+    let (replay_xs, replay_targets) = stage(0.9);
+    group.bench_function("update_step", |b| {
+        let segments = [
+            TrainSegment {
+                xs: &fresh_xs,
+                targets: &fresh_targets,
+            },
+            TrainSegment {
+                xs: &replay_xs,
+                targets: &replay_targets,
+            },
+        ];
+        updater
+            .update(&mut model, &segments)
+            .expect("warm-up update");
+        b.iter(|| updater.update(&mut model, &segments).expect("update step"));
+    });
+
+    // Steady-state per-window cost through a long-lived pipeline: each
+    // iteration feeds one window's arrivals at ever-advancing timestamps,
+    // sealing (roughly) one window per call — assembly, estimation and
+    // sanity scoring included, unlike `serving/window_step`, which times
+    // the bare predictor step.
+    let serve_cfg = ServeConfig::default()
+        .with_window_secs(1.0)
+        .with_lateness_secs(2.0);
+    group.bench_function("window_step_serve", |b| {
+        let mut pipeline =
+            Pipeline::new(&model, &interner, serve_cfg).with_observations(metrics.clone());
+        let mut t = 0usize;
+        b.iter(|| {
+            let window = &traces.windows[t % traces.windows.len()];
+            let n = window.len().max(1) as f64;
+            let mut sealed = 0usize;
+            for (j, trace) in window.iter().enumerate() {
+                let at_secs = t as f64 + (j as f64 + 0.5) / n;
+                sealed += pipeline
+                    .ingest(TimestampedTrace {
+                        at_secs,
+                        trace: trace.clone(),
+                    })
+                    .expect("serve ingest")
+                    .len();
+            }
+            t += 1;
+            sealed
+        });
+    });
+    // The same per-window stream through the *frozen* adaptive pipeline:
+    // the full continual-learning wrapper with the master switch off. Its
+    // delta over `window_step_serve` is the disabled-adaptation overhead.
+    group.bench_function("window_step_frozen", |b| {
+        let frozen = DeepRest::from_json(&model.to_json().expect("serialize model"))
+            .expect("round-trip model");
+        let config = AdaptConfig {
+            serve: serve_cfg,
+            ..AdaptConfig::default()
+        }
+        .frozen();
+        let mut pipeline = AdaptivePipeline::new(frozen, &interner, metrics.clone(), config);
+        let mut t = 0usize;
+        b.iter(|| {
+            let window = &traces.windows[t % traces.windows.len()];
+            let n = window.len().max(1) as f64;
+            let mut sealed = 0usize;
+            for (j, trace) in window.iter().enumerate() {
+                let at_secs = t as f64 + (j as f64 + 0.5) / n;
+                sealed += pipeline
+                    .ingest(TimestampedTrace {
+                        at_secs,
+                        trace: trace.clone(),
+                    })
+                    .expect("frozen ingest")
+                    .len();
+            }
+            t += 1;
+            sealed
+        });
+    });
+    group.finish();
+}
+
 fn bench_scale_control_interval(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale");
     group.sample_size(20);
@@ -518,6 +635,7 @@ criterion_group!(
     bench_backward,
     bench_analytic_training,
     bench_pca,
+    bench_adapt,
     bench_scale_control_interval
 );
 criterion_main!(benches);

@@ -209,6 +209,10 @@ fn main() {
         alert_total
     );
 
+    if session.observations.is_some() {
+        print_calibration(&session, &outputs);
+    }
+
     if let Some(dir) = &args.checkpoint {
         let store = CheckpointStore::new(dir);
         store
@@ -222,6 +226,69 @@ fn main() {
 
     if args.assert_batch {
         assert_against_batch(&session, &config, &outputs);
+    }
+}
+
+/// Reports δ-interval calibration (PICP + mean width) of the replayed
+/// estimates against the observed utilization, per expert and pooled.
+fn print_calibration(session: &Session, outputs: &[WindowOutput]) {
+    let Some(registry) = session.observations.as_ref() else {
+        return;
+    };
+    let nominal = f64::from(session.model.config().delta);
+    let keys = session.model.expert_keys();
+    let (mut actual, mut lower, mut upper) = (Vec::new(), Vec::new(), Vec::new());
+    for (e, key) in keys.iter().enumerate() {
+        // Cumulative resources are estimated as per-window increments, so
+        // their observations are delta-encoded before comparison (first
+        // increment zero) — the output-space encoding the scorer uses.
+        let is_delta = session.model.expert_is_delta(key).unwrap_or(false);
+        let (mut a, mut lo, mut up) = (Vec::new(), Vec::new(), Vec::new());
+        for out in outputs {
+            let Some(series) = registry.get(key) else {
+                continue;
+            };
+            if out.window >= series.len() {
+                continue;
+            }
+            let p = &out.estimates[e];
+            if !(p.lower.is_finite() && p.upper.is_finite()) {
+                continue;
+            }
+            let v = series.get(out.window);
+            a.push(if is_delta {
+                if out.window == 0 {
+                    0.0
+                } else {
+                    (v - series.get(out.window - 1)).max(0.0)
+                }
+            } else {
+                v
+            });
+            lo.push(p.lower);
+            up.push(p.upper);
+        }
+        if !a.is_empty() {
+            let report = deeprest_metrics::eval::interval_calibration(
+                &TimeSeries::from_values(a.clone()),
+                &TimeSeries::from_values(lo.clone()),
+                &TimeSeries::from_values(up.clone()),
+                nominal,
+            );
+            println!("calibration: {key} {report}");
+        }
+        actual.extend_from_slice(&a);
+        lower.extend_from_slice(&lo);
+        upper.extend_from_slice(&up);
+    }
+    if !actual.is_empty() {
+        let report = deeprest_metrics::eval::interval_calibration(
+            &TimeSeries::from_values(actual),
+            &TimeSeries::from_values(lower),
+            &TimeSeries::from_values(upper),
+            nominal,
+        );
+        println!("calibration: overall {report}");
     }
 }
 

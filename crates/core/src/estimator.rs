@@ -510,6 +510,7 @@ impl DeepRest {
             penalty: (self.config.mask_l1 > 0.0 && self.config.api_mask)
                 .then(|| self.config.mask_l1 / (dim * e_count) as f32),
             quantiles: quantiles_for(self.config.delta),
+            modulation: [1.0; 3],
         };
         let mut trainer = AnalyticTrainer::new(&self.store, specs, trainer_cfg, &pool);
 

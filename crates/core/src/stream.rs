@@ -575,6 +575,84 @@ impl<'m> StreamPredictor<'m> {
         }
         Ok(p)
     }
+
+    /// Releases the model borrow, keeping the packed weights, shard plan
+    /// and carried state as an opaque [`DetachedPredictor`].
+    ///
+    /// This is the continual-learning hand-off: an owner of a mutable
+    /// model (`deeprest-adapt`'s pipeline) cannot hold a live predictor
+    /// across its own mutation points, but repacking the slab every window
+    /// would dwarf the step cost. `detach`/[`attach`](Self::attach) move
+    /// the packed state out and back in O(1) — no repack, no copy.
+    pub fn detach(self) -> DetachedPredictor {
+        DetachedPredictor {
+            slab: self.slab,
+            shards: self.shards,
+            hmat: self.hmat,
+            pool: self.pool,
+            step_kernel_ops: self.step_kernel_ops,
+            position: self.position,
+            experts: self.model.experts.len(),
+            hidden_dim: self.model.config.hidden_dim,
+            input_dim: self.model.features.dim(),
+        }
+    }
+
+    /// Reattaches a [`DetachedPredictor`] to `model`, restoring a live
+    /// predictor without repacking.
+    ///
+    /// The packed weights are *values copied at pack time*: the caller
+    /// must reattach to the same model with unchanged parameters, or the
+    /// steps will silently serve stale weights. After mutating the model
+    /// (an online update), discard the detached state and rebuild via
+    /// [`StreamPredictor::restore`] from a [`snapshot`](Self::snapshot)
+    /// instead — that is the only repack an adaptation cycle pays.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the detached state's geometry (expert count,
+    /// hidden or feature dimension) disagrees with `model`.
+    pub fn attach(model: &'m DeepRest, d: DetachedPredictor) -> Result<Self, String> {
+        if d.experts != model.experts.len()
+            || d.hidden_dim != model.config.hidden_dim
+            || d.input_dim != model.features.dim()
+        {
+            return Err(format!(
+                "detached predictor geometry ({} experts, h={}, d={}) does not match the model \
+                 ({} experts, h={}, d={})",
+                d.experts,
+                d.hidden_dim,
+                d.input_dim,
+                model.experts.len(),
+                model.config.hidden_dim,
+                model.features.dim()
+            ));
+        }
+        Ok(Self {
+            model,
+            slab: d.slab,
+            shards: d.shards,
+            hmat: d.hmat,
+            pool: d.pool,
+            step_kernel_ops: d.step_kernel_ops,
+            position: d.position,
+        })
+    }
+}
+
+/// Packed serving state of a [`StreamPredictor`] with the model borrow
+/// released — see [`StreamPredictor::detach`]. Opaque: the only thing to
+/// do with one is [`StreamPredictor::attach`] it again.
+pub struct DetachedPredictor {
+    slab: ExpertSlab,
+    shards: Vec<Shard>,
+    hmat: Vec<f32>,
+    pool: Pool,
+    step_kernel_ops: f64,
+    position: usize,
+    experts: usize,
+    hidden_dim: usize,
+    input_dim: usize,
 }
 
 /// The tape-based per-expert stepper the batched [`StreamPredictor`]

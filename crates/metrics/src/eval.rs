@@ -116,6 +116,100 @@ pub fn interval_coverage(actual: &TimeSeries, lower: &TimeSeries, upper: &TimeSe
     inside as f64 / actual.len() as f64
 }
 
+/// Mean width of the `[lower, upper]` interval, in the series' own units.
+///
+/// Coverage alone is gameable — an infinitely wide interval covers
+/// everything — so calibration is always reported as the (coverage, width)
+/// pair: a well-adapted model holds coverage near nominal *without*
+/// inflating the width.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn mean_interval_width(lower: &TimeSeries, upper: &TimeSeries) -> f64 {
+    assert_eq!(
+        lower.len(),
+        upper.len(),
+        "mean_interval_width: length mismatch"
+    );
+    if lower.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = lower
+        .values()
+        .iter()
+        .zip(upper.values().iter())
+        .map(|(l, u)| u - l)
+        .sum();
+    sum / lower.len() as f64
+}
+
+/// Interval-calibration summary: empirical coverage (PICP) against the
+/// nominal confidence level, plus the mean interval width that coverage
+/// was bought with.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CalibrationReport {
+    /// Nominal confidence level δ the intervals were trained for.
+    pub nominal: f64,
+    /// Prediction-interval coverage probability: the fraction of windows
+    /// whose actual value fell inside `[lower, upper]`.
+    pub coverage: f64,
+    /// Mean `upper - lower` over the evaluated windows.
+    pub mean_width: f64,
+}
+
+impl CalibrationReport {
+    /// Signed calibration gap in coverage points: positive when the
+    /// interval over-covers, negative when it under-covers.
+    pub fn gap_points(&self) -> f64 {
+        100.0 * (self.coverage - self.nominal)
+    }
+
+    /// `true` when empirical coverage is within `tolerance_points`
+    /// percentage points of nominal (the drift-scenario acceptance bar
+    /// uses 5 points).
+    pub fn within(&self, tolerance_points: f64) -> bool {
+        self.gap_points().abs() <= tolerance_points
+    }
+}
+
+impl core::fmt::Display for CalibrationReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "coverage {:.1}% (nominal {:.1}%, gap {:+.1}pt), mean width {:.3}",
+            100.0 * self.coverage,
+            100.0 * self.nominal,
+            self.gap_points(),
+            self.mean_width
+        )
+    }
+}
+
+/// Computes the [`CalibrationReport`] of a δ-interval series: empirical
+/// coverage via [`interval_coverage`] and the width it cost via
+/// [`mean_interval_width`].
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or `nominal` is outside `(0, 1)`.
+pub fn interval_calibration(
+    actual: &TimeSeries,
+    lower: &TimeSeries,
+    upper: &TimeSeries,
+    nominal: f64,
+) -> CalibrationReport {
+    assert!(
+        nominal > 0.0 && nominal < 1.0,
+        "interval_calibration: nominal must be in (0, 1), got {nominal}"
+    );
+    CalibrationReport {
+        nominal,
+        coverage: interval_coverage(actual, lower, upper),
+        mean_width: mean_interval_width(lower, upper),
+    }
+}
+
 /// Per-window deviation of the actual measurement from the expected interval
 /// (the paper quantifies this "by L2 distance" and renders it as a 1-D
 /// heatmap, Fig. 19b). Inside the interval the score is zero; outside it is
@@ -292,6 +386,44 @@ mod tests {
         let lo = ts(&[0.0; 4]);
         let hi = ts(&[10.0; 4]);
         assert_eq!(interval_coverage(&a, &lo, &hi), 0.75);
+    }
+
+    #[test]
+    fn mean_width_known_value() {
+        let lo = ts(&[0.0, 1.0, 2.0]);
+        let hi = ts(&[1.0, 4.0, 5.0]);
+        assert!((mean_interval_width(&lo, &hi) - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean_interval_width(&ts(&[]), &ts(&[])), 0.0);
+    }
+
+    #[test]
+    fn calibration_report_combines_coverage_and_width() {
+        let a = ts(&[1.0, 5.0, 9.0, 20.0]);
+        let lo = ts(&[0.0; 4]);
+        let hi = ts(&[10.0; 4]);
+        let r = interval_calibration(&a, &lo, &hi, 0.90);
+        assert_eq!(r.coverage, 0.75);
+        assert_eq!(r.mean_width, 10.0);
+        assert!((r.gap_points() + 15.0).abs() < 1e-9);
+        assert!(!r.within(5.0));
+        assert!(r.within(15.1));
+    }
+
+    #[test]
+    fn calibration_report_at_nominal_is_within_zero() {
+        // 9 of 10 windows inside a δ=0.90 interval: gap is exactly 0.
+        let a = ts(&[0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 2.0]);
+        let lo = ts(&[0.0; 10]);
+        let hi = ts(&[1.0; 10]);
+        let r = interval_calibration(&a, &lo, &hi, 0.90);
+        assert!(r.within(1e-9), "gap {}", r.gap_points());
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal must be in (0, 1)")]
+    fn calibration_rejects_bad_nominal() {
+        let a = ts(&[1.0]);
+        let _ = interval_calibration(&a, &a, &a, 1.0);
     }
 
     #[test]

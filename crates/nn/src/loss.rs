@@ -43,6 +43,19 @@ pub fn pinball_value(delta: f32, quantile: f32) -> f32 {
     }
 }
 
+/// Modulated pinball subgradient `∂ℓ/∂ŷ` for residual `u = y - ŷ`:
+/// `-q` below the target, `1-q` above it, scaled by a per-quantile
+/// `modulation` factor (the online-adaptation gradient modulation of
+/// arXiv 2508.01635 — down-weight the head that is currently over-fit).
+///
+/// `modulation = 1.0` is a *bitwise* identity (IEEE-754 `1.0·x = x`), so
+/// offline training through this helper stays bit-identical to the
+/// unmodulated pinball backward.
+#[inline]
+pub fn pinball_grad(u: f32, quantile: f32, modulation: f32) -> f32 {
+    modulation * if u >= 0.0 { -quantile } else { 1.0 - quantile }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +183,26 @@ mod tests {
             assert_eq!(store.grad(under).data(), &[-q]);
             assert_eq!(store.grad(over).data(), &[1.0 - q]);
         }
+    }
+
+    #[test]
+    fn pinball_grad_unit_modulation_is_bitwise_identity() {
+        for &q in &[0.05f32, 0.5, 0.95] {
+            for &u in &[-1.5f32, -1e-30, 0.0, 1e-30, 2.5] {
+                let base = if u >= 0.0 { -q } else { 1.0 - q };
+                assert_eq!(pinball_grad(u, q, 1.0).to_bits(), base.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pinball_grad_modulation_scales_magnitude_not_sign() {
+        let g_full = pinball_grad(1.0, 0.95, 1.0);
+        let g_half = pinball_grad(1.0, 0.95, 0.5);
+        assert_eq!(g_half, 0.5 * g_full);
+        assert!(g_full < 0.0 && g_half < 0.0);
+        let g_over = pinball_grad(-1.0, 0.95, 0.25);
+        assert_eq!(g_over, 0.25 * (1.0 - 0.95));
     }
 
     #[test]

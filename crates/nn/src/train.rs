@@ -97,6 +97,12 @@ pub struct TrainerConfig {
     pub penalty: Option<f32>,
     /// The three pinball-loss quantiles.
     pub quantiles: [f32; 3],
+    /// Per-quantile gradient modulation applied in the pinball backward
+    /// (arXiv 2508.01635): the loss *value* is untouched, only `∂ℓ/∂ŷ` of
+    /// each head is scaled. `[1.0; 3]` is a bitwise no-op (IEEE-754
+    /// `1.0·x = x`), preserving exact tape-oracle equivalence; online
+    /// adaptation lowers the factor of a head that is currently over-fit.
+    pub modulation: [f32; 3],
 }
 
 /// Per-batch-position training statistics, matching the tape path's
@@ -364,6 +370,18 @@ impl AnalyticTrainer {
         }
         trainer.refresh(store);
         trainer
+    }
+
+    /// Replaces the per-quantile gradient modulation for subsequent
+    /// batches. `[1.0; 3]` restores the exact unmodulated pinball backward
+    /// (bitwise — see [`TrainerConfig::modulation`]).
+    pub fn set_modulation(&mut self, modulation: [f32; 3]) {
+        self.cfg.modulation = modulation;
+    }
+
+    /// The currently configured per-quantile gradient modulation.
+    pub fn modulation(&self) -> [f32; 3] {
+        self.cfg.modulation
     }
 
     /// Re-reads every parameter value out of `store`: repacks the GRU slab
@@ -691,8 +709,8 @@ fn heads_sweep(
                 term += if u >= 0.0 { qv * u } else { (qv - 1.0) * u };
                 // Pinball backward: the upstream seed is known a priori
                 // (`s2` per term), so the gradient is emitted in the same
-                // sweep.
-                gy[q] = job.s2 * if u >= 0.0 { -qv } else { 1.0 - qv };
+                // sweep, scaled by the per-quantile modulation.
+                gy[q] = job.s2 * crate::loss::pinball_grad(u, qv, cfg.modulation[q]);
             }
             job.terms[t * count + c] = term;
         }

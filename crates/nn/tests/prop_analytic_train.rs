@@ -245,6 +245,7 @@ fn analytic_run(
         penalty: (setup.mask_l1 > 0.0 && setup.api_mask)
             .then(|| setup.mask_l1 / (setup.d * setup.specs.len()) as f32),
         quantiles: quantiles_for(0.90),
+        modulation: [1.0; 3],
     };
     let mut trainer = AnalyticTrainer::new(store, setup.specs.clone(), cfg, &pool);
     store.zero_grads();

@@ -66,6 +66,7 @@ pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use pipeline::{
-    batch_reference, Checkpoint, ControlTick, ObservationSource, Pipeline, WindowOutput,
+    batch_reference, contributing_apis, Checkpoint, ControlTick, ObservationSource, Pipeline,
+    WindowOutput,
 };
 pub use queue::{IngestQueue, OverflowPolicy};

@@ -118,6 +118,13 @@ pub struct Checkpoint {
     /// checkpoints.
     #[serde(default)]
     pub last_control: usize,
+    /// Opaque continual-learning adapter state attached by an embedding
+    /// `deeprest-adapt` pipeline (serialized envelope: adapted model JSON
+    /// plus replay/drift/calibration state). `None` for plain serving
+    /// checkpoints, and omitted from the JSON so pre-adaptation
+    /// checkpoints round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub adapter: Option<String>,
 }
 
 impl Checkpoint {
@@ -475,6 +482,7 @@ impl<'m> Pipeline<'m> {
             pending: self.pending.clone(),
             ready: self.ready.clone(),
             last_control: self.last_control,
+            adapter: None,
         }
     }
 
@@ -572,7 +580,11 @@ fn deliver_with_retry(config: &ServeConfig, sink: &mut dyn AlertSink, alert: &Al
     telemetry::counter("serve.sink.dropped", 1);
 }
 
-fn contributing_apis(model: &DeepRest, keys: &[ExpertKey], threshold: f64) -> Vec<Vec<String>> {
+/// Per-expert contributing APIs (mask attribution above `threshold`), in
+/// `keys` order — the `contributing_apis` field every [`Alert`] for that
+/// expert carries. Public so the `deeprest-adapt` pipeline builds alerts
+/// identical to this crate's.
+pub fn contributing_apis(model: &DeepRest, keys: &[ExpertKey], threshold: f64) -> Vec<Vec<String>> {
     keys.iter()
         .map(|key| {
             interpret::api_attribution(model, key)

@@ -20,11 +20,15 @@
 //! * [`scale`] — closed-loop proactive autoscaling: what-if-driven replica
 //!   planning against a reactive threshold baseline, with deterministic
 //!   scenario replay.
+//! * [`adapt`] — online continual learning: replay-buffered incremental
+//!   updates, coverage-drift detection, conformal interval calibration,
+//!   bit-exact mid-adaptation checkpoint/resume.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
 #![forbid(unsafe_code)]
 
+pub use deeprest_adapt as adapt;
 pub use deeprest_baselines as baselines;
 pub use deeprest_core as core;
 pub use deeprest_metrics as metrics;
