@@ -97,6 +97,13 @@ pub struct AdapterState {
     pub updates_run: u64,
     /// Update attempts rejected or rolled back.
     pub updates_failed: u64,
+    /// Whether model updates are suspended (overload rung 2); serving
+    /// continues frozen.
+    #[serde(default)]
+    pub updates_suspended: bool,
+    /// Cadence firings skipped while suspended.
+    #[serde(default)]
+    pub updates_skipped_suspended: u64,
 }
 
 /// The envelope serialized into [`Checkpoint::adapter`]: the adapted
@@ -143,6 +150,8 @@ pub struct AdaptivePipeline {
     segments_since_update: u64,
     updates_run: u64,
     updates_failed: u64,
+    updates_suspended: bool,
+    updates_skipped_suspended: u64,
     last_update: Option<UpdateOutcome>,
     last_control: usize,
     position: usize,
@@ -196,6 +205,8 @@ impl AdaptivePipeline {
             segments_since_update: 0,
             updates_run: 0,
             updates_failed: 0,
+            updates_suspended: false,
+            updates_skipped_suspended: 0,
             last_update: None,
             last_control: 0,
             position: 0,
@@ -258,6 +269,44 @@ impl AdaptivePipeline {
     /// Update attempts rejected by a fault or rolled back.
     pub fn updates_failed(&self) -> u64 {
         self.updates_failed
+    }
+
+    /// Suspends model updates (the overload ladder's rung 2). Serving
+    /// continues with the model frozen — bit-exact, like
+    /// [`AdaptConfig::frozen`](crate::AdaptConfig) — while segment
+    /// staging, replay-buffer growth and cadence due-pressure keep
+    /// accumulating; due firings are skipped and counted
+    /// (`adapt.update.suspended`). Idempotent.
+    pub fn suspend_updates(&mut self) {
+        if !self.updates_suspended {
+            self.updates_suspended = true;
+            if telemetry::enabled() {
+                telemetry::counter("adapt.updates.suspend", 1);
+            }
+        }
+    }
+
+    /// Resumes model updates after [`suspend_updates`](Self::suspend_updates).
+    /// A deferred due update runs at the next segment seal, not here, so
+    /// resuming is cheap and never blocks the caller. Idempotent.
+    pub fn resume_updates(&mut self) {
+        if self.updates_suspended {
+            self.updates_suspended = false;
+            if telemetry::enabled() {
+                telemetry::counter("adapt.updates.resume", 1);
+            }
+        }
+    }
+
+    /// Whether model updates are currently suspended.
+    pub fn updates_suspended(&self) -> bool {
+        self.updates_suspended
+    }
+
+    /// Cadence firings skipped while suspended (typed counter, mirrored
+    /// on `adapt.update.suspended`).
+    pub fn updates_skipped_suspended(&self) -> u64 {
+        self.updates_skipped_suspended
     }
 
     /// Replay segments currently buffered.
@@ -486,7 +535,15 @@ impl AdaptivePipeline {
                 >= self
                     .config
                     .effective_update_every(self.drift.any_watching());
-            if due {
+            if due && self.updates_suspended {
+                // Overload rung 2: the cadence firing is skipped (counted,
+                // never silent) and the due-pressure is kept, so the first
+                // seal after resume runs the deferred update.
+                self.updates_skipped_suspended += 1;
+                if telemetry::enabled() {
+                    telemetry::counter("adapt.update.suspended", 1);
+                }
+            } else if due {
                 self.run_update()?;
                 self.segments_since_update = 0;
             }
@@ -593,6 +650,8 @@ impl AdaptivePipeline {
                 segments_since_update: self.segments_since_update,
                 updates_run: self.updates_run,
                 updates_failed: self.updates_failed,
+                updates_suspended: self.updates_suspended,
+                updates_skipped_suspended: self.updates_skipped_suspended,
             },
         };
         Ok(Checkpoint {
@@ -686,6 +745,8 @@ impl AdaptivePipeline {
             segments_since_update: st.segments_since_update,
             updates_run: st.updates_run,
             updates_failed: st.updates_failed,
+            updates_suspended: st.updates_suspended,
+            updates_skipped_suspended: st.updates_skipped_suspended,
             last_update: None,
             last_control: checkpoint.last_control,
             position: checkpoint.predictor.position,

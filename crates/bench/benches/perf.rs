@@ -16,7 +16,9 @@ use deeprest_scale::{
     ScaleLoop, ScaleLoopConfig, Scenario, ScenarioKind, TargetUtilizationPolicy,
     PROACTIVE_TARGET_UTILIZATION,
 };
-use deeprest_serve::{Pipeline, ServeConfig};
+use deeprest_serve::{
+    OverloadConfig, Pipeline, SchedConfig, ServeConfig, TenantConfig, TenantRegistry,
+};
 use deeprest_tensor::{kernel, linalg, Graph, ParamStore, Pool, Tensor};
 use deeprest_trace::window::{TimestampedTrace, WindowedTraces};
 use deeprest_trace::{Interner, SpanNode, Trace};
@@ -594,6 +596,62 @@ fn bench_adapt(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-round cost of the multi-tenant front end: each iteration submits
+/// one window's arrivals to every tenant (admission control: breaker,
+/// quotas, bounded queue) and runs one DRR scheduling round that drains
+/// them all into the per-tenant pipelines. `1t` next to the committed
+/// `adapt/window_step_serve` baseline pins the front-end overhead over a
+/// bare pipeline; `4t`/`16t` pin the scaling of co-resident tenants
+/// sharing one model's weights.
+fn bench_multi_tenant_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+    let (interner, traces, metrics) = synthetic(64, 96);
+    let (model, _) = DeepRest::fit(&traces, &metrics, &interner, quick_config());
+    let serve_cfg = ServeConfig::default()
+        .with_window_secs(1.0)
+        .with_lateness_secs(2.0);
+    for tenants in [1usize, 4, 16] {
+        let id = format!("{tenants}t");
+        group.bench_with_input(BenchmarkId::new("multi_tenant_step", &id), &id, |b, _| {
+            let mut registry =
+                TenantRegistry::new(SchedConfig::default(), OverloadConfig::default());
+            for i in 0..tenants {
+                registry.add_tenant(
+                    &model,
+                    &interner,
+                    serve_cfg,
+                    TenantConfig::new(format!("t{i}")).with_queue_capacity(1024),
+                );
+            }
+            let mut t = 0usize;
+            b.iter(|| {
+                let window = &traces.windows[t % traces.windows.len()];
+                let n = window.len().max(1) as f64;
+                for (j, trace) in window.iter().enumerate() {
+                    let at_secs = t as f64 + (j as f64 + 0.5) / n;
+                    let arrival = TimestampedTrace {
+                        at_secs,
+                        trace: trace.clone(),
+                    };
+                    // Clone per extra tenant only: the last submit moves
+                    // the arrival, so `1t` pays exactly one clone per
+                    // trace — the same as `window_step_serve`.
+                    for tenant in 1..tenants {
+                        registry
+                            .submit(tenant, arrival.clone())
+                            .expect("unloaded admission");
+                    }
+                    registry.submit(0, arrival).expect("unloaded admission");
+                }
+                t += 1;
+                registry.run_round().drained
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_scale_control_interval(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale");
     group.sample_size(20);
@@ -636,6 +694,7 @@ criterion_group!(
     bench_analytic_training,
     bench_pca,
     bench_adapt,
+    bench_multi_tenant_step,
     bench_scale_control_interval
 );
 criterion_main!(benches);

@@ -67,6 +67,10 @@ struct CapacityArgs {
     threads: Option<usize>,
     /// Scrape-window length used for the experts/core figure.
     window_secs: f64,
+    /// Co-resident tenants to size for: times a multi-tenant round (every
+    /// tenant's predictor advancing one window over shared weights) and
+    /// reports how many tenants one core sustains at the window rate.
+    tenants: usize,
     seed: u64,
 }
 
@@ -79,6 +83,7 @@ impl Default for CapacityArgs {
             json: false,
             threads: None,
             window_secs: 30.0,
+            tenants: 1,
             seed: 17,
         }
     }
@@ -117,6 +122,7 @@ impl CapacityArgs {
                 "--window-secs" => {
                     out.window_secs = value("--window-secs").parse().expect("--window-secs f64");
                 }
+                "--tenants" => out.tenants = value("--tenants").parse().expect("--tenants usize"),
                 "--seed" => out.seed = value("--seed").parse().expect("--seed u64"),
                 other => panic!("unknown flag {other}; see `deeprest` docs for usage"),
             }
@@ -180,6 +186,11 @@ struct Row {
     per_expert_wps: f64,
     bytes_per_expert: f64,
     experts_per_core: f64,
+    /// Multi-tenant sizing (only with `--tenants N`, N > 1): rounds/sec
+    /// where one round advances every tenant's predictor by one window,
+    /// and the tenants one core sustains at the window rate.
+    tenant_rounds_per_sec: Option<f64>,
+    tenants_per_core: Option<f64>,
 }
 
 fn capacity_row(args: &CapacityArgs, experts: usize) -> Row {
@@ -220,6 +231,30 @@ fn capacity_row(args: &CapacityArgs, experts: usize) -> Row {
 
     let threads = model_threads(args);
     let step_secs = 1.0 / batched_wps;
+
+    // Multi-tenant sizing: N co-resident tenants share the trained
+    // weights but carry independent hidden state; one round steps them
+    // all by one window (the registry's drain pattern).
+    let (tenant_rounds_per_sec, tenants_per_core) = if args.tenants > 1 {
+        let mut predictors: Vec<_> = (0..args.tenants)
+            .map(|_| model.stream_predictor())
+            .collect();
+        let rps = windows_per_sec(
+            &xs,
+            warm.div_ceil(args.tenants),
+            steps.div_ceil(args.tenants),
+            |x| {
+                for p in &mut predictors {
+                    p.step(x);
+                }
+            },
+        );
+        let per_core = rps * args.tenants as f64 * args.window_secs / threads as f64;
+        (Some(rps), Some(per_core))
+    } else {
+        (None, None)
+    };
+
     Row {
         experts,
         shards,
@@ -227,6 +262,8 @@ fn capacity_row(args: &CapacityArgs, experts: usize) -> Row {
         per_expert_wps,
         bytes_per_expert: state_bytes as f64 / experts as f64,
         experts_per_core: experts as f64 * args.window_secs / (step_secs * threads as f64),
+        tenant_rounds_per_sec,
+        tenants_per_core,
     }
 }
 
@@ -253,10 +290,18 @@ fn run_capacity(raw: Vec<String>) {
 
     if args.json {
         for r in &rows {
+            let tenant_fields = match (r.tenant_rounds_per_sec, r.tenants_per_core) {
+                (Some(rps), Some(per_core)) => format!(
+                    ",\"tenants\":{},\"tenant_rounds_per_sec\":{rps:.1},\
+                     \"tenants_per_core\":{per_core:.1}",
+                    args.tenants
+                ),
+                _ => String::new(),
+            };
             println!(
                 "{{\"experts\":{},\"shards\":{},\"batched_windows_per_sec\":{:.1},\
                  \"per_expert_windows_per_sec\":{:.1},\"speedup\":{:.3},\
-                 \"experts_per_core\":{:.1},\"bytes_per_expert\":{:.1}}}",
+                 \"experts_per_core\":{:.1},\"bytes_per_expert\":{:.1}{tenant_fields}}}",
                 r.experts,
                 r.shards,
                 r.batched_wps,
@@ -293,6 +338,12 @@ fn run_capacity(raw: Vec<String>) {
                 r.experts_per_core,
                 r.bytes_per_expert / 1024.0
             );
+            if let (Some(rps), Some(per_core)) = (r.tenant_rounds_per_sec, r.tenants_per_core) {
+                println!(
+                    "{:>8}  {} tenants: {:.1} rounds/s, {:.3e} tenants/core",
+                    "", args.tenants, rps, per_core
+                );
+            }
         }
     }
 

@@ -28,15 +28,23 @@
 //! trains on one simulated day of the social network, then streams a
 //! second day with a cryptojacking attack planted halfway — the sanity
 //! alerts fire while the mining runs.
+//!
+//! Multi-tenant replay (`--tenants N`) replays the same stream as `N`
+//! tenant applications through the `TenantRegistry` front end (per-tenant
+//! bounded queues, DRR fair scheduling, overload ladder). `--flood T`
+//! arms the `tenant.flood` probe against tenant `T` (10× amplification)
+//! and, combined with `--assert-batch`, proves isolation: every
+//! non-flooded tenant must still be bit-identical to the batch path.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use deeprest_core::{DeepRest, DeepRestConfig};
+use deeprest_fault::{self as fault, FaultPlan};
 use deeprest_metrics::{MetricKey, MetricsRegistry, ResourceKind, TimeSeries};
 use deeprest_serve::{
-    batch_reference, replay, CheckpointStore, IngestQueue, OverflowPolicy, Pipeline, ServeConfig,
-    WindowOutput,
+    batch_reference, replay, CheckpointStore, IngestQueue, OverflowPolicy, OverloadConfig,
+    Pipeline, SchedConfig, ServeConfig, TenantConfig, TenantRegistry, WindowOutput,
 };
 use deeprest_sim::anomaly::CryptojackingAttack;
 use deeprest_sim::apps;
@@ -62,6 +70,9 @@ struct ServeArgs {
     assert_batch: bool,
     checkpoint: Option<String>,
     quiet: bool,
+    tenants: usize,
+    flood: Option<usize>,
+    window_quota: u32,
 }
 
 impl Default for ServeArgs {
@@ -82,6 +93,9 @@ impl Default for ServeArgs {
             assert_batch: false,
             checkpoint: None,
             quiet: false,
+            tenants: 1,
+            flood: None,
+            window_quota: 0,
         }
     }
 }
@@ -117,6 +131,11 @@ impl ServeArgs {
                 "--assert-batch" => out.assert_batch = true,
                 "--checkpoint" => out.checkpoint = Some(value("--checkpoint")),
                 "--quiet" => out.quiet = true,
+                "--tenants" => out.tenants = value("--tenants").parse().expect("--tenants usize"),
+                "--flood" => out.flood = Some(value("--flood").parse().expect("--flood usize")),
+                "--window-quota" => {
+                    out.window_quota = value("--window-quota").parse().expect("--window-quota u32");
+                }
                 other => panic!("unknown flag {other}; see `deeprest_serve` docs for usage"),
             }
         }
@@ -158,6 +177,11 @@ fn main() {
             OverflowPolicy::Block
         });
 
+    if args.tenants > 1 {
+        run_multi_tenant(&session, config, &args);
+        return;
+    }
+
     let mut pipeline = Pipeline::new(&session.model, &session.source, config);
     if let Some(obs) = session.observations.clone() {
         pipeline = pipeline.with_observations(obs);
@@ -180,7 +204,11 @@ fn main() {
                     }
                     prev = t.at_secs;
                 }
-                queue.push(t);
+                // Blocks under Block policy, displaces (counted) under
+                // DropOldest; the only rejection is a closed queue.
+                if queue.push_typed(t).is_err() {
+                    break;
+                }
             }
             queue.close();
         })
@@ -205,7 +233,7 @@ fn main() {
         outputs.len(),
         outputs.iter().map(|o| o.trace_count).sum::<usize>(),
         pipeline.late_dropped(),
-        queue.dropped(),
+        queue.dropped_overflow(),
         alert_total
     );
 
@@ -227,6 +255,107 @@ fn main() {
     if args.assert_batch {
         assert_against_batch(&session, &config, &outputs);
     }
+}
+
+/// Multi-tenant replay: the same stream as `--tenants N` tenant
+/// applications through the registry front end. With `--flood T` the
+/// `tenant.flood` probe amplifies tenant `T`'s submissions 10×; with
+/// `--assert-batch` every non-flooded tenant is cross-checked
+/// bit-for-bit against the batch path — the isolation contract, live.
+fn run_multi_tenant(session: &Session, config: ServeConfig, args: &ServeArgs) {
+    let mut registry = TenantRegistry::new(SchedConfig::default(), OverloadConfig::default());
+    for i in 0..args.tenants {
+        registry.add_tenant(
+            &session.model,
+            &session.source,
+            config,
+            TenantConfig::new(format!("tenant{i}"))
+                .with_queue_capacity(config.queue_capacity)
+                .with_overflow(config.overflow)
+                .with_window_quota(args.window_quota),
+        );
+    }
+
+    let outputs = match args.flood {
+        Some(flooded) => {
+            let plan = Arc::new(
+                FaultPlan::new(args.seed)
+                    .window("tenant.flood", 0, u64::MAX)
+                    .payload(flooded as u64),
+            );
+            fault::with_plan(plan, || drive_registry(&mut registry, &session.stream))
+        }
+        None => drive_registry(&mut registry, &session.stream),
+    };
+
+    for t in 0..args.tenants {
+        let stats = registry.stats(t);
+        let windows = outputs.iter().filter(|o| o.tenant == t).count();
+        println!(
+            "tenant {t}: {windows} windows | admitted {} | shed {} | rejected {} (quota {} / breaker {} / queue {})",
+            stats.admitted,
+            stats.shed,
+            stats.rejected_window_quota
+                + stats.rejected_byte_quota
+                + stats.rejected_breaker
+                + stats.rejected_queue,
+            stats.rejected_window_quota + stats.rejected_byte_quota,
+            stats.rejected_breaker,
+            stats.rejected_queue,
+        );
+    }
+    println!(
+        "serve: {} tenants, {} rounds, overload level {:?}",
+        args.tenants,
+        registry.round(),
+        registry.overload_level()
+    );
+
+    if args.assert_batch {
+        for t in 0..args.tenants {
+            if args.flood == Some(t) {
+                continue;
+            }
+            let mine: Vec<WindowOutput> = outputs
+                .iter()
+                .filter(|o| o.tenant == t)
+                .map(|o| o.output.clone())
+                .collect();
+            assert_against_batch(session, &config, &mine);
+        }
+    }
+}
+
+/// Feeds every tenant the stream in 8-arrival slices, one slice per
+/// scheduling round, then flushes.
+fn drive_registry(
+    registry: &mut TenantRegistry<'_>,
+    stream: &[TimestampedTrace],
+) -> Vec<deeprest_serve::tenant::TenantOutput> {
+    const CHUNK: usize = 8;
+    let tenants = registry.tenant_count();
+    let mut outputs = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < stream.len() {
+        let upto = (cursor + CHUNK).min(stream.len());
+        for arrival in &stream[cursor..upto] {
+            for t in 0..tenants {
+                let _ = registry.submit(t, arrival.clone());
+            }
+        }
+        cursor = upto;
+        let round = registry.run_round();
+        for err in &round.errors {
+            eprintln!("tenant {} error: {}", err.tenant, err.error);
+        }
+        outputs.extend(round.outputs);
+    }
+    let flushed = registry.flush();
+    for err in &flushed.errors {
+        eprintln!("tenant {} error: {}", err.tenant, err.error);
+    }
+    outputs.extend(flushed.outputs);
+    outputs
 }
 
 /// Reports δ-interval calibration (PICP + mean width) of the replayed

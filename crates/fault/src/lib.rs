@@ -46,7 +46,12 @@
 //!
 //! The payload is site-specific: a truncation byte offset for checkpoint
 //! writes, a delay in milliseconds for sink latency, an expert index for
-//! output corruption (`u64::MAX`, the default, means "all").
+//! output corruption (`u64::MAX`, the default, means "all"). The
+//! multi-tenant front end adds two sites: `tenant.flood` amplifies a
+//! tenant's submissions 10× (payload selects the tenant index; the
+//! default floods all) and `sched.stall` caps one scheduling round's
+//! processing budget at the payload (0 items under the default),
+//! modeling budget exhaustion — see `deeprest_serve::tenant`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

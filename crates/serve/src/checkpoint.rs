@@ -28,6 +28,7 @@ use deeprest_fault as fault;
 use deeprest_telemetry as telemetry;
 
 use crate::pipeline::Checkpoint;
+use crate::tenant::MultiTenantCheckpoint;
 
 /// File magic identifying a framed DeepRest checkpoint.
 pub const MAGIC: [u8; 4] = *b"DRCK";
@@ -212,6 +213,18 @@ impl CheckpointStore {
         let json = checkpoint
             .to_json()
             .map_err(|e| CheckpointError::Payload(e.to_string()))?;
+        self.save_json(&json)
+    }
+
+    /// Atomically writes an arbitrary JSON payload in the same `DRCK`
+    /// frame, with the same rotation and fault probes as
+    /// [`save`](Self::save). The multi-tenant front end persists its
+    /// [`MultiTenantCheckpoint`] through this path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure.
+    pub fn save_json(&self, json: &str) -> Result<(), CheckpointError> {
         let mut frame = encode_frame(json.as_bytes());
         // Fault probe: `serve.ckpt.write` truncates the frame at the
         // injected byte offset, modeling a crash mid-write. Rotation has
@@ -245,20 +258,60 @@ impl CheckpointStore {
     /// Returns [`CheckpointError::NoCheckpoint`] carrying both files'
     /// rejection reasons when neither validates.
     pub fn load_latest(&self) -> Result<Checkpoint, CheckpointError> {
-        let latest_err = match load_file(&self.latest_path()) {
-            Ok(cp) => return Ok(cp),
+        let json = self.load_latest_json()?;
+        Checkpoint::from_json(&json).map_err(|e| CheckpointError::Payload(e.to_string()))
+    }
+
+    /// Loads the newest validating frame's JSON payload (`latest.drck`,
+    /// falling back to `prev.drck`), without interpreting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::NoCheckpoint`] carrying both files'
+    /// rejection reasons when neither validates.
+    pub fn load_latest_json(&self) -> Result<String, CheckpointError> {
+        let latest_err = match load_json_file(&self.latest_path()) {
+            Ok(json) => return Ok(json),
             Err(err) => err,
         };
-        match load_file(&self.prev_path()) {
-            Ok(cp) => {
+        match load_json_file(&self.prev_path()) {
+            Ok(json) => {
                 telemetry::counter("serve.ckpt.fallback", 1);
-                Ok(cp)
+                Ok(json)
             }
             Err(prev_err) => Err(CheckpointError::NoCheckpoint {
                 latest: latest_err.to_string(),
                 prev: prev_err.to_string(),
             }),
         }
+    }
+
+    /// Atomically writes a [`MultiTenantCheckpoint`] (tenant pipelines,
+    /// queued arrivals, scheduler deficits, breaker states, ladder rung)
+    /// in the framed, rotated format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure and
+    /// [`CheckpointError::Payload`] if the checkpoint fails to serialize.
+    pub fn save_tenants(&self, checkpoint: &MultiTenantCheckpoint) -> Result<(), CheckpointError> {
+        let json = checkpoint
+            .to_json()
+            .map_err(|e| CheckpointError::Payload(e.to_string()))?;
+        self.save_json(&json)
+    }
+
+    /// Loads the newest validating [`MultiTenantCheckpoint`] with the
+    /// same latest/prev fallback as [`load_latest`](Self::load_latest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::NoCheckpoint`] when neither file
+    /// validates, [`CheckpointError::Payload`] when the payload is not a
+    /// multi-tenant checkpoint.
+    pub fn load_latest_tenants(&self) -> Result<MultiTenantCheckpoint, CheckpointError> {
+        let json = self.load_latest_json()?;
+        MultiTenantCheckpoint::from_json(&json).map_err(|e| CheckpointError::Payload(e.to_string()))
     }
 }
 
@@ -268,12 +321,22 @@ impl CheckpointStore {
 ///
 /// Returns the frame or payload defect as a typed [`CheckpointError`].
 pub fn load_file(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let json = load_json_file(path)?;
+    Checkpoint::from_json(&json).map_err(|e| CheckpointError::Payload(e.to_string()))
+}
+
+/// Reads and validates one framed file, returning its JSON payload.
+///
+/// # Errors
+///
+/// Returns the frame defect as a typed [`CheckpointError`].
+pub fn load_json_file(path: &Path) -> Result<String, CheckpointError> {
     let bytes = std::fs::read(path)
         .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
     let payload = decode_frame(&bytes)?;
-    let json = std::str::from_utf8(payload)
-        .map_err(|e| CheckpointError::Payload(format!("payload is not UTF-8: {e}")))?;
-    Checkpoint::from_json(json).map_err(|e| CheckpointError::Payload(e.to_string()))
+    std::str::from_utf8(payload)
+        .map(str::to_owned)
+        .map_err(|e| CheckpointError::Payload(format!("payload is not UTF-8: {e}")))
 }
 
 fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {

@@ -7,8 +7,17 @@
 //! the trained batch estimator into a long-running, bounded-memory stream
 //! processor:
 //!
-//! * [`queue`] — bounded ingest queue decoupling collectors from the
-//!   pipeline, with blocking or drop-oldest backpressure.
+//! * [`queue`] — bounded ingest queues decoupling collectors from the
+//!   pipeline, with blocking or drop-oldest backpressure and typed
+//!   accept/reject pushes. Single-tenant embedders use one queue in front
+//!   of one [`Pipeline`]; the multi-tenant front end gives every tenant
+//!   its own.
+//! * [`tenant`] — the multi-tenant front end: a
+//!   [`TenantRegistry`] with per-tenant bounded queues, priority classes
+//!   and per-round byte/window quotas, drained by the deterministic
+//!   deficit-round-robin [`sched::FairScheduler`] and protected by the
+//!   [`overload`] degradation ladder (counted shedding → frozen
+//!   adaptation → per-tenant circuit breakers).
 //! * [`Pipeline`] — the serving loop: watermark-based window sealing
 //!   (via [`deeprest_trace::stream::WindowAssembler`]), per-window feature
 //!   extraction, stateful O(1)-per-window inference (via
@@ -56,17 +65,25 @@ mod alert;
 pub mod checkpoint;
 mod config;
 mod error;
+pub mod overload;
 mod pipeline;
 pub mod queue;
 pub mod replay;
 pub mod sanity;
+pub mod sched;
+pub mod tenant;
 
 pub use alert::{Alert, AlertSink, CollectSink, JsonLineSink, SinkError};
 pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use config::ServeConfig;
 pub use error::ServeError;
+pub use overload::{OverloadConfig, OverloadController, OverloadLevel};
 pub use pipeline::{
     batch_reference, contributing_apis, Checkpoint, ControlTick, ObservationSource, Pipeline,
     WindowOutput,
 };
-pub use queue::{IngestQueue, OverflowPolicy};
+pub use queue::{Accepted, IngestQueue, OverflowPolicy, PushRejected};
+pub use sched::{FairScheduler, SchedConfig};
+pub use tenant::{
+    AdmitRejected, MultiTenantCheckpoint, PriorityClass, TenantConfig, TenantId, TenantRegistry,
+};
